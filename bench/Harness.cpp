@@ -1,0 +1,224 @@
+//===- Harness.cpp - Shared experiment harness for the benches ----------------===//
+
+#include "Harness.h"
+
+#include "baselines/Ai2.h"
+#include "baselines/ReluVal.h"
+#include "baselines/Reluplex.h"
+#include "core/PolicyIo.h"
+#include "support/Check.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace charon;
+using namespace charon::bench;
+
+const char *charon::bench::toolName(ToolKind Tool) {
+  switch (Tool) {
+  case ToolKind::Charon:
+    return "Charon";
+  case ToolKind::CharonNoCex:
+    return "Charon-NoCex";
+  case ToolKind::Ai2Zonotope:
+    return "AI2-Zonotope";
+  case ToolKind::Ai2Bounded64:
+    return "AI2-Bounded64";
+  case ToolKind::ReluVal:
+    return "ReluVal";
+  case ToolKind::Reluplex:
+    return "Reluplex";
+  case ToolKind::ReluplexBT:
+    return "Reluplex-BT";
+  }
+  return "unknown";
+}
+
+const char *charon::bench::toString(Verdict V) {
+  switch (V) {
+  case Verdict::Verified:
+    return "verified";
+  case Verdict::Falsified:
+    return "falsified";
+  case Verdict::Timeout:
+    return "timeout";
+  case Verdict::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+HarnessConfig charon::bench::defaultHarnessConfig() {
+  HarnessConfig Config;
+  if (const char *Props = std::getenv("CHARON_BENCH_PROPS"))
+    Config.PropertiesPerSuite = std::max(1, std::atoi(Props));
+  if (const char *Budget = std::getenv("CHARON_BENCH_BUDGET"))
+    Config.BudgetSeconds = std::max(0.1, std::atof(Budget));
+  return Config;
+}
+
+VerificationPolicy
+charon::bench::loadOrDefaultPolicy(const HarnessConfig &Config) {
+  if (auto Learned = loadPolicyFile(Config.PolicyPath))
+    return *Learned;
+  return VerificationPolicy();
+}
+
+std::vector<BenchmarkSuite>
+charon::bench::buildAllSuites(const HarnessConfig &Config) {
+  std::vector<BenchmarkSuite> Suites;
+  for (const SuiteConfig &SC : paperSuiteConfigs(Config.PropertiesPerSuite))
+    Suites.push_back(makeImageSuite(SC));
+  return Suites;
+}
+
+std::vector<BenchmarkSuite>
+charon::bench::buildFcSuites(const HarnessConfig &Config) {
+  std::vector<BenchmarkSuite> Suites;
+  for (const SuiteConfig &SC : paperSuiteConfigs(Config.PropertiesPerSuite)) {
+    if (SC.HiddenSizes.empty())
+      continue; // Complete tools do not support the convolutional net.
+    Suites.push_back(makeImageSuite(SC));
+  }
+  return Suites;
+}
+
+namespace {
+
+Verdict fromOutcome(Outcome O) {
+  switch (O) {
+  case Outcome::Verified:
+    return Verdict::Verified;
+  case Outcome::Falsified:
+    return Verdict::Falsified;
+  case Outcome::Timeout:
+    return Verdict::Timeout;
+  }
+  charon_unreachable("covered outcome switch");
+}
+
+} // namespace
+
+RunRecord charon::bench::runTool(ToolKind Tool, const BenchmarkSuite &Suite,
+                                 const RobustnessProperty &Prop,
+                                 const HarnessConfig &Config,
+                                 const VerificationPolicy &Policy) {
+  RunRecord Record;
+  Record.Suite = Suite.Name;
+  Record.Property = Prop.Name;
+  Record.Tool = Tool;
+
+  switch (Tool) {
+  case ToolKind::Charon:
+  case ToolKind::CharonNoCex: {
+    VerifierConfig VC;
+    VC.TimeLimitSeconds = Config.BudgetSeconds;
+    VC.UseCounterexampleSearch = Tool == ToolKind::Charon;
+    Verifier V(Suite.Net, Policy, VC);
+    VerifyResult R = V.verify(Prop);
+    Record.Result = fromOutcome(R.Result);
+    Record.Seconds = R.Stats.Seconds;
+    break;
+  }
+  case ToolKind::Ai2Zonotope:
+  case ToolKind::Ai2Bounded64: {
+    Ai2Config AC = Tool == ToolKind::Ai2Zonotope
+                       ? ai2Zonotope(Config.BudgetSeconds)
+                       : ai2Bounded64(Config.BudgetSeconds);
+    Ai2Result R = ai2Verify(Suite.Net, Prop, AC);
+    switch (R.Result) {
+    case Ai2Outcome::Verified:
+      Record.Result = Verdict::Verified;
+      break;
+    case Ai2Outcome::Unknown:
+      Record.Result = Verdict::Unknown;
+      break;
+    case Ai2Outcome::Timeout:
+      Record.Result = Verdict::Timeout;
+      break;
+    }
+    Record.Seconds = R.Seconds;
+    break;
+  }
+  case ToolKind::ReluVal: {
+    ReluValConfig RC;
+    RC.TimeLimitSeconds = Config.BudgetSeconds;
+    RC.MaxDepth = 200;
+    ReluValResult R = reluvalVerify(Suite.Net, Prop, RC);
+    Record.Result = fromOutcome(R.Result);
+    Record.Seconds = R.Seconds;
+    break;
+  }
+  case ToolKind::Reluplex:
+  case ToolKind::ReluplexBT: {
+    ReluplexConfig PC;
+    PC.TimeLimitSeconds = Config.BudgetSeconds;
+    PC.SymbolicBoundTightening = Tool == ToolKind::ReluplexBT;
+    ReluplexResult R = reluplexVerify(Suite.Net, Prop, PC);
+    Record.Result = fromOutcome(R.Result);
+    Record.Seconds = R.Seconds;
+    break;
+  }
+  }
+  return Record;
+}
+
+std::vector<RunRecord>
+charon::bench::runToolOnSuites(ToolKind Tool,
+                               const std::vector<BenchmarkSuite> &Suites,
+                               const HarnessConfig &Config,
+                               const VerificationPolicy &Policy) {
+  std::vector<RunRecord> Records;
+  for (const BenchmarkSuite &Suite : Suites)
+    for (const RobustnessProperty &Prop : Suite.Properties)
+      Records.push_back(runTool(Tool, Suite, Prop, Config, Policy));
+  return Records;
+}
+
+Summary charon::bench::summarize(const std::vector<RunRecord> &Records) {
+  Summary S;
+  for (const RunRecord &R : Records) {
+    switch (R.Result) {
+    case Verdict::Verified:
+      ++S.Verified;
+      break;
+    case Verdict::Falsified:
+      ++S.Falsified;
+      break;
+    case Verdict::Timeout:
+      ++S.Timeout;
+      break;
+    case Verdict::Unknown:
+      ++S.Unknown;
+      break;
+    }
+    S.TotalSeconds += R.Seconds;
+  }
+  return S;
+}
+
+void charon::bench::printSummaryRow(const char *Label, const Summary &S) {
+  double N = std::max(1, S.total());
+  std::printf("%-14s verified %5.1f%%  falsified %5.1f%%  timeout %5.1f%%  "
+              "unknown %5.1f%%   (%d/%d solved, %.1fs total)\n",
+              Label, 100.0 * S.Verified / N, 100.0 * S.Falsified / N,
+              100.0 * S.Timeout / N, 100.0 * S.Unknown / N, S.solved(),
+              S.total(), S.TotalSeconds);
+}
+
+void charon::bench::printCactus(const char *Label,
+                                const std::vector<RunRecord> &Records) {
+  std::vector<double> SolvedTimes;
+  for (const RunRecord &R : Records)
+    if (R.Result == Verdict::Verified || R.Result == Verdict::Falsified)
+      SolvedTimes.push_back(R.Seconds);
+  std::sort(SolvedTimes.begin(), SolvedTimes.end());
+  std::printf("  %-14s solved=%zu series:", Label, SolvedTimes.size());
+  double Cumulative = 0.0;
+  for (size_t I = 0; I < SolvedTimes.size(); ++I) {
+    Cumulative += SolvedTimes[I];
+    std::printf(" (%zu,%.2fs)", I + 1, Cumulative);
+  }
+  std::printf("\n");
+}

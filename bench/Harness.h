@@ -1,0 +1,117 @@
+//===- Harness.h - Shared experiment harness for the benches -----*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common machinery for the figure-reproduction benches: building the seven
+/// evaluation suites (Sec. 7), dispatching properties to each tool with a
+/// uniform budget, and printing the summary/cactus series the paper's
+/// figures show. Budgets are laptop-scale stand-ins for the paper's 1000 s
+/// limit; override with CHARON_BENCH_BUDGET (seconds per property) and
+/// CHARON_BENCH_PROPS (properties per network).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_BENCH_HARNESS_H
+#define CHARON_BENCH_HARNESS_H
+
+#include "core/Policy.h"
+#include "core/Verifier.h"
+#include "data/Benchmarks.h"
+
+#include <string>
+#include <vector>
+
+namespace charon {
+namespace bench {
+
+/// The tools compared in the evaluation.
+enum class ToolKind {
+  Charon,       ///< full Algorithm 1 (counterexample search + refinement)
+  CharonNoCex,  ///< ablation: proof search only
+  Ai2Zonotope,  ///< AI2 with the plain zonotope domain
+  Ai2Bounded64, ///< AI2 with bounded powerset of 64 zonotopes
+  ReluVal,      ///< symbolic intervals + smear bisection
+  Reluplex,     ///< complete LP branch-and-bound (paper-faithful, no
+                ///< bound tightening)
+  ReluplexBT    ///< Reluplex upgraded with symbolic bound tightening (the
+                ///< modern-MILP ablation; Sec. 9 future work)
+};
+
+/// Printable tool name as used in the paper's figures.
+const char *toolName(ToolKind Tool);
+
+/// Verdict vocabulary across all tools.
+enum class Verdict { Verified, Falsified, Timeout, Unknown };
+
+const char *toString(Verdict V);
+
+/// One (tool, property) measurement.
+struct RunRecord {
+  std::string Suite;
+  std::string Property;
+  ToolKind Tool;
+  Verdict Result = Verdict::Timeout;
+  double Seconds = 0.0;
+};
+
+/// Harness-wide knobs (env-overridable).
+struct HarnessConfig {
+  int PropertiesPerSuite = 9;
+  double BudgetSeconds = 2.0;
+  std::string PolicyPath = "networks/policy.txt";
+};
+
+/// Reads CHARON_BENCH_PROPS / CHARON_BENCH_BUDGET overrides.
+HarnessConfig defaultHarnessConfig();
+
+/// The learned policy if examples/acas_policy_training has produced one,
+/// otherwise the hand-tuned default.
+VerificationPolicy loadOrDefaultPolicy(const HarnessConfig &Config);
+
+/// Builds all seven evaluation suites (trains networks on first run; they
+/// are cached under networks/).
+std::vector<BenchmarkSuite> buildAllSuites(const HarnessConfig &Config);
+
+/// The six fully connected suites (complete tools skip the conv net, as in
+/// the paper's Sec. 7.2).
+std::vector<BenchmarkSuite> buildFcSuites(const HarnessConfig &Config);
+
+/// Runs one tool on one property under the harness budget.
+RunRecord runTool(ToolKind Tool, const BenchmarkSuite &Suite,
+                  const RobustnessProperty &Prop, const HarnessConfig &Config,
+                  const VerificationPolicy &Policy);
+
+/// Runs \p Tool over every property of every suite.
+std::vector<RunRecord> runToolOnSuites(ToolKind Tool,
+                                       const std::vector<BenchmarkSuite> &Suites,
+                                       const HarnessConfig &Config,
+                                       const VerificationPolicy &Policy);
+
+/// Aggregate counts in the Figure 6 vocabulary.
+struct Summary {
+  int Verified = 0;
+  int Falsified = 0;
+  int Timeout = 0;
+  int Unknown = 0;
+  double TotalSeconds = 0.0;
+
+  int total() const { return Verified + Falsified + Timeout + Unknown; }
+  int solved() const { return Verified + Falsified; }
+};
+
+Summary summarize(const std::vector<RunRecord> &Records);
+
+/// Prints a Figure 6 style row: percentages of each verdict.
+void printSummaryRow(const char *Label, const Summary &S);
+
+/// Prints a cactus series (Figures 7-14): for the solved benchmarks in
+/// time order, "n-th solved, cumulative seconds" pairs.
+void printCactus(const char *Label, const std::vector<RunRecord> &Records);
+
+} // namespace bench
+} // namespace charon
+
+#endif // CHARON_BENCH_HARNESS_H

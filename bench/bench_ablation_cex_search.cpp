@@ -1,0 +1,74 @@
+//===- bench_ablation_cex_search.cpp - Ablations: PGD coupling and delta -------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Two ablations of design choices DESIGN.md calls out:
+//
+//  1. Counterexample search on/off (the coupling at the heart of the
+//     paper): without PGD (Algorithm 1 line 2 reduced to a center probe),
+//     falsifiable benchmarks become timeouts.
+//  2. The delta threshold of Eq. 4: large deltas refute spuriously (the
+//     pathological case Sec. 5 acknowledges), tiny deltas keep precision;
+//     the sweep shows where verdicts flip on a robust property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace charon;
+using namespace charon::bench;
+
+int main() {
+  HarnessConfig Config = defaultHarnessConfig();
+  VerificationPolicy Policy = loadOrDefaultPolicy(Config);
+
+  std::printf("== Ablation 1: coupling optimization with abstraction ==\n");
+  std::printf("(budget %.1fs/property, %d properties/network)\n\n",
+              Config.BudgetSeconds, Config.PropertiesPerSuite);
+
+  std::vector<BenchmarkSuite> Suites = buildFcSuites(Config);
+  for (ToolKind Tool : {ToolKind::Charon, ToolKind::CharonNoCex}) {
+    Summary S = summarize(runToolOnSuites(Tool, Suites, Config, Policy));
+    printSummaryRow(toolName(Tool), S);
+  }
+  std::printf("\nWithout counterexample search the falsified slice must drop "
+              "to (near) zero\nwhile the verified slice stays comparable — "
+              "falsifiable instances turn into\ntimeouts.\n\n");
+
+  std::printf("== Ablation 2: the delta threshold of Eq. 4 ==\n\n");
+  // One robust property per network; sweep delta and count spurious
+  // refutations (delta-counterexamples that are not true counterexamples).
+  std::printf("%-10s %-9s %-10s %-9s\n", "delta", "verified", "falsified",
+              "timeout");
+  for (double Delta : {1e-9, 1e-6, 1e-3, 0.1, 1.0, 10.0}) {
+    int Verified = 0, Falsified = 0, Timeout = 0;
+    for (const BenchmarkSuite &Suite : Suites) {
+      for (const RobustnessProperty &Prop : Suite.Properties) {
+        VerifierConfig VC;
+        VC.TimeLimitSeconds = Config.BudgetSeconds;
+        VC.Delta = Delta;
+        Verifier V(Suite.Net, Policy, VC);
+        switch (V.verify(Prop).Result) {
+        case Outcome::Verified:
+          ++Verified;
+          break;
+        case Outcome::Falsified:
+          ++Falsified;
+          break;
+        case Outcome::Timeout:
+          ++Timeout;
+          break;
+        }
+      }
+    }
+    std::printf("%-10.0e %-9d %-10d %-9d\n", Delta, Verified, Falsified,
+                Timeout);
+  }
+  std::printf("\nSmall deltas behave identically (delta-completeness is a "
+              "theoretical\nguarantee, not a practical precision loss); "
+              "large deltas flip robust\nbenchmarks into spurious "
+              "refutations.\n");
+  return 0;
+}

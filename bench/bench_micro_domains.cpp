@@ -1,0 +1,124 @@
+//===- bench_micro_domains.cpp - Microbenchmarks of the core kernels -----------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// google-benchmark microbenchmarks of the kernels every experiment rests
+// on: the abstract transformers of each domain (the cost model behind the
+// precision/scalability trade-off the domain policy navigates), PGD
+// counterexample search, symbolic-interval propagation, and LP solving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/Analyzer.h"
+#include "lp/Simplex.h"
+#include "nn/Builder.h"
+#include "opt/Pgd.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace charon;
+
+namespace {
+
+/// Shared fixture state: a random MLP and an input region per width.
+struct NetFixture {
+  Network Net;
+  Box Region;
+
+  NetFixture(size_t Width, int Layers) {
+    Rng R(17);
+    Net = makeMlp(Width, std::vector<size_t>(Layers, Width), 10, R);
+    Vector Center(Width);
+    for (size_t I = 0; I < Width; ++I)
+      Center[I] = R.uniform(0.3, 0.7);
+    Region = Box::linfBall(Center, 0.05, 0.0, 1.0);
+  }
+};
+
+void runDomain(benchmark::State &State, BaseDomainKind Base, int Disjuncts) {
+  NetFixture F(static_cast<size_t>(State.range(0)), 3);
+  DomainSpec Spec{Base, Disjuncts};
+  for (auto _ : State) {
+    AnalysisResult R = analyzeRobustness(F.Net, F.Region, 0, Spec);
+    benchmark::DoNotOptimize(R.Margin);
+  }
+}
+
+void BM_IntervalAnalysis(benchmark::State &State) {
+  runDomain(State, BaseDomainKind::Interval, 1);
+}
+BENCHMARK(BM_IntervalAnalysis)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_ZonotopeAnalysis(benchmark::State &State) {
+  runDomain(State, BaseDomainKind::Zonotope, 1);
+}
+BENCHMARK(BM_ZonotopeAnalysis)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_ZonotopePowerset4(benchmark::State &State) {
+  runDomain(State, BaseDomainKind::Zonotope, 4);
+}
+BENCHMARK(BM_ZonotopePowerset4)->Arg(25)->Arg(50);
+
+void BM_ZonotopePowerset64(benchmark::State &State) {
+  runDomain(State, BaseDomainKind::Zonotope, 64);
+}
+BENCHMARK(BM_ZonotopePowerset64)->Arg(25);
+
+void BM_SymbolicIntervalAnalysis(benchmark::State &State) {
+  runDomain(State, BaseDomainKind::SymbolicInterval, 1);
+}
+BENCHMARK(BM_SymbolicIntervalAnalysis)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_PolyhedraAnalysis(benchmark::State &State) {
+  runDomain(State, BaseDomainKind::Polyhedra, 1);
+}
+BENCHMARK(BM_PolyhedraAnalysis)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_PgdSearch(benchmark::State &State) {
+  NetFixture F(static_cast<size_t>(State.range(0)), 3);
+  Rng R(23);
+  PgdConfig Config;
+  for (auto _ : State) {
+    PgdResult P = pgdMinimize(F.Net, F.Region, 0, Config, R);
+    benchmark::DoNotOptimize(P.Objective);
+  }
+}
+BENCHMARK(BM_PgdSearch)->Arg(25)->Arg(100);
+
+void BM_ConcreteForward(benchmark::State &State) {
+  NetFixture F(static_cast<size_t>(State.range(0)), 3);
+  Vector X = F.Region.center();
+  for (auto _ : State) {
+    Vector Y = F.Net.evaluate(X);
+    benchmark::DoNotOptimize(Y[0]);
+  }
+}
+BENCHMARK(BM_ConcreteForward)->Arg(25)->Arg(100);
+
+void BM_SimplexSolve(benchmark::State &State) {
+  // Random dense LP of the given size (feasible by construction: rhs > 0).
+  int N = static_cast<int>(State.range(0));
+  Rng R(29);
+  LpProblem Lp;
+  for (int I = 0; I < N; ++I)
+    Lp.addVariable(-1.0, 1.0);
+  for (int C = 0; C < N; ++C) {
+    std::vector<std::pair<int, double>> Terms;
+    for (int I = 0; I < N; ++I)
+      Terms.emplace_back(I, R.gaussian());
+    Lp.addLeqConstraint(std::move(Terms), R.uniform(1.0, 3.0));
+  }
+  Vector Obj(N);
+  for (int I = 0; I < N; ++I)
+    Obj[I] = R.gaussian();
+  for (auto _ : State) {
+    LpResult Res = Lp.maximize(Obj);
+    benchmark::DoNotOptimize(Res.Value);
+  }
+}
+BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(30)->Arg(60);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+//===- acas_policy_training.cpp - The training phase of Sec. 4.2 --------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Reproduces the paper's training workflow (Sec. 6): train a verification
+// policy on 12 robustness properties of an ACAS-Xu-style collision
+// avoidance network using Bayesian optimization over theta, then save the
+// learned policy for the deployment phase (the bench harnesses load it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyIo.h"
+#include "core/PolicyTrainer.h"
+#include "data/Benchmarks.h"
+#include "support/Random.h"
+
+#include <cstdio>
+
+using namespace charon;
+
+int main(int Argc, char **Argv) {
+  // Budgets are laptop-scale stand-ins for the paper's 700 s per problem;
+  // pass a different per-problem limit as argv[1] to train harder.
+  double TimeLimit = Argc > 1 ? std::atof(Argv[1]) : 1.0;
+
+  std::printf("== Training a verification policy on ACAS-like problems ==\n");
+  BenchmarkSuite Suite = makeAcasSuite(/*Count=*/12, /*Seed=*/77);
+  std::printf("network: %zu inputs -> %zu advisories, %zu properties\n\n",
+              Suite.Net.inputSize(), Suite.Net.outputSize(),
+              Suite.Properties.size());
+
+  std::vector<TrainingProblem> Problems;
+  for (const auto &Prop : Suite.Properties)
+    Problems.push_back({&Suite.Net, Prop});
+
+  PolicyTrainConfig Config;
+  Config.TimeLimitSeconds = TimeLimit;
+  Config.Penalty = 2.0; // the paper's p = 2 (footnote 4)
+  Config.BayesOpt.InitialSamples = 6;
+  Config.BayesOpt.Iterations = 10;
+
+  Rng R(4242);
+  PolicyTrainResult Result = trainPolicy(Problems, Config, R);
+
+  std::printf("Bayesian optimization evaluations: %d\n", Result.Evaluations);
+  std::printf("default-policy score: %.3f\n", Result.DefaultScore);
+  std::printf("learned-policy score: %.3f (higher is better)\n",
+              Result.BestScore);
+
+  const char *Path = "networks/policy.txt";
+  if (savePolicyFile(Result.Policy, Path))
+    std::printf("saved learned policy to %s\n", Path);
+  else
+    std::printf("warning: could not save policy to %s\n", Path);
+
+  // Sanity: the learned policy still decides every training problem.
+  VerifierConfig VC;
+  VC.TimeLimitSeconds = 4.0 * TimeLimit;
+  Verifier V(Suite.Net, Result.Policy, VC);
+  int Verified = 0, Falsified = 0, Timeouts = 0;
+  for (const auto &Prop : Suite.Properties) {
+    switch (V.verify(Prop).Result) {
+    case Outcome::Verified:
+      ++Verified;
+      break;
+    case Outcome::Falsified:
+      ++Falsified;
+      break;
+    case Outcome::Timeout:
+      ++Timeouts;
+      break;
+    }
+  }
+  std::printf("\ndeployment check on the 12 training properties: "
+              "%d verified, %d falsified, %d timeouts\n",
+              Verified, Falsified, Timeouts);
+  return 0;
+}

@@ -1,0 +1,161 @@
+//===- charon_cli.cpp - Command-line verification driver -----------------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// A standalone driver in the style of the original tool: load a serialized
+// network and a property spec, pick a verifier, and print the verdict.
+//
+//   charon_cli <network.net> <property.prop> [options]
+//
+// Options:
+//   --tool charon|ai2-zonotope|ai2-bounded64|reluval|reluplex   (default charon)
+//   --budget <seconds>      per-property time limit (default 10)
+//   --delta <d>             Eq. 4 threshold (default 1e-6, charon only)
+//   --policy <file>         learned policy (default: built-in policy)
+//   --fgsm                  use FGSM instead of PGD (charon only)
+//   --parallel              analyze subregions on all cores (charon only)
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Ai2.h"
+#include "baselines/ReluVal.h"
+#include "baselines/Reluplex.h"
+#include "core/PolicyIo.h"
+#include "core/PropertyIo.h"
+#include "core/Verifier.h"
+#include "nn/Io.h"
+#include "support/ThreadPool.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace charon;
+
+namespace {
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <network.net> <property.prop> [--tool T] "
+               "[--budget S] [--delta D] [--policy F] [--fgsm] "
+               "[--parallel]\n",
+               Argv0);
+  std::exit(2);
+}
+
+void printCex(const Network &Net, const Vector &Cex) {
+  std::printf("counterexample (classified %zu):", Net.classify(Cex));
+  for (size_t I = 0; I < Cex.size(); ++I)
+    std::printf(" %.6g", Cex[I]);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3)
+    usage(Argv[0]);
+
+  std::string Tool = "charon";
+  double Budget = 10.0;
+  double Delta = 1e-6;
+  std::string PolicyPath;
+  bool UseFgsm = false;
+  bool Parallel = false;
+  for (int I = 3; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--tool") && I + 1 < Argc)
+      Tool = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--budget") && I + 1 < Argc)
+      Budget = std::atof(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--delta") && I + 1 < Argc)
+      Delta = std::atof(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--policy") && I + 1 < Argc)
+      PolicyPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--fgsm"))
+      UseFgsm = true;
+    else if (!std::strcmp(Argv[I], "--parallel"))
+      Parallel = true;
+    else
+      usage(Argv[0]);
+  }
+
+  auto Net = loadNetworkFile(Argv[1]);
+  if (!Net) {
+    std::fprintf(stderr, "error: cannot load network from %s\n", Argv[1]);
+    return 2;
+  }
+  auto Prop = loadPropertyFile(Argv[2]);
+  if (!Prop) {
+    std::fprintf(stderr, "error: cannot load property from %s\n", Argv[2]);
+    return 2;
+  }
+  if (Prop->Region.dim() != Net->inputSize() ||
+      Prop->TargetClass >= Net->outputSize()) {
+    std::fprintf(stderr, "error: property does not match network shape\n");
+    return 2;
+  }
+
+  if (Tool == "charon") {
+    VerificationPolicy Policy;
+    if (!PolicyPath.empty()) {
+      if (auto P = loadPolicyFile(PolicyPath))
+        Policy = *P;
+      else
+        std::fprintf(stderr, "warning: bad policy file %s, using default\n",
+                     PolicyPath.c_str());
+    }
+    VerifierConfig VC;
+    VC.TimeLimitSeconds = Budget;
+    VC.Delta = Delta;
+    VC.Optimizer = UseFgsm ? CexSearchKind::Fgsm : CexSearchKind::Pgd;
+    Verifier V(*Net, Policy, VC);
+    VerifyResult R;
+    if (Parallel) {
+      ThreadPool Pool;
+      R = V.verifyParallel(*Prop, Pool);
+    } else {
+      R = V.verify(*Prop);
+    }
+    std::printf("%s: %s in %.3fs (%ld pgd, %ld analyses, %ld splits)\n",
+                Prop->Name.c_str(), toString(R.Result), R.Stats.Seconds,
+                R.Stats.PgdCalls, R.Stats.AnalyzeCalls, R.Stats.Splits);
+    if (R.Result == Outcome::Falsified)
+      printCex(*Net, R.Counterexample);
+    return R.Result == Outcome::Timeout ? 1 : 0;
+  }
+
+  if (Tool == "ai2-zonotope" || Tool == "ai2-bounded64") {
+    Ai2Config AC =
+        Tool == "ai2-zonotope" ? ai2Zonotope(Budget) : ai2Bounded64(Budget);
+    Ai2Result R = ai2Verify(*Net, *Prop, AC);
+    std::printf("%s: %s in %.3fs (margin %.6g)\n", Prop->Name.c_str(),
+                toString(R.Result), R.Seconds, R.Margin);
+    return R.Result == Ai2Outcome::Verified ? 0 : 1;
+  }
+
+  if (Tool == "reluval") {
+    ReluValConfig RC;
+    RC.TimeLimitSeconds = Budget;
+    ReluValResult R = reluvalVerify(*Net, *Prop, RC);
+    std::printf("%s: %s in %.3fs (%ld analyses, %ld splits)\n",
+                Prop->Name.c_str(), toString(R.Result), R.Seconds,
+                R.AnalyzeCalls, R.Splits);
+    if (R.Result == Outcome::Falsified)
+      printCex(*Net, R.Counterexample);
+    return R.Result == Outcome::Timeout ? 1 : 0;
+  }
+
+  if (Tool == "reluplex") {
+    ReluplexConfig PC;
+    PC.TimeLimitSeconds = Budget;
+    ReluplexResult R = reluplexVerify(*Net, *Prop, PC);
+    std::printf("%s: %s in %.3fs (%ld nodes, %ld LPs)\n", Prop->Name.c_str(),
+                toString(R.Result), R.Seconds, R.Nodes, R.LpSolves);
+    if (R.Result == Outcome::Falsified)
+      printCex(*Net, R.Counterexample);
+    return R.Result == Outcome::Timeout ? 1 : 0;
+  }
+
+  std::fprintf(stderr, "error: unknown tool '%s'\n", Tool.c_str());
+  return 2;
+}

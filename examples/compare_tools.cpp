@@ -1,0 +1,74 @@
+//===- compare_tools.cpp - Charon vs AI2 vs ReluVal vs Reluplex ---------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// A single-property head-to-head of every verifier in the repository — the
+// miniature version of the paper's Sec. 7 comparison. Shows the
+// complementary verdict vocabularies: AI2 can only say verified/unknown,
+// ReluVal rarely falsifies, Reluplex is complete but slow, and Charon
+// couples proof search with counterexample search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Ai2.h"
+#include "baselines/ReluVal.h"
+#include "baselines/Reluplex.h"
+#include "core/Verifier.h"
+#include "data/Benchmarks.h"
+
+#include <cstdio>
+
+using namespace charon;
+
+namespace {
+
+void runAll(const Network &Net, const RobustnessProperty &Prop,
+            double Budget) {
+  std::printf("--- property %s (target class %zu, region diameter %.3f)\n",
+              Prop.Name.c_str(), Prop.TargetClass, Prop.Region.diameter());
+
+  VerifierConfig VC;
+  VC.TimeLimitSeconds = Budget;
+  Verifier Charon(Net, VerificationPolicy(), VC);
+  VerifyResult C = Charon.verify(Prop);
+  std::printf("  %-14s %-9s %7.3fs\n", "Charon", toString(C.Result),
+              C.Stats.Seconds);
+
+  Ai2Result Z = ai2Verify(Net, Prop, ai2Zonotope(Budget));
+  std::printf("  %-14s %-9s %7.3fs\n", "AI2-Zonotope", toString(Z.Result),
+              Z.Seconds);
+
+  Ai2Result B = ai2Verify(Net, Prop, ai2Bounded64(Budget));
+  std::printf("  %-14s %-9s %7.3fs\n", "AI2-Bounded64", toString(B.Result),
+              B.Seconds);
+
+  ReluValConfig RC;
+  RC.TimeLimitSeconds = Budget;
+  ReluValResult RV = reluvalVerify(Net, Prop, RC);
+  std::printf("  %-14s %-9s %7.3fs\n", "ReluVal", toString(RV.Result),
+              RV.Seconds);
+
+  ReluplexConfig PC;
+  PC.TimeLimitSeconds = Budget;
+  ReluplexResult RP = reluplexVerify(Net, Prop, PC);
+  std::printf("  %-14s %-9s %7.3fs (%ld nodes, %ld LPs)\n", "Reluplex",
+              toString(RP.Result), RP.Seconds, RP.Nodes, RP.LpSolves);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Budget = Argc > 1 ? std::atof(Argv[1]) : 10.0;
+
+  std::printf("== Tool comparison on ACAS-like robustness properties ==\n\n");
+  BenchmarkSuite Suite = makeAcasSuite(/*Count=*/6, /*Seed=*/123);
+
+  for (const auto &Prop : Suite.Properties)
+    runAll(Suite.Net, Prop, Budget);
+
+  std::printf("\nNote: AI2 never falsifies (no counterexample search) and "
+              "ReluVal only\nfalsifies when a probe point concretely violates "
+              "the property — exactly\nthe behaviour the paper reports in "
+              "Sec. 7.3.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- Analyzer.cpp - Abstract interpretation of networks --------------------===//
+
+#include "abstract/Analyzer.h"
+
+#include "abstract/IntervalElement.h"
+#include "abstract/PowersetElement.h"
+#include "abstract/PolyhedraElement.h"
+#include "abstract/SymbolicIntervalElement.h"
+#include "abstract/ZonotopeElement.h"
+#include "support/Check.h"
+
+#include <limits>
+
+using namespace charon;
+
+std::string charon::toString(const DomainSpec &Spec) {
+  std::string Name;
+  switch (Spec.Base) {
+  case BaseDomainKind::Interval:
+    Name = "Interval";
+    break;
+  case BaseDomainKind::Zonotope:
+    Name = "Zonotope";
+    break;
+  case BaseDomainKind::SymbolicInterval:
+    Name = "SymbolicInterval";
+    break;
+  case BaseDomainKind::Polyhedra:
+    Name = "Polyhedra";
+    break;
+  }
+  if (Spec.Disjuncts > 1)
+    Name += "^" + std::to_string(Spec.Disjuncts);
+  return Name;
+}
+
+std::unique_ptr<AbstractElement> charon::makeElement(const Box &Region,
+                                                     const DomainSpec &Spec) {
+  std::unique_ptr<AbstractElement> Base;
+  switch (Spec.Base) {
+  case BaseDomainKind::Interval:
+    Base = std::make_unique<IntervalElement>(Region);
+    break;
+  case BaseDomainKind::Zonotope:
+    Base = std::make_unique<ZonotopeElement>(Region);
+    break;
+  case BaseDomainKind::SymbolicInterval:
+    assert(Spec.Disjuncts == 1 &&
+           "symbolic intervals do not support powerset lifting");
+    Base = std::make_unique<SymbolicIntervalElement>(Region);
+    break;
+  case BaseDomainKind::Polyhedra:
+    Base = std::make_unique<PolyhedraElement>(Region);
+    break;
+  }
+  if (Spec.Disjuncts > 1)
+    return std::make_unique<PowersetElement>(std::move(Base), Spec.Disjuncts);
+  return Base;
+}
+
+bool charon::propagate(const Network &Net, AbstractElement &Elem,
+                       const Deadline *Budget) {
+  for (size_t I = 0, E = Net.numLayers(); I < E; ++I) {
+    if (Budget && Budget->expired())
+      return false;
+    const Layer &L = Net.layer(I);
+    if (auto Affine = L.affineForm()) {
+      Elem.applyAffine(*Affine->W, *Affine->B);
+      continue;
+    }
+    if (L.isRelu()) {
+      Elem.applyRelu();
+      continue;
+    }
+    if (const PoolSpec *Spec = L.poolSpec()) {
+      Elem.applyMaxPool(*Spec);
+      continue;
+    }
+    charon_unreachable("layer exposes no abstract transformer");
+  }
+  return true;
+}
+
+AnalysisResult charon::analyzeRobustness(const Network &Net, const Box &Region,
+                                         size_t K, const DomainSpec &Spec,
+                                         const Deadline *Budget) {
+  assert(Region.dim() == Net.inputSize() && "region/network size mismatch");
+  assert(K < Net.outputSize() && "target class out of range");
+  std::unique_ptr<AbstractElement> Elem = makeElement(Region, Spec);
+  if (!propagate(Net, *Elem, Budget)) {
+    AnalysisResult Result;
+    Result.TimedOut = true;
+    return Result;
+  }
+
+  AnalysisResult Result;
+  Result.Margin = std::numeric_limits<double>::infinity();
+  for (size_t J = 0, E = Net.outputSize(); J < E; ++J) {
+    if (J == K)
+      continue;
+    Result.Margin = std::min(Result.Margin, Elem->lowerBoundDiff(K, J));
+  }
+  Result.Verified = Result.Margin > 0.0;
+  return Result;
+}

@@ -1,0 +1,91 @@
+//===- IntervalElement.cpp - Interval (box) abstract domain ------------------===//
+
+#include "abstract/IntervalElement.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace charon;
+
+IntervalElement::IntervalElement(const Box &Region)
+    : Lo(Region.lower()), Hi(Region.upper()) {}
+
+IntervalElement::IntervalElement(Vector Lower, Vector Upper)
+    : Lo(std::move(Lower)), Hi(std::move(Upper)) {
+  assert(Lo.size() == Hi.size() && "bound size mismatch");
+}
+
+std::unique_ptr<AbstractElement> IntervalElement::clone() const {
+  return std::make_unique<IntervalElement>(Lo, Hi);
+}
+
+void IntervalElement::applyAffine(const Matrix &W, const Vector &B) {
+  assert(W.cols() == dim() && "affine shape mismatch");
+  size_t OutDim = W.rows();
+  Vector NewLo(OutDim), NewHi(OutDim);
+  for (size_t R = 0; R < OutDim; ++R) {
+    const double *Row = W.row(R);
+    double L = B[R], U = B[R];
+    for (size_t C = 0, E = dim(); C < E; ++C) {
+      double Coef = Row[C];
+      if (Coef >= 0.0) {
+        L += Coef * Lo[C];
+        U += Coef * Hi[C];
+      } else {
+        L += Coef * Hi[C];
+        U += Coef * Lo[C];
+      }
+    }
+    NewLo[R] = L;
+    NewHi[R] = U;
+  }
+  Lo = std::move(NewLo);
+  Hi = std::move(NewHi);
+}
+
+void IntervalElement::applyRelu() {
+  for (size_t I = 0, E = dim(); I < E; ++I) {
+    Lo[I] = std::max(Lo[I], 0.0);
+    Hi[I] = std::max(Hi[I], 0.0);
+  }
+}
+
+void IntervalElement::applyMaxPool(const PoolSpec &Spec) {
+  size_t OutDim = Spec.PoolIndices.size();
+  Vector NewLo(OutDim), NewHi(OutDim);
+  for (size_t O = 0; O < OutDim; ++O) {
+    const std::vector<int> &Pool = Spec.PoolIndices[O];
+    assert(!Pool.empty() && "empty pool window");
+    double L = Lo[Pool.front()], U = Hi[Pool.front()];
+    for (size_t I = 1; I < Pool.size(); ++I) {
+      L = std::max(L, Lo[Pool[I]]);
+      U = std::max(U, Hi[Pool[I]]);
+    }
+    NewLo[O] = L;
+    NewHi[O] = U;
+  }
+  Lo = std::move(NewLo);
+  Hi = std::move(NewHi);
+}
+
+double IntervalElement::lowerBoundDiff(size_t K, size_t J) const {
+  // Boxes carry no correlation; the best sound bound is the corner case.
+  return Lo[K] - Hi[J];
+}
+
+std::unique_ptr<AbstractElement>
+IntervalElement::meetHalfspaceAtZero(size_t D, bool NonNegative) const {
+  assert(D < dim() && "meet dimension out of range");
+  if (NonNegative) {
+    if (Hi[D] < 0.0)
+      return nullptr;
+    Vector NewLo = Lo;
+    NewLo[D] = std::max(NewLo[D], 0.0);
+    return std::make_unique<IntervalElement>(std::move(NewLo), Hi);
+  }
+  if (Lo[D] > 0.0)
+    return nullptr;
+  Vector NewHi = Hi;
+  NewHi[D] = std::min(NewHi[D], 0.0);
+  return std::make_unique<IntervalElement>(Lo, std::move(NewHi));
+}

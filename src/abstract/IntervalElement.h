@@ -1,0 +1,51 @@
+//===- IntervalElement.h - Interval (box) abstract domain --------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interval (box) abstract domain of Cousot & Cousot, one of the two
+/// base domains the paper's domain policy can select (Sec. 4.1: intervals I
+/// or zonotopes Z). Cheap and exact on monotone per-coordinate operations,
+/// but loses all correlations between coordinates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ABSTRACT_INTERVALELEMENT_H
+#define CHARON_ABSTRACT_INTERVALELEMENT_H
+
+#include "abstract/AbstractElement.h"
+
+namespace charon {
+
+/// Box abstract element: independent [Lo_i, Hi_i] per coordinate.
+class IntervalElement : public AbstractElement {
+public:
+  /// Abstraction of the input region \p Region (exact for boxes).
+  explicit IntervalElement(const Box &Region);
+
+  IntervalElement(Vector Lower, Vector Upper);
+
+  std::unique_ptr<AbstractElement> clone() const override;
+  size_t dim() const override { return Lo.size(); }
+
+  void applyAffine(const Matrix &W, const Vector &B) override;
+  void applyRelu() override;
+  void applyMaxPool(const PoolSpec &Spec) override;
+
+  double lowerBound(size_t I) const override { return Lo[I]; }
+  double upperBound(size_t I) const override { return Hi[I]; }
+  double lowerBoundDiff(size_t K, size_t J) const override;
+
+  std::unique_ptr<AbstractElement>
+  meetHalfspaceAtZero(size_t D, bool NonNegative) const override;
+
+private:
+  Vector Lo;
+  Vector Hi;
+};
+
+} // namespace charon
+
+#endif // CHARON_ABSTRACT_INTERVALELEMENT_H

@@ -1,0 +1,143 @@
+//===- PolyhedraElement.cpp - Relational polyhedra abstract domain ------------===//
+
+#include "abstract/PolyhedraElement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+PolyhedraElement::PolyhedraElement(const Box &Region)
+    : InputRegion(Region), LowerExpr(Region.dim(), Region.dim() + 1),
+      UpperExpr(Region.dim(), Region.dim() + 1) {
+  for (size_t I = 0, E = Region.dim(); I < E; ++I) {
+    LowerExpr(I, I) = 1.0;
+    UpperExpr(I, I) = 1.0;
+  }
+}
+
+std::unique_ptr<AbstractElement> PolyhedraElement::clone() const {
+  return std::make_unique<PolyhedraElement>(*this);
+}
+
+double PolyhedraElement::evalExtreme(const Matrix &Expr, size_t R,
+                                     bool Minimize) const {
+  size_t NumInputs = InputRegion.dim();
+  const double *Row = Expr.row(R);
+  double Val = Row[NumInputs];
+  for (size_t C = 0; C < NumInputs; ++C) {
+    double Coef = Row[C];
+    if (Coef == 0.0)
+      continue;
+    bool TakeLower = (Coef > 0.0) == Minimize;
+    Val += Coef * (TakeLower ? InputRegion.lower()[C] : InputRegion.upper()[C]);
+  }
+  return Val;
+}
+
+void PolyhedraElement::applyAffine(const Matrix &W, const Vector &B) {
+  assert(W.cols() == dim() && "affine shape mismatch");
+  size_t OutDim = W.rows();
+  size_t Cols = LowerExpr.cols();
+  Matrix NewLower(OutDim, Cols), NewUpper(OutDim, Cols);
+  for (size_t R = 0; R < OutDim; ++R) {
+    double *LRow = NewLower.row(R);
+    double *URow = NewUpper.row(R);
+    LRow[Cols - 1] = B[R];
+    URow[Cols - 1] = B[R];
+    for (size_t K = 0, E = dim(); K < E; ++K) {
+      double Coef = W(R, K);
+      if (Coef == 0.0)
+        continue;
+      const double *SrcLo = Coef > 0.0 ? LowerExpr.row(K) : UpperExpr.row(K);
+      const double *SrcHi = Coef > 0.0 ? UpperExpr.row(K) : LowerExpr.row(K);
+      for (size_t C = 0; C < Cols; ++C) {
+        LRow[C] += Coef * SrcLo[C];
+        URow[C] += Coef * SrcHi[C];
+      }
+    }
+  }
+  LowerExpr = std::move(NewLower);
+  UpperExpr = std::move(NewUpper);
+}
+
+void PolyhedraElement::applyRelu() {
+  size_t Cols = LowerExpr.cols();
+  for (size_t R = 0, E = dim(); R < E; ++R) {
+    double Lo = evalExtreme(LowerExpr, R, /*Minimize=*/true);
+    double Hi = evalExtreme(UpperExpr, R, /*Minimize=*/false);
+    if (Lo >= 0.0)
+      continue; // Stable active.
+    if (Hi <= 0.0) {
+      for (size_t C = 0; C < Cols; ++C) {
+        LowerExpr(R, C) = 0.0;
+        UpperExpr(R, C) = 0.0;
+      }
+      continue; // Stable inactive.
+    }
+    // Crossing neuron: triangle relaxation.
+    //   Upper: relu(x) <= Lambda * (x - Lo) with Lambda = Hi / (Hi - Lo);
+    //   substituting x by its symbolic upper bound is sound (Lambda >= 0).
+    double Lambda = Hi / (Hi - Lo);
+    for (size_t C = 0; C < Cols; ++C)
+      UpperExpr(R, C) *= Lambda;
+    UpperExpr(R, Cols - 1) -= Lambda * Lo;
+    //   Lower: relu(x) >= 0. DeepPoly's alternative y >= x choice pays off
+    //   only under per-layer back-substitution; in this eager-substitution
+    //   encoding its concrete minimum (Lo < 0) makes everything downstream
+    //   looser than the interval domain, so we always take 0.
+    for (size_t C = 0; C < Cols; ++C)
+      LowerExpr(R, C) = 0.0;
+  }
+}
+
+void PolyhedraElement::applyMaxPool(const PoolSpec &Spec) {
+  // Pooling fallback: concretize per window (sound; pooling layers only
+  // occur in the conv net, where the zonotope domain is the tool of
+  // choice).
+  size_t OutDim = Spec.PoolIndices.size();
+  size_t Cols = LowerExpr.cols();
+  Matrix NewLower(OutDim, Cols), NewUpper(OutDim, Cols);
+  for (size_t O = 0; O < OutDim; ++O) {
+    const std::vector<int> &Pool = Spec.PoolIndices[O];
+    double Lo = lowerBound(Pool.front());
+    double Hi = upperBound(Pool.front());
+    for (size_t I = 1; I < Pool.size(); ++I) {
+      Lo = std::max(Lo, lowerBound(Pool[I]));
+      Hi = std::max(Hi, upperBound(Pool[I]));
+    }
+    NewLower(O, Cols - 1) = Lo;
+    NewUpper(O, Cols - 1) = Hi;
+  }
+  LowerExpr = std::move(NewLower);
+  UpperExpr = std::move(NewUpper);
+}
+
+double PolyhedraElement::lowerBound(size_t I) const {
+  return evalExtreme(LowerExpr, I, /*Minimize=*/true);
+}
+
+double PolyhedraElement::upperBound(size_t I) const {
+  return evalExtreme(UpperExpr, I, /*Minimize=*/false);
+}
+
+double PolyhedraElement::lowerBoundDiff(size_t K, size_t J) const {
+  // Relational subtraction before minimizing over the box keeps shared
+  // input terms, exactly as in the zonotope and symbolic-interval domains.
+  size_t NumInputs = InputRegion.dim();
+  double Val = LowerExpr(K, NumInputs) - UpperExpr(J, NumInputs);
+  for (size_t C = 0; C < NumInputs; ++C) {
+    double Coef = LowerExpr(K, C) - UpperExpr(J, C);
+    if (Coef == 0.0)
+      continue;
+    Val +=
+        Coef * (Coef > 0.0 ? InputRegion.lower()[C] : InputRegion.upper()[C]);
+  }
+  return Val;
+}
+
+std::unique_ptr<AbstractElement>
+PolyhedraElement::meetHalfspaceAtZero(size_t, bool) const {
+  return clone();
+}

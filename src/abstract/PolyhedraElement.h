@@ -1,0 +1,73 @@
+//===- PolyhedraElement.h - Relational polyhedra abstract domain --*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A restricted polyhedra domain. AI2 (Sec. 2.3) supports polyhedra among
+/// its numeric domains; full convex polyhedra are exponential in practice,
+/// so — like modern ELINA — we implement the sub-polyhedra restriction that
+/// keeps one symbolic linear *lower* and *upper* bound per neuron over the
+/// network inputs, with the triangle ReLU relaxation:
+///
+///   crossing neuron with bounds [l, u], lambda = u / (u - l):
+///     relu(x) <= lambda * (x - l)        (relational upper bound)
+///     relu(x) >= 0                       (lower bound)
+///
+/// The upper bound stays *relational* (linear in the inputs) through every
+/// crossing neuron, unlike the ReluVal-style symbolic intervals which
+/// concretize it when it can go negative; this is what lets the domain
+/// prove properties plain intervals cannot, at polynomial cost. (DeepPoly's
+/// alternative y >= x lower choice requires per-layer back-substitution to
+/// pay off; in this eager-substitution encoding it is counterproductive,
+/// so the domain always takes 0 — see applyRelu.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ABSTRACT_POLYHEDRAELEMENT_H
+#define CHARON_ABSTRACT_POLYHEDRAELEMENT_H
+
+#include "abstract/AbstractElement.h"
+
+namespace charon {
+
+/// Sub-polyhedra element: per coordinate one linear lower and one linear
+/// upper bound expression over the network inputs, evaluated over the
+/// input box. Row r of LowerExpr/UpperExpr is [w_1 .. w_n, b].
+class PolyhedraElement : public AbstractElement {
+public:
+  /// Identity abstraction of the input region.
+  explicit PolyhedraElement(const Box &Region);
+
+  std::unique_ptr<AbstractElement> clone() const override;
+  size_t dim() const override { return LowerExpr.rows(); }
+
+  void applyAffine(const Matrix &W, const Vector &B) override;
+  void applyRelu() override;
+  void applyMaxPool(const PoolSpec &Spec) override;
+
+  double lowerBound(size_t I) const override;
+  double upperBound(size_t I) const override;
+  double lowerBoundDiff(size_t K, size_t J) const override;
+
+  /// Polyhedra halfspace meets are representable but our eager-substitution
+  /// encoding cannot tighten per-input bounds soundly without a solver;
+  /// returns a clone (sound overapproximation), so powerset lifting is
+  /// legal but unhelpful — matching how the paper's policy menu restricts
+  /// powersets to intervals and zonotopes.
+  std::unique_ptr<AbstractElement>
+  meetHalfspaceAtZero(size_t D, bool NonNegative) const override;
+
+private:
+  /// Min (Minimize) or max of expression row \p R of \p Expr over the box.
+  double evalExtreme(const Matrix &Expr, size_t R, bool Minimize) const;
+
+  Box InputRegion;
+  Matrix LowerExpr;
+  Matrix UpperExpr;
+};
+
+} // namespace charon
+
+#endif // CHARON_ABSTRACT_POLYHEDRAELEMENT_H

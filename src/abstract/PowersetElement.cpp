@@ -1,0 +1,133 @@
+//===- PowersetElement.cpp - Bounded powerset abstract domain ----------------===//
+
+#include "abstract/PowersetElement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace charon;
+
+PowersetElement::PowersetElement(std::unique_ptr<AbstractElement> Initial,
+                                 int MaxDisjuncts)
+    : Budget(MaxDisjuncts) {
+  assert(Initial && "null initial element");
+  assert(MaxDisjuncts >= 1 && "powerset needs at least one disjunct");
+  Elems.push_back(std::move(Initial));
+}
+
+PowersetElement::PowersetElement(
+    std::vector<std::unique_ptr<AbstractElement>> Elements, int MaxDisjuncts)
+    : Elems(std::move(Elements)), Budget(MaxDisjuncts) {
+  assert(!Elems.empty() && "powerset must be nonempty");
+}
+
+std::unique_ptr<AbstractElement> PowersetElement::clone() const {
+  std::vector<std::unique_ptr<AbstractElement>> Copy;
+  Copy.reserve(Elems.size());
+  for (const auto &E : Elems)
+    Copy.push_back(E->clone());
+  return std::make_unique<PowersetElement>(std::move(Copy), Budget);
+}
+
+size_t PowersetElement::dim() const { return Elems.front()->dim(); }
+
+void PowersetElement::applyAffine(const Matrix &W, const Vector &B) {
+  for (auto &E : Elems)
+    E->applyAffine(W, B);
+}
+
+void PowersetElement::applyRelu() {
+  // Greedily pick the crossing neuron with the widest straddling interval
+  // (over the union) and split every disjunct on it, while both halves of
+  // every disjunct still fit in the budget. Each neuron is split at most
+  // once per ReLU application (the zonotope halfspace meet is approximate,
+  // so a split dimension can keep straddling zero slightly).
+  std::vector<bool> AlreadySplit(dim(), false);
+  for (;;) {
+    if (static_cast<int>(Elems.size()) * 2 > Budget)
+      break;
+
+    size_t N = dim();
+    size_t BestDim = N;
+    double BestScore = 0.0;
+    for (size_t I = 0; I < N; ++I) {
+      if (AlreadySplit[I])
+        continue;
+      double Lo = lowerBound(I);
+      double Hi = upperBound(I);
+      if (Lo >= 0.0 || Hi <= 0.0)
+        continue; // Not a crossing neuron.
+      // Score by the ReLU approximation error the neuron would introduce:
+      // proportional to |Lo| * Hi / (Hi - Lo).
+      double Score = -Lo * Hi / (Hi - Lo);
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestDim = I;
+      }
+    }
+    if (BestDim == N)
+      break; // No crossing neurons left.
+    AlreadySplit[BestDim] = true;
+
+    std::vector<std::unique_ptr<AbstractElement>> Split;
+    Split.reserve(Elems.size() * 2);
+    for (auto &E : Elems) {
+      auto Neg = E->meetHalfspaceAtZero(BestDim, /*NonNegative=*/false);
+      auto Pos = E->meetHalfspaceAtZero(BestDim, /*NonNegative=*/true);
+      // Both sides empty cannot happen for a nonempty disjunct; if numeric
+      // tightening ever claims it, keep the undivided element to stay sound.
+      if (!Neg && !Pos) {
+        Split.push_back(std::move(E));
+        continue;
+      }
+      if (Neg)
+        Split.push_back(std::move(Neg));
+      if (Pos)
+        Split.push_back(std::move(Pos));
+    }
+    assert(!Split.empty() && "all disjuncts vanished during split");
+    Elems = std::move(Split);
+  }
+
+  for (auto &E : Elems)
+    E->applyRelu();
+}
+
+void PowersetElement::applyMaxPool(const PoolSpec &Spec) {
+  for (auto &E : Elems)
+    E->applyMaxPool(Spec);
+}
+
+double PowersetElement::lowerBound(size_t I) const {
+  double Best = std::numeric_limits<double>::infinity();
+  for (const auto &E : Elems)
+    Best = std::min(Best, E->lowerBound(I));
+  return Best;
+}
+
+double PowersetElement::upperBound(size_t I) const {
+  double Best = -std::numeric_limits<double>::infinity();
+  for (const auto &E : Elems)
+    Best = std::max(Best, E->upperBound(I));
+  return Best;
+}
+
+double PowersetElement::lowerBoundDiff(size_t K, size_t J) const {
+  // The property must hold on every disjunct, so the bound is the min.
+  double Best = std::numeric_limits<double>::infinity();
+  for (const auto &E : Elems)
+    Best = std::min(Best, E->lowerBoundDiff(K, J));
+  return Best;
+}
+
+std::unique_ptr<AbstractElement>
+PowersetElement::meetHalfspaceAtZero(size_t D, bool NonNegative) const {
+  std::vector<std::unique_ptr<AbstractElement>> Met;
+  for (const auto &E : Elems)
+    if (auto M = E->meetHalfspaceAtZero(D, NonNegative))
+      Met.push_back(std::move(M));
+  if (Met.empty())
+    return nullptr;
+  return std::make_unique<PowersetElement>(std::move(Met), Budget);
+}

@@ -1,0 +1,65 @@
+//===- PowersetElement.h - Bounded powerset abstract domain ------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded powerset domains (Sec. 2.3): a disjunction of at most
+/// MaxDisjuncts base-domain elements. The ReLU transformer performs case
+/// splits on crossing neurons — Example 2.3's "two zonotopes" — keeping the
+/// two sides of each chosen neuron separate instead of joining them, which
+/// is what lets (Z, 2) verify properties plain zonotopes cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ABSTRACT_POWERSETELEMENT_H
+#define CHARON_ABSTRACT_POWERSETELEMENT_H
+
+#include "abstract/AbstractElement.h"
+
+#include <vector>
+
+namespace charon {
+
+/// Disjunction of at most MaxDisjuncts base elements.
+class PowersetElement : public AbstractElement {
+public:
+  /// Wraps \p Initial as a single-disjunct powerset with budget
+  /// \p MaxDisjuncts (>= 1).
+  PowersetElement(std::unique_ptr<AbstractElement> Initial, int MaxDisjuncts);
+
+  PowersetElement(std::vector<std::unique_ptr<AbstractElement>> Elems,
+                  int MaxDisjuncts);
+
+  std::unique_ptr<AbstractElement> clone() const override;
+  size_t dim() const override;
+
+  void applyAffine(const Matrix &W, const Vector &B) override;
+
+  /// ReLU with case splitting: repeatedly splits every disjunct on the
+  /// crossing neuron with the widest straddling interval while the result
+  /// fits in the disjunct budget, then applies the base ReLU transformer to
+  /// each disjunct (exact on the decided neuron).
+  void applyRelu() override;
+
+  void applyMaxPool(const PoolSpec &Spec) override;
+
+  double lowerBound(size_t I) const override;
+  double upperBound(size_t I) const override;
+  double lowerBoundDiff(size_t K, size_t J) const override;
+
+  std::unique_ptr<AbstractElement>
+  meetHalfspaceAtZero(size_t D, bool NonNegative) const override;
+
+  size_t numDisjuncts() const { return Elems.size(); }
+  int maxDisjuncts() const { return Budget; }
+
+private:
+  std::vector<std::unique_ptr<AbstractElement>> Elems;
+  int Budget;
+};
+
+} // namespace charon
+
+#endif // CHARON_ABSTRACT_POWERSETELEMENT_H

@@ -1,0 +1,73 @@
+//===- SymbolicIntervalElement.h - Symbolic interval domain ------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic interval domain of ReluVal (Wang et al., USENIX Security'18)
+/// — the substrate of the paper's ReluVal baseline (Sec. 7.2, footnote 8:
+/// Charon's own engine does not support this domain, which is why the paper
+/// compares against ReluVal directly; we implement it faithfully so the
+/// baseline is real).
+///
+/// Each neuron carries symbolic *linear* lower/upper bounds over the input
+/// variables; ReLU concretizes bounds only where a neuron is unstable.
+/// Keeping input dependencies symbolic through stable neurons is what makes
+/// ReluVal much tighter than plain intervals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ABSTRACT_SYMBOLICINTERVALELEMENT_H
+#define CHARON_ABSTRACT_SYMBOLICINTERVALELEMENT_H
+
+#include "abstract/AbstractElement.h"
+
+namespace charon {
+
+/// Symbolic interval element: per coordinate a linear lower and upper bound
+/// expression over the *network inputs*, evaluated over the input box.
+///
+/// Row r of LowerExpr/UpperExpr holds [w_1 ... w_n, b] such that for every
+/// input x in the region: LowerExpr_r(x) <= neuron_r <= UpperExpr_r(x).
+class SymbolicIntervalElement : public AbstractElement {
+public:
+  /// Identity abstraction of the input region.
+  explicit SymbolicIntervalElement(const Box &Region);
+
+  std::unique_ptr<AbstractElement> clone() const override;
+  size_t dim() const override { return LowerExpr.rows(); }
+
+  void applyAffine(const Matrix &W, const Vector &B) override;
+  void applyRelu() override;
+  void applyMaxPool(const PoolSpec &Spec) override;
+
+  double lowerBound(size_t I) const override;
+  double upperBound(size_t I) const override;
+  double lowerBoundDiff(size_t K, size_t J) const override;
+
+  /// Not supported: ReluVal refines by splitting the *input* region, never
+  /// by case-splitting intermediate neurons (its domain is not closed under
+  /// halfspace meets). Returns a clone to stay sound if ever called.
+  std::unique_ptr<AbstractElement>
+  meetHalfspaceAtZero(size_t D, bool NonNegative) const override;
+
+  /// ReluVal's "smear" heuristic input for refinement: an upper bound on
+  /// how much input \p InputDim sways the current output bounds (gradient
+  /// mass times input width). Used by the baseline's bisection strategy.
+  double smear(size_t InputDim) const;
+
+private:
+  /// Evaluates expression row \p R of \p Expr over the input box, returning
+  /// its minimum (Minimize=true) or maximum.
+  double evalExtreme(const Matrix &Expr, size_t R, bool Minimize) const;
+
+  Box InputRegion;
+  /// dim() x (numInputs + 1) coefficient rows; last column is the constant.
+  Matrix LowerExpr;
+  Matrix UpperExpr;
+};
+
+} // namespace charon
+
+#endif // CHARON_ABSTRACT_SYMBOLICINTERVALELEMENT_H

@@ -1,0 +1,260 @@
+//===- ZonotopeElement.cpp - Zonotope abstract domain ------------------------===//
+
+#include "abstract/ZonotopeElement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+ZonotopeElement::ZonotopeElement(const Box &Region) : Center(Region.center()) {
+  for (size_t I = 0, E = Region.dim(); I < E; ++I) {
+    double HalfWidth = 0.5 * Region.width(I);
+    if (HalfWidth == 0.0)
+      continue;
+    Vector G(Region.dim());
+    G[I] = HalfWidth;
+    Generators.push_back(std::move(G));
+  }
+}
+
+ZonotopeElement::ZonotopeElement(Vector C, std::vector<Vector> Gens)
+    : Center(std::move(C)), Generators(std::move(Gens)) {
+#ifndef NDEBUG
+  for (const Vector &G : Generators)
+    assert(G.size() == Center.size() && "generator dimension mismatch");
+#endif
+}
+
+std::unique_ptr<AbstractElement> ZonotopeElement::clone() const {
+  return std::make_unique<ZonotopeElement>(Center, Generators);
+}
+
+double ZonotopeElement::radius(size_t I) const {
+  double Sum = 0.0;
+  for (const Vector &G : Generators)
+    Sum += std::fabs(G[I]);
+  return Sum;
+}
+
+void ZonotopeElement::applyAffine(const Matrix &W, const Vector &B) {
+  assert(W.cols() == dim() && "affine shape mismatch");
+  Center = matVec(W, Center);
+  Center += B;
+  for (Vector &G : Generators)
+    G = matVec(W, G);
+}
+
+void ZonotopeElement::applyRelu() {
+  size_t N = dim();
+  // Precompute per-coordinate radii in one pass over the generators.
+  Vector Radius(N);
+  for (const Vector &G : Generators)
+    for (size_t I = 0; I < N; ++I)
+      Radius[I] += std::fabs(G[I]);
+
+  std::vector<std::pair<size_t, double>> FreshGenerators;
+  for (size_t I = 0; I < N; ++I) {
+    double L = Center[I] - Radius[I];
+    double U = Center[I] + Radius[I];
+    if (L >= 0.0)
+      continue; // Stable active: identity.
+    if (U <= 0.0) {
+      // Stable inactive: output is exactly zero.
+      Center[I] = 0.0;
+      for (Vector &G : Generators)
+        G[I] = 0.0;
+      continue;
+    }
+    // Crossing neuron: minimal-area relaxation. ReLU(x) lies between
+    // Lambda*x and Lambda*x - Lambda*L, so y = Lambda*x + Mu + Mu*eps_new
+    // with Mu = -Lambda*L/2 covers it with one fresh noise symbol.
+    double Lambda = U / (U - L);
+    double Mu = -Lambda * L * 0.5;
+    Center[I] = Lambda * Center[I] + Mu;
+    for (Vector &G : Generators)
+      G[I] *= Lambda;
+    FreshGenerators.emplace_back(I, Mu);
+  }
+  for (const auto &[I, Mu] : FreshGenerators) {
+    Vector G(N);
+    G[I] = Mu;
+    Generators.push_back(std::move(G));
+  }
+}
+
+void ZonotopeElement::applyMaxPool(const PoolSpec &Spec) {
+  size_t OutDim = Spec.PoolIndices.size();
+  size_t N = dim();
+
+  Vector Radius(N);
+  for (const Vector &G : Generators)
+    for (size_t I = 0; I < N; ++I)
+      Radius[I] += std::fabs(G[I]);
+
+  Vector NewCenter(OutDim);
+  std::vector<Vector> NewGens(Generators.size(), Vector(OutDim));
+  std::vector<std::pair<size_t, double>> FreshGenerators;
+
+  for (size_t O = 0; O < OutDim; ++O) {
+    const std::vector<int> &Pool = Spec.PoolIndices[O];
+    assert(!Pool.empty() && "empty pool window");
+    // If one window entry dominates every other (its lower bound beats all
+    // other upper bounds), max-pool is exact: copy that coordinate.
+    int Dominant = -1;
+    for (int Candidate : Pool) {
+      double CandLo = Center[Candidate] - Radius[Candidate];
+      bool Dominates = true;
+      for (int Other : Pool) {
+        if (Other == Candidate)
+          continue;
+        if (CandLo < Center[Other] + Radius[Other]) {
+          Dominates = false;
+          break;
+        }
+      }
+      if (Dominates) {
+        Dominant = Candidate;
+        break;
+      }
+    }
+    if (Dominant >= 0) {
+      NewCenter[O] = Center[Dominant];
+      for (size_t E = 0; E < Generators.size(); ++E)
+        NewGens[E][O] = Generators[E][Dominant];
+      continue;
+    }
+    // Otherwise fall back to the interval hull of the window (sound but
+    // drops correlations for this output): max of lowers .. max of uppers.
+    double L = Center[Pool.front()] - Radius[Pool.front()];
+    double U = Center[Pool.front()] + Radius[Pool.front()];
+    for (size_t I = 1; I < Pool.size(); ++I) {
+      L = std::max(L, Center[Pool[I]] - Radius[Pool[I]]);
+      U = std::max(U, Center[Pool[I]] + Radius[Pool[I]]);
+    }
+    NewCenter[O] = 0.5 * (L + U);
+    FreshGenerators.emplace_back(O, 0.5 * (U - L));
+  }
+
+  Center = std::move(NewCenter);
+  Generators = std::move(NewGens);
+  for (const auto &[O, HalfWidth] : FreshGenerators) {
+    if (HalfWidth == 0.0)
+      continue;
+    Vector G(OutDim);
+    G[O] = HalfWidth;
+    Generators.push_back(std::move(G));
+  }
+}
+
+double ZonotopeElement::lowerBound(size_t I) const {
+  return Center[I] - radius(I);
+}
+
+double ZonotopeElement::upperBound(size_t I) const {
+  return Center[I] + radius(I);
+}
+
+double ZonotopeElement::lowerBoundDiff(size_t K, size_t J) const {
+  // min over eps of (x_K - x_J) = (c_K - c_J) - sum_e |g_K - g_J|: exact for
+  // the linear functional, capturing shared noise symbols.
+  double Diff = Center[K] - Center[J];
+  for (const Vector &G : Generators)
+    Diff -= std::fabs(G[K] - G[J]);
+  return Diff;
+}
+
+std::unique_ptr<AbstractElement>
+ZonotopeElement::meetHalfspaceAtZero(size_t D, bool NonNegative) const {
+  assert(D < dim() && "meet dimension out of range");
+  // Work in noise-symbol space. The constraint (NonNegative ? x_D >= 0 :
+  // x_D <= 0) becomes a . eps <= e with a_j = sgn * g_j[D], e = sgn * -c[D],
+  // where sgn = -1 for x_D >= 0 and +1 for x_D <= 0.
+  double Sign = NonNegative ? -1.0 : 1.0;
+  size_t M = Generators.size();
+  std::vector<double> A(M);
+  double TotalMag = 0.0;
+  for (size_t J = 0; J < M; ++J) {
+    A[J] = Sign * Generators[J][D];
+    TotalMag += std::fabs(A[J]);
+  }
+  double E = -Sign * Center[D];
+
+  if (TotalMag <= E)
+    return clone(); // Constraint already satisfied everywhere.
+  if (-TotalMag > E)
+    return nullptr; // Provably empty intersection.
+
+  // Girard-style tightening: interval-propagate the constraint onto each
+  // noise symbol, then renormalize symbols back into [-1, 1]. Two passes
+  // sharpen the bounds noticeably at negligible cost.
+  std::vector<double> LoEps(M, -1.0), HiEps(M, 1.0);
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (size_t J = 0; J < M; ++J) {
+      if (A[J] == 0.0)
+        continue;
+      // a_J * eps_J <= e - min_{k != J} sum a_k eps_k.
+      double OthersMin = 0.0;
+      for (size_t K = 0; K < M; ++K) {
+        if (K == J)
+          continue;
+        OthersMin += std::min(A[K] * LoEps[K], A[K] * HiEps[K]);
+      }
+      double Rhs = E - OthersMin;
+      if (A[J] > 0.0)
+        HiEps[J] = std::min(HiEps[J], Rhs / A[J]);
+      else
+        LoEps[J] = std::max(LoEps[J], Rhs / A[J]);
+      if (LoEps[J] > HiEps[J])
+        return nullptr; // Tightening proved emptiness.
+    }
+  }
+
+  // Renormalize eps_J in [LoEps, HiEps] to Mid + Rad * eps'_J.
+  Vector NewCenter = Center;
+  std::vector<Vector> NewGens;
+  NewGens.reserve(M);
+  for (size_t J = 0; J < M; ++J) {
+    double Mid = 0.5 * (LoEps[J] + HiEps[J]);
+    double Rad = 0.5 * (HiEps[J] - LoEps[J]);
+    if (Mid != 0.0)
+      axpy(Mid, Generators[J], NewCenter);
+    if (Rad == 0.0)
+      continue;
+    Vector G = Generators[J];
+    if (Rad != 1.0)
+      G *= Rad;
+    NewGens.push_back(std::move(G));
+  }
+  return std::make_unique<ZonotopeElement>(std::move(NewCenter),
+                                           std::move(NewGens));
+}
+
+void ZonotopeElement::compact(double Tol) {
+  size_t N = dim();
+  Vector Folded(N);
+  std::vector<Vector> Kept;
+  Kept.reserve(Generators.size());
+  for (Vector &G : Generators) {
+    double Mag = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      Mag += std::fabs(G[I]);
+    if (Mag <= Tol) {
+      // Fold the small generator into an axis-aligned envelope (sound:
+      // componentwise interval hull of its contribution).
+      for (size_t I = 0; I < N; ++I)
+        Folded[I] += std::fabs(G[I]);
+    } else {
+      Kept.push_back(std::move(G));
+    }
+  }
+  Generators = std::move(Kept);
+  for (size_t I = 0; I < N; ++I) {
+    if (Folded[I] == 0.0)
+      continue;
+    Vector G(N);
+    G[I] = Folded[I];
+    Generators.push_back(std::move(G));
+  }
+}

@@ -1,0 +1,74 @@
+//===- ZonotopeElement.h - Zonotope abstract domain --------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The zonotope abstract domain (Ghorbal, Goubault, Putot — "Taylor1+",
+/// CAV'09), the second base domain the paper's policy can select. A zonotope
+/// is the affine image of a unit hypercube of noise symbols:
+///
+///   gamma(Z) = { Center + sum_e eps_e * Generators[e] : eps in [-1,1]^m }.
+///
+/// Affine maps are exact; ReLU on a crossing neuron uses the minimal-area
+/// linear relaxation (slope u/(u-l)) plus one fresh noise symbol; the
+/// halfspace meet used by powerset case splits tightens noise-symbol bounds
+/// (Girard's method) and renormalizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ABSTRACT_ZONOTOPEELEMENT_H
+#define CHARON_ABSTRACT_ZONOTOPEELEMENT_H
+
+#include "abstract/AbstractElement.h"
+
+#include <vector>
+
+namespace charon {
+
+/// Zonotope abstract element: Center + span of Generators over [-1,1]^m.
+class ZonotopeElement : public AbstractElement {
+public:
+  /// Abstraction of the box \p Region: one generator per nonzero-width
+  /// dimension (exact).
+  explicit ZonotopeElement(const Box &Region);
+
+  ZonotopeElement(Vector C, std::vector<Vector> Gens);
+
+  std::unique_ptr<AbstractElement> clone() const override;
+  size_t dim() const override { return Center.size(); }
+
+  void applyAffine(const Matrix &W, const Vector &B) override;
+  void applyRelu() override;
+  void applyMaxPool(const PoolSpec &Spec) override;
+
+  double lowerBound(size_t I) const override;
+  double upperBound(size_t I) const override;
+  double lowerBoundDiff(size_t K, size_t J) const override;
+
+  std::unique_ptr<AbstractElement>
+  meetHalfspaceAtZero(size_t D, bool NonNegative) const override;
+
+  /// Number of noise symbols currently tracked.
+  size_t numGenerators() const { return Generators.size(); }
+
+  const Vector &center() const { return Center; }
+  const std::vector<Vector> &generators() const { return Generators; }
+
+  /// Drops generators whose total magnitude is below \p Tol, folding their
+  /// mass into per-dimension "box" generators. Keeps ReLU-heavy analyses
+  /// from accumulating unboundedly many symbols.
+  void compact(double Tol);
+
+private:
+  /// Sum of |g_I| over generators: the deviation radius of coordinate I.
+  double radius(size_t I) const;
+
+  Vector Center;
+  std::vector<Vector> Generators;
+};
+
+} // namespace charon
+
+#endif // CHARON_ABSTRACT_ZONOTOPEELEMENT_H

@@ -1,0 +1,52 @@
+//===- Ai2.cpp - AI2 baseline (fixed-domain abstract interpretation) ----------===//
+
+#include "baselines/Ai2.h"
+
+#include "support/Timer.h"
+
+using namespace charon;
+
+const char *charon::toString(Ai2Outcome O) {
+  switch (O) {
+  case Ai2Outcome::Verified:
+    return "verified";
+  case Ai2Outcome::Unknown:
+    return "unknown";
+  case Ai2Outcome::Timeout:
+    return "timeout";
+  }
+  return "unknown";
+}
+
+Ai2Config charon::ai2Zonotope(double TimeLimitSeconds) {
+  Ai2Config C;
+  C.Domain = DomainSpec{BaseDomainKind::Zonotope, 1};
+  C.TimeLimitSeconds = TimeLimitSeconds;
+  return C;
+}
+
+Ai2Config charon::ai2Bounded64(double TimeLimitSeconds) {
+  Ai2Config C;
+  C.Domain = DomainSpec{BaseDomainKind::Zonotope, 64};
+  C.TimeLimitSeconds = TimeLimitSeconds;
+  return C;
+}
+
+Ai2Result charon::ai2Verify(const Network &Net, const RobustnessProperty &Prop,
+                            const Ai2Config &Config) {
+  Stopwatch Watch;
+  Deadline Budget(Config.TimeLimitSeconds > 0.0 ? Config.TimeLimitSeconds
+                                                : -1.0);
+  AnalysisResult Analysis = analyzeRobustness(
+      Net, Prop.Region, Prop.TargetClass, Config.Domain, &Budget);
+  Ai2Result Result;
+  Result.Seconds = Watch.seconds();
+  Result.Margin = Analysis.Margin;
+  if (Analysis.TimedOut || (Config.TimeLimitSeconds > 0.0 &&
+                            Result.Seconds > Config.TimeLimitSeconds)) {
+    Result.Result = Ai2Outcome::Timeout;
+    return Result;
+  }
+  Result.Result = Analysis.Verified ? Ai2Outcome::Verified : Ai2Outcome::Unknown;
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===- Ai2.h - AI2 baseline (fixed-domain abstract interpretation) -*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AI2 baseline (Gehr et al., S&P'18) as used in the paper's evaluation
+/// (Sec. 7.1): a single abstract-interpretation run with a user-chosen
+/// domain, no refinement and no counterexample search. AI2 is incomplete —
+/// it answers Verified or Unknown, never Falsified. The paper instantiates
+/// it with the zonotope domain and with bounded powersets of zonotopes of
+/// size 64 (AI2-Zonotope / AI2-Bounded64); both are reproduced here over
+/// the same abstract-transformer library Charon uses, mirroring the paper's
+/// footnote-7 reimplementation strategy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_BASELINES_AI2_H
+#define CHARON_BASELINES_AI2_H
+
+#include "abstract/Analyzer.h"
+#include "core/Property.h"
+#include "nn/Network.h"
+
+namespace charon {
+
+/// AI2 verdicts (no falsification capability).
+enum class Ai2Outcome { Verified, Unknown, Timeout };
+
+/// Printable name of an AI2 outcome.
+const char *toString(Ai2Outcome O);
+
+/// Result of an AI2 run.
+struct Ai2Result {
+  Ai2Outcome Result = Ai2Outcome::Unknown;
+  double Margin = 0.0; ///< proof margin from the abstract output
+  double Seconds = 0.0;
+};
+
+/// AI2 settings: the fixed abstract domain and a time budget. The analysis
+/// is a single pass, so the budget is enforced post hoc: runs exceeding it
+/// are classified Timeout (matching how the paper's tables bucket results).
+struct Ai2Config {
+  DomainSpec Domain{BaseDomainKind::Zonotope, 1};
+  double TimeLimitSeconds = -1.0;
+};
+
+/// Pre-configured variants used in the evaluation.
+Ai2Config ai2Zonotope(double TimeLimitSeconds = -1.0);
+Ai2Config ai2Bounded64(double TimeLimitSeconds = -1.0);
+
+/// Runs AI2 on the property.
+Ai2Result ai2Verify(const Network &Net, const RobustnessProperty &Prop,
+                    const Ai2Config &Config);
+
+} // namespace charon
+
+#endif // CHARON_BASELINES_AI2_H

@@ -1,0 +1,51 @@
+//===- ReluVal.h - ReluVal baseline (symbolic intervals) ----------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ReluVal baseline (Wang et al., USENIX Security'18), the paper's
+/// closest prior work (Sec. 7.2/7.4): symbolic interval propagation plus a
+/// *static, hand-crafted* refinement strategy — bisect the input dimension
+/// with the largest smear (output influence x input width). Unlike Charon
+/// it has no learned policy and no gradient-based counterexample search;
+/// it can only refute when a concretely evaluated probe point (the region
+/// center) violates the property, which in practice almost never fires —
+/// matching the paper's observation that ReluVal falsifies none of the
+/// falsifiable benchmarks (Sec. 7.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_BASELINES_RELUVAL_H
+#define CHARON_BASELINES_RELUVAL_H
+
+#include "core/Property.h"
+#include "core/Verifier.h"
+#include "nn/Network.h"
+
+namespace charon {
+
+/// ReluVal settings.
+struct ReluValConfig {
+  double TimeLimitSeconds = -1.0;
+  int MaxDepth = 60; ///< bisection depth cap (beyond budget = timeout)
+};
+
+/// Result of a ReluVal run (reuses the shared Outcome enum; Counterexample
+/// is only populated on the rare concrete-probe falsification).
+struct ReluValResult {
+  Outcome Result = Outcome::Timeout;
+  Vector Counterexample;
+  long AnalyzeCalls = 0;
+  long Splits = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs ReluVal's iterative-refinement verification on the property.
+ReluValResult reluvalVerify(const Network &Net, const RobustnessProperty &Prop,
+                            const ReluValConfig &Config);
+
+} // namespace charon
+
+#endif // CHARON_BASELINES_RELUVAL_H

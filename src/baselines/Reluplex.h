@@ -1,0 +1,68 @@
+//===- Reluplex.h - Complete LP branch-and-bound baseline ---------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete verifier in the spirit of Reluplex (Katz et al., CAV'17),
+/// the paper's complete-solver baseline (Sec. 7.2). Reluplex extends
+/// simplex with lazy ReLU case splits; we reproduce the same decision
+/// procedure as branch-and-bound over ReLU activation phases:
+///
+///  * neurons proved stable by interval analysis are folded into the
+///    symbolic affine encoding;
+///  * undecided neurons get the exact triangle LP relaxation
+///    (y >= 0, y >= x, y <= u(x - l)/(u - l));
+///  * if the relaxation cannot prove the property, branch on the widest
+///    undecided neuron (active: y = x, x >= 0 / inactive: y = 0, x <= 0);
+///  * a leaf with all phases fixed is exact: an LP optimum above zero
+///    yields a concrete counterexample, checked against the real network.
+///
+/// Complete but — exactly as the paper observes — slow: the case tree is
+/// exponential in the number of unstable neurons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_BASELINES_RELUPLEX_H
+#define CHARON_BASELINES_RELUPLEX_H
+
+#include "core/Property.h"
+#include "core/Verifier.h"
+#include "nn/Network.h"
+
+namespace charon {
+
+/// Reluplex-style solver settings.
+struct ReluplexConfig {
+  double TimeLimitSeconds = -1.0;
+  long MaxNodes = 200000; ///< branch-and-bound node cap (then Timeout)
+  /// Pre-solve symbolic-interval bound tightening. The original Reluplex
+  /// (CAV'17) has no such pass — its per-node bounds come from the plain
+  /// interval evaluation — so the paper-faithful default is off. Turning
+  /// it on upgrades the baseline to a modern MILP-style verifier (the
+  /// future-work direction Sec. 9 sketches); bench_fig14_complete reports
+  /// both.
+  bool SymbolicBoundTightening = false;
+};
+
+/// Result of a run. Counterexample is populated iff Result == Falsified
+/// and is a true (concretely checked) counterexample.
+struct ReluplexResult {
+  Outcome Result = Outcome::Timeout;
+  Vector Counterexample;
+  long Nodes = 0;
+  long LpSolves = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs the complete branch-and-bound verifier on the property. Networks
+/// must be ReLU + affine only (no max-pool), matching the paper's exclusion
+/// of the convolutional net from complete-tool comparisons.
+ReluplexResult reluplexVerify(const Network &Net,
+                              const RobustnessProperty &Prop,
+                              const ReluplexConfig &Config);
+
+} // namespace charon
+
+#endif // CHARON_BASELINES_RELUPLEX_H

@@ -1,0 +1,38 @@
+//===- PolicyIo.h - Verification policy (de)serialization ---------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for learned verification policies so the training
+/// phase (Sec. 4.2) can run once and the deployment phase (Sec. 3) can
+/// reuse its theta across processes — mirroring the paper's train-once,
+/// deploy-everywhere workflow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_CORE_POLICYIO_H
+#define CHARON_CORE_POLICYIO_H
+
+#include "core/Policy.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace charon {
+
+/// Writes the policy's parameter matrix to \p Os.
+void savePolicy(const VerificationPolicy &Policy, std::ostream &Os);
+
+/// Parses a policy from \p Is; nullopt on malformed input.
+std::optional<VerificationPolicy> loadPolicy(std::istream &Is);
+
+/// File-path convenience wrappers; load returns nullopt when missing.
+bool savePolicyFile(const VerificationPolicy &Policy, const std::string &Path);
+std::optional<VerificationPolicy> loadPolicyFile(const std::string &Path);
+
+} // namespace charon
+
+#endif // CHARON_CORE_POLICYIO_H

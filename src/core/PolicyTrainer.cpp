@@ -1,0 +1,69 @@
+//===- PolicyTrainer.cpp - Learning verification policies ---------------------===//
+
+#include "core/PolicyTrainer.h"
+
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace charon;
+
+double charon::scorePolicy(const VerificationPolicy &Policy,
+                           const std::vector<TrainingProblem> &Problems,
+                           const PolicyTrainConfig &Config) {
+  assert(!Problems.empty() && "no training problems");
+  std::vector<double> Costs(Problems.size(), 0.0);
+
+  ThreadPool Pool(Config.Threads);
+  Pool.parallelFor(static_cast<int>(Problems.size()), [&](int I) {
+    const TrainingProblem &P = Problems[I];
+    VerifierConfig VC = Config.Verifier;
+    VC.TimeLimitSeconds = Config.TimeLimitSeconds;
+    Verifier V(*P.Net, Policy, VC);
+    VerifyResult R = V.verify(P.Prop);
+    if (R.Result == Outcome::Timeout)
+      Costs[I] = Config.Penalty * Config.TimeLimitSeconds;
+    else
+      Costs[I] = R.Stats.Seconds;
+  });
+
+  double Total = 0.0;
+  for (double C : Costs)
+    Total += C;
+  return -Total;
+}
+
+PolicyTrainResult
+charon::trainPolicy(const std::vector<TrainingProblem> &Problems,
+                    const PolicyTrainConfig &Config, Rng &R) {
+  size_t NumParams = VerificationPolicy::numParameters();
+  Box ThetaDomain =
+      Box::uniform(NumParams, -Config.ThetaRange, Config.ThetaRange);
+
+  PolicyTrainResult Result;
+  Result.DefaultScore =
+      scorePolicy(VerificationPolicy(), Problems, Config);
+
+  auto Objective = [&](const Vector &Flat) {
+    return scorePolicy(VerificationPolicy::fromFlat(Flat), Problems, Config);
+  };
+
+  BayesOptResult Bo = bayesOptimize(Objective, ThetaDomain, Config.BayesOpt, R);
+  Result.Evaluations = static_cast<int>(Bo.History.size());
+
+  // Keep the learned theta only when it strictly beats the hand-tuned
+  // default (with a small margin so timing noise and score ties cannot
+  // smuggle in an arbitrary sample). Bayesian optimization with a tiny
+  // budget can fail to beat a good prior; the deployment phase should
+  // never regress.
+  double Margin = 0.01 * std::abs(Result.DefaultScore) + 1e-9;
+  if (Bo.BestY > Result.DefaultScore + Margin) {
+    Result.Policy = VerificationPolicy::fromFlat(Bo.BestX);
+    Result.BestScore = Bo.BestY;
+  } else {
+    Result.Policy = VerificationPolicy();
+    Result.BestScore = Result.DefaultScore;
+  }
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- PolicyTrainer.h - Learning verification policies -----------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The training phase of Sec. 4.2: Bayesian optimization over the policy
+/// parameter matrix theta, scoring each candidate by running the verifier
+/// on a representative set of training problems with the cost function
+///
+///   F(theta) = - sum_s cost_theta(s),
+///   cost_theta(s) = time(s)  if solved within the limit t,  p * t otherwise
+///
+/// with p = 2 as in the paper's implementation (footnote 4). Training
+/// problems are solved in parallel on a thread pool (the paper uses MPI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_CORE_POLICYTRAINER_H
+#define CHARON_CORE_POLICYTRAINER_H
+
+#include "core/Policy.h"
+#include "core/Property.h"
+#include "core/Verifier.h"
+#include "opt/BayesOpt.h"
+
+#include <vector>
+
+namespace charon {
+
+/// A training problem: a network plus a robustness property over it.
+struct TrainingProblem {
+  const Network *Net = nullptr;
+  RobustnessProperty Prop;
+};
+
+/// Policy-training settings.
+struct PolicyTrainConfig {
+  /// Per-problem verification time limit t (the paper trains with 700 s; we
+  /// default to a laptop-scale budget).
+  double TimeLimitSeconds = 2.0;
+  /// Penalty multiplier p for unsolved problems (paper: p = 2).
+  double Penalty = 2.0;
+  /// Verifier settings used during scoring (Delta, PGD, ...).
+  VerifierConfig Verifier;
+  /// Bayesian-optimization budget over theta.
+  BayesOptConfig BayesOpt;
+  /// Search box half-width for each theta entry.
+  double ThetaRange = 1.5;
+  /// Worker threads for scoring training problems (0 = hardware).
+  unsigned Threads = 0;
+};
+
+/// Outcome of a training run: the learned policy, its training score, and
+/// the score of the hand-tuned default for comparison.
+struct PolicyTrainResult {
+  VerificationPolicy Policy;
+  double BestScore = 0.0;
+  double DefaultScore = 0.0;
+  int Evaluations = 0;
+};
+
+/// Scores a policy on \p Problems: -sum of costs (higher is better).
+double scorePolicy(const VerificationPolicy &Policy,
+                   const std::vector<TrainingProblem> &Problems,
+                   const PolicyTrainConfig &Config);
+
+/// Learns a verification policy from \p Problems with Bayesian optimization.
+PolicyTrainResult trainPolicy(const std::vector<TrainingProblem> &Problems,
+                              const PolicyTrainConfig &Config, Rng &R);
+
+} // namespace charon
+
+#endif // CHARON_CORE_POLICYTRAINER_H

@@ -1,0 +1,32 @@
+//===- Property.h - Robustness properties -------------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A robustness property is a pair (I, K) with input region I and target
+/// class K (Sec. 2.2): the network satisfies it when every x in I gets
+/// class K, i.e. N(x)_K > N(x)_j for all j != K.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_CORE_PROPERTY_H
+#define CHARON_CORE_PROPERTY_H
+
+#include "linalg/Box.h"
+
+#include <string>
+
+namespace charon {
+
+/// Robustness property (I, K) with an optional name for reports.
+struct RobustnessProperty {
+  Box Region;
+  size_t TargetClass = 0;
+  std::string Name;
+};
+
+} // namespace charon
+
+#endif // CHARON_CORE_PROPERTY_H

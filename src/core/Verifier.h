@@ -1,0 +1,133 @@
+//===- Verifier.h - The Charon decision procedure (Algorithm 1) ---*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper with the delta-modification of Eq. 4: interleave
+/// PGD counterexample search with abstract-interpretation proof attempts,
+/// refining the input region with policy-chosen splits. The procedure is
+/// sound and delta-complete (Theorems 5.2 and 5.4): it returns Verified only
+/// for truly robust regions, and every non-Verified answer within budget
+/// carries a delta-counterexample (Definition 5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_CORE_VERIFIER_H
+#define CHARON_CORE_VERIFIER_H
+
+#include "core/Policy.h"
+#include "core/Property.h"
+#include "nn/Network.h"
+#include "opt/Pgd.h"
+#include "support/Timer.h"
+
+#include <functional>
+
+namespace charon {
+class ThreadPool;
+
+/// Verdict of a verification run.
+enum class Outcome { Verified, Falsified, Timeout };
+
+/// Printable name of an outcome.
+const char *toString(Outcome O);
+
+/// Counters describing one verification run.
+struct VerifyStats {
+  long PgdCalls = 0;
+  long AnalyzeCalls = 0;
+  long Splits = 0;
+  long MaxDepth = 0;
+  long IntervalChoices = 0;
+  long ZonotopeChoices = 0;
+  long DisjunctSum = 0; ///< sum of chosen disjunct budgets over Analyze calls
+  double Seconds = 0.0;
+};
+
+/// Result of a verification run. Counterexample is populated iff
+/// Result == Falsified, and then satisfies F(x) <= Delta (delta-
+/// completeness: it is a true counterexample or within delta of one).
+struct VerifyResult {
+  Outcome Result = Outcome::Timeout;
+  Vector Counterexample;
+  double ObjectiveAtCex = 0.0;
+  VerifyStats Stats;
+};
+
+/// Which gradient-based optimizer drives the counterexample search. The
+/// paper uses PGD but notes any gradient method fits (Sec. 8); FGSM is the
+/// classic cheap single-step alternative.
+enum class CexSearchKind { Pgd, Fgsm };
+
+/// Verifier configuration.
+struct VerifierConfig {
+  /// Eq. 4 threshold: refute when F(x*) <= Delta. Must be > 0 for the
+  /// termination guarantee (Theorem 5.2); smaller is more precise.
+  double Delta = 1e-6;
+  /// Wall-clock budget per property; <= 0 means unlimited.
+  double TimeLimitSeconds = -1.0;
+  /// Hard cap on refinement depth (safety net far above what Theorem 5.2
+  /// predicts for sane inputs).
+  int MaxDepth = 400;
+  /// PGD settings for the counterexample search at every node.
+  PgdConfig Pgd;
+  /// Optimizer used for the search (PGD by default; FGSM is cheaper and
+  /// weaker — refinement compensates by handing it smaller regions).
+  CexSearchKind Optimizer = CexSearchKind::Pgd;
+  /// Disable the counterexample search (ablation: proof search only, like
+  /// a refinement-only verifier). Falsification becomes impossible.
+  bool UseCounterexampleSearch = true;
+  /// RNG seed for PGD restarts.
+  uint64_t Seed = 7;
+
+  /// Optional complete decision procedure used as a "perfectly precise
+  /// abstract domain" (the Sec. 9 future-work idea of mixing solvers with
+  /// numerical domains). When set, subregions whose diameter falls below
+  /// CompleteFallbackDiameter are handed to this callback instead of being
+  /// split further. The callback must be sound and complete on the region
+  /// it is given (e.g. wrap reluplexVerify with a small budget); returning
+  /// Timeout falls back to ordinary splitting.
+  std::function<Outcome(const Network &, const Box &, size_t)>
+      CompleteFallback;
+  double CompleteFallbackDiameter = 0.05;
+};
+
+/// The Charon verifier: couples optimization-based counterexample search
+/// with policy-guided abstraction refinement.
+class Verifier {
+public:
+  Verifier(const Network &Net, VerificationPolicy Policy,
+           VerifierConfig Config = VerifierConfig());
+
+  /// Decides the robustness property (Algorithm 1). Sequential.
+  VerifyResult verify(const RobustnessProperty &Prop) const;
+
+  /// Parallel variant: independent subregions are analyzed on \p Pool
+  /// (Sec. 6, "Parallelization"). Returns the same verdicts as verify().
+  VerifyResult verifyParallel(const RobustnessProperty &Prop,
+                              ThreadPool &Pool) const;
+
+  const VerifierConfig &config() const { return Config; }
+  const VerificationPolicy &policy() const { return Policy; }
+
+private:
+  struct WorkItem;
+
+  /// One node of Algorithm 1 on \p Region: counterexample search, then a
+  /// proof attempt (abandoned when \p Budget expires). Returns true when
+  /// resolved (filling \p Out), false when the region must be split
+  /// (filling \p Split).
+  bool step(const RobustnessProperty &Prop, const Box &Region,
+            VerifyResult &Out, SplitChoice &Split, VerifyStats &Stats, Rng &R,
+            const Deadline *Budget) const;
+
+  const Network &Net;
+  VerificationPolicy Policy;
+  VerifierConfig Config;
+};
+
+} // namespace charon
+
+#endif // CHARON_CORE_VERIFIER_H

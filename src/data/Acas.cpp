@@ -1,0 +1,51 @@
+//===- Acas.cpp - Synthetic collision-avoidance dataset ----------------------===//
+
+#include "data/Acas.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+int charon::acasAdvisory(const Vector &X) {
+  assert(X.size() == static_cast<size_t>(AcasInputs) && "bad encounter size");
+  double Rho = X[0];
+  double Theta = X[1];  // 0.5 == dead ahead; <0.5 intruder to the left.
+  double Psi = X[2];    // 0.5 == head-on.
+  double VOwn = X[3];
+  double VInt = X[4];
+
+  // Effective urgency: close, fast encounters demand strong maneuvers.
+  double ClosingSpeed = 0.5 * (VOwn + VInt);
+  double Urgency = (1.0 - Rho) * (0.4 + 0.6 * ClosingSpeed);
+
+  // Far away, or intruder diverging: clear of conflict.
+  double Alignment = std::fabs(Psi - 0.5); // 0 == head-on, 0.5 == parallel.
+  if (Rho > 0.75 || (Alignment > 0.35 && Rho > 0.4))
+    return 0;
+
+  // Turn away from the intruder's side; strength scales with urgency.
+  bool IntruderLeft = Theta < 0.5;
+  if (Urgency > 0.55)
+    return IntruderLeft ? 4 : 2; // strong right / strong left
+  if (Urgency > 0.25)
+    return IntruderLeft ? 3 : 1; // weak right / weak left
+  return 0;
+}
+
+Dataset charon::makeAcasDataset(int Count, Rng &R) {
+  Dataset Data;
+  Data.NumClasses = AcasOutputs;
+  Data.Inputs.reserve(Count);
+  Data.Labels.reserve(Count);
+  for (int I = 0; I < Count; ++I) {
+    Vector X(AcasInputs);
+    for (int J = 0; J < AcasInputs; ++J)
+      X[J] = R.uniform();
+    Data.Inputs.push_back(X);
+    Data.Labels.push_back(acasAdvisory(X));
+  }
+  return Data;
+}

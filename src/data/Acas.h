@@ -1,0 +1,48 @@
+//===- Acas.h - Synthetic collision-avoidance dataset ------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A synthetic stand-in for the ACAS Xu collision avoidance networks the
+/// paper trains its verification policy on (Sec. 6). The real ACAS Xu tables
+/// are not available offline; we define a deterministic piecewise advisory
+/// function with the same interface (5 normalized inputs describing an
+/// encounter geometry, 5 output advisories) and train a small ReLU network
+/// on samples of it. Policy learning only needs a representative family of
+/// low-dimensional verification problems, which this provides.
+///
+/// Inputs (all normalized to [0, 1]):
+///   0: rho    — distance to intruder
+///   1: theta  — bearing of intruder (0.5 is dead ahead)
+///   2: psi    — relative heading of intruder
+///   3: vOwn   — ownship speed
+///   4: vInt   — intruder speed
+/// Advisories: 0 COC (clear of conflict), 1 weak left, 2 strong left,
+///             3 weak right, 4 strong right.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_DATA_ACAS_H
+#define CHARON_DATA_ACAS_H
+
+#include "nn/Train.h"
+
+namespace charon {
+class Rng;
+
+/// Number of inputs/outputs of the synthetic ACAS-like problem.
+inline constexpr int AcasInputs = 5;
+inline constexpr int AcasOutputs = 5;
+
+/// The ground-truth advisory for an encounter (piecewise rules on geometry).
+int acasAdvisory(const Vector &X);
+
+/// Samples \p Count encounters uniformly and labels them with the advisory
+/// function.
+Dataset makeAcasDataset(int Count, Rng &R);
+
+} // namespace charon
+
+#endif // CHARON_DATA_ACAS_H

@@ -1,0 +1,223 @@
+//===- Benchmarks.cpp - Benchmark suites (networks + properties) --------------===//
+
+#include "data/Benchmarks.h"
+
+#include "abstract/Analyzer.h"
+#include "data/Acas.h"
+#include "opt/Pgd.h"
+#include "nn/Builder.h"
+#include "nn/Io.h"
+#include "nn/Train.h"
+#include "support/Random.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+using namespace charon;
+
+Box charon::brighteningRegion(const Vector &X, double Tau) {
+  Vector Lo = X, Hi = X;
+  for (size_t I = 0, E = X.size(); I < E; ++I)
+    if (X[I] >= Tau)
+      Hi[I] = 1.0;
+  return Box(std::move(Lo), std::move(Hi));
+}
+
+namespace {
+
+/// Loads a cached network or trains one with \p Train and caches it.
+Network getOrTrain(const std::string &CacheDir, const std::string &Name,
+                   const std::function<Network()> &Train) {
+  std::string Path = CacheDir + "/" + Name + ".net";
+  if (auto Cached = loadNetworkFile(Path)) {
+    Cached->setName(Name);
+    return std::move(*Cached);
+  }
+  Network Net = Train();
+  Net.setName(Name);
+  ::mkdir(CacheDir.c_str(), 0755);
+  if (!saveNetworkFile(Net, Path))
+    std::fprintf(stderr, "warning: could not cache network to %s\n",
+                 Path.c_str());
+  return Net;
+}
+
+} // namespace
+
+BenchmarkSuite charon::makeImageSuite(const SuiteConfig &Config) {
+  BenchmarkSuite Suite;
+  Suite.Name = Config.Name;
+
+  Suite.Net = getOrTrain(Config.CacheDir, Config.Name, [&] {
+    Rng R(Config.Seed);
+    Dataset Data = makeImageDataset(Config.Data);
+    Network Net =
+        Config.HiddenSizes.empty()
+            ? makeLeNet(Config.Data.Shape, Config.Data.NumClasses, R)
+            : makeMlp(Config.Data.Shape.size(), Config.HiddenSizes,
+                      Config.Data.NumClasses, R);
+    TrainConfig TC;
+    TC.Epochs = Config.TrainEpochs;
+    trainSgd(Net, Data, TC, R);
+    return Net;
+  });
+
+  // Held-out inputs: fresh samples from a seed disjoint from training.
+  // Every third property uses an extra-noisy sample, which sits closer to
+  // the decision boundary — these are the instances whose brightenings can
+  // flip the class, populating the falsifiable slice of the suite the way
+  // borderline test images do for the paper's MNIST/CIFAR workload.
+  Rng PropRng(Config.Seed * 7919 + 13);
+  int Idx = 0;
+  while (static_cast<int>(Suite.Properties.size()) < Config.NumProperties) {
+    int Label = Idx % Config.Data.NumClasses;
+    // Every third property uses a decision-boundary blend: these are the
+    // borderline images whose brightenings can flip the class, populating
+    // the falsifiable slice of the suite (the paper's workload gets them
+    // from borderline MNIST/CIFAR test images).
+    Vector X;
+    bool IsBoundary = Idx % 3 == 2;
+    if (IsBoundary) {
+      int Other = (Label + 1 + Idx / 3) % Config.Data.NumClasses;
+      double Mix = PropRng.uniform(0.42, 0.55);
+      X = makeBoundaryImageSample(Config.Data, Label, Other, Mix, PropRng);
+    } else {
+      X = makeImageSample(Config.Data, Label, PropRng);
+    }
+    Idx++;
+    // Vary the threshold across properties so the suite spans a range of
+    // perturbation strengths, from single-shot-verifiable through
+    // refinement-needing to out-of-reach instances.
+    double Tau = Config.Tau + 0.06 * static_cast<double>(Idx % 4) - 0.12;
+    // Boundary instances get a stronger perturbation budget: they sit near
+    // the decision surface, so the wider brightening region is what makes
+    // an adversarial example reachable.
+    if (IsBoundary)
+      Tau -= 0.2;
+    RobustnessProperty Prop;
+    Prop.Region = brighteningRegion(X, Tau);
+    // Keep only non-trivial instances: the unperturbed image and the
+    // region midpoint must be classified correctly, so a violation (when
+    // one exists) takes genuine adversarial search to find — as with the
+    // paper's benchmarks, where ReluVal's concrete probes falsify nothing
+    // (Sec. 7.3) while PGD finds counterexamples.
+    if (IsBoundary &&
+        (Suite.Net.objective(X, Label) <= 0.0 ||
+         Suite.Net.objective(Prop.Region.center(), Label) <= 0.0))
+      continue;
+    // Target the ground-truth label, as the paper does: borderline images
+    // the network barely (or mis-)classifies become the falsifiable slice.
+    Prop.TargetClass = static_cast<size_t>(Label);
+    Prop.Name = Config.Name + "/p" + std::to_string(Suite.Properties.size());
+    Suite.Properties.push_back(std::move(Prop));
+  }
+  return Suite;
+}
+
+std::vector<SuiteConfig> charon::paperSuiteConfigs(int NumProperties) {
+  // The paper's seven networks (Sec. 7) with their true layer shapes; only
+  // the input images are scaled down (synthetic 10x10 / 3x8x8 instead of
+  // 28x28 MNIST / 3x32x32 CIFAR). EXPERIMENTS.md records the mapping.
+  std::vector<SuiteConfig> Configs;
+
+  auto Mlp = [&](const char *Name, ImageDatasetConfig Data, int Layers,
+                 size_t Width, uint64_t Seed) {
+    SuiteConfig C;
+    C.Name = Name;
+    C.Data = Data;
+    C.HiddenSizes.assign(Layers, Width);
+    C.NumProperties = NumProperties;
+    C.Seed = Seed;
+    Configs.push_back(std::move(C));
+  };
+
+  Mlp("mnist_3x100", mnistLikeConfig(), 3, 100, 21);
+  Mlp("mnist_6x100", mnistLikeConfig(), 6, 100, 22);
+  Mlp("mnist_9x200", mnistLikeConfig(), 9, 200, 23);
+  Mlp("cifar_3x100", cifarLikeConfig(), 3, 100, 24);
+  Mlp("cifar_6x100", cifarLikeConfig(), 6, 100, 25);
+  Mlp("cifar_9x100", cifarLikeConfig(), 9, 100, 26);
+
+  SuiteConfig Conv;
+  Conv.Name = "mnist_conv";
+  Conv.Data = mnistLikeConfig();
+  Conv.HiddenSizes.clear(); // LeNet
+  Conv.NumProperties = NumProperties;
+  Conv.Seed = 27;
+  Configs.push_back(std::move(Conv));
+
+  return Configs;
+}
+
+BenchmarkSuite charon::makeAcasSuite(int Count, uint64_t Seed,
+                                     const std::string &CacheDir) {
+  BenchmarkSuite Suite;
+  Suite.Name = "acas";
+
+  Suite.Net = getOrTrain(CacheDir, "acas_6x50", [&] {
+    Rng R(Seed);
+    Dataset Data = makeAcasDataset(4000, R);
+    // The real ACAS Xu nets are 6x50; this matches that scale.
+    Network Net = makeMlp(AcasInputs, {50, 50, 50, 50, 50, 50}, AcasOutputs,
+                          R);
+    TrainConfig TC;
+    TC.Epochs = 60;
+    TC.LearningRate = 0.08;
+    trainSgd(Net, Data, TC, R);
+    return Net;
+  });
+
+  // Compose a training set with a genuine difficulty spread — Bayesian
+  // optimization needs problems whose cost depends on the policy's
+  // choices. Candidates are screened with one cheap zonotope pass and one
+  // PGD run: "hard" candidates (no immediate proof, no immediate
+  // counterexample) make up most of the set.
+  Rng PropRng(Seed * 31 + 5);
+  std::vector<RobustnessProperty> Hard, Easy, Falsifiable;
+  PgdConfig Screen;
+  Rng ScreenRng(Seed * 97 + 1);
+  for (int Attempt = 0; Attempt < 60 * Count; ++Attempt) {
+    Vector Center(AcasInputs);
+    for (int J = 0; J < AcasInputs; ++J)
+      Center[J] = PropRng.uniform(0.1, 0.9);
+    double HalfWidth = PropRng.uniform(0.05, 0.45);
+    RobustnessProperty Prop;
+    Prop.Region = Box::linfBall(Center, HalfWidth, 0.0, 1.0);
+    Prop.TargetClass = Suite.Net.classify(Center);
+
+    double Margin = analyzeRobustness(Suite.Net, Prop.Region,
+                                      Prop.TargetClass,
+                                      DomainSpec{BaseDomainKind::Zonotope, 1})
+                        .Margin;
+    if (Margin > 0.0) {
+      Easy.push_back(std::move(Prop));
+    } else if (pgdMinimize(Suite.Net, Prop.Region, Prop.TargetClass, Screen,
+                           ScreenRng)
+                   .Objective <= 0.0) {
+      Falsifiable.push_back(std::move(Prop));
+    } else {
+      Hard.push_back(std::move(Prop));
+    }
+    if (static_cast<int>(Hard.size()) >= Count)
+      break;
+  }
+
+  // Half hard, a quarter easy, a quarter falsifiable (filled from the
+  // other buckets when a category runs dry).
+  auto Take = [&](std::vector<RobustnessProperty> &From, int N) {
+    for (int I = 0; I < N && !From.empty(); ++I) {
+      Suite.Properties.push_back(std::move(From.back()));
+      From.pop_back();
+    }
+  };
+  Take(Hard, (Count + 1) / 2);
+  Take(Easy, (Count + 3) / 4);
+  Take(Falsifiable, Count - static_cast<int>(Suite.Properties.size()));
+  Take(Hard, Count - static_cast<int>(Suite.Properties.size()));
+  Take(Easy, Count - static_cast<int>(Suite.Properties.size()));
+  Take(Falsifiable, Count - static_cast<int>(Suite.Properties.size()));
+
+  for (size_t I = 0; I < Suite.Properties.size(); ++I)
+    Suite.Properties[I].Name = "acas/p" + std::to_string(I);
+  return Suite;
+}

@@ -1,0 +1,78 @@
+//===- Benchmarks.h - Benchmark suites (networks + properties) ----*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the evaluation workload of Sec. 7: trained networks plus
+/// brightening-attack robustness properties. A brightening attack on input
+/// x with threshold tau perturbs exactly the pixels at or above tau, each
+/// within [x_i, 1]:
+///
+///   I = { x' | forall i. (x_i >= tau and x_i <= x'_i <= 1) or x'_i = x_i }.
+///
+/// Networks are trained once and cached on disk (networks/<name>.net) so
+/// every bench binary sees identical weights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_DATA_BENCHMARKS_H
+#define CHARON_DATA_BENCHMARKS_H
+
+#include "core/Property.h"
+#include "data/SyntheticImages.h"
+#include "nn/Network.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace charon {
+class Rng;
+
+/// Brightening-attack input region for \p X at threshold \p Tau (Sec. 7.1).
+Box brighteningRegion(const Vector &X, double Tau);
+
+/// A network together with the properties to verify on it.
+struct BenchmarkSuite {
+  std::string Name;
+  Network Net;
+  std::vector<RobustnessProperty> Properties;
+};
+
+/// Parameters for building an image-classification suite.
+struct SuiteConfig {
+  std::string Name;                ///< e.g. "mnist_3x100"
+  ImageDatasetConfig Data;         ///< dataset the network is trained on
+  std::vector<size_t> HiddenSizes; ///< MLP shape; empty => LeNet conv net
+  int NumProperties = 20;          ///< properties generated per suite
+  double Tau = 0.75;               ///< brightening threshold
+  int TrainEpochs = 30;            ///< SGD epochs
+  uint64_t Seed = 11;              ///< training/property seed
+  std::string CacheDir = "networks"; ///< trained-network cache directory
+};
+
+/// Builds (or loads from cache) the trained network and generates
+/// brightening-attack properties on held-out samples. Each property's
+/// target class is the network's own prediction on the unperturbed input,
+/// matching the paper's setup where some properties hold and others are
+/// falsifiable.
+BenchmarkSuite makeImageSuite(const SuiteConfig &Config);
+
+/// The seven evaluation suites of Sec. 7 (scaled-down analogues; see
+/// EXPERIMENTS.md): mnist_3x100, mnist_6x100, mnist_9x200, cifar_3x100,
+/// cifar_6x100, cifar_9x100 and the convolutional net. \p NumProperties
+/// scales every suite uniformly.
+std::vector<SuiteConfig> paperSuiteConfigs(int NumProperties);
+
+/// Trains (or loads) the ACAS-like network used for policy training
+/// (Sec. 6) and returns it plus \p Count robustness properties over random
+/// encounter boxes of assorted sizes — the "12 properties of a network from
+/// the ACAS Xu system" analogue.
+BenchmarkSuite makeAcasSuite(int Count, uint64_t Seed,
+                             const std::string &CacheDir = "networks");
+
+} // namespace charon
+
+#endif // CHARON_DATA_BENCHMARKS_H

@@ -1,0 +1,62 @@
+//===- SyntheticImages.h - Synthetic image datasets -------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic synthetic image classification datasets standing in for
+/// MNIST and CIFAR (Sec. 7 of the paper), which are unavailable offline.
+///
+/// Each class is defined by a smooth prototype image (deterministic in the
+/// class id and dataset seed: a mixture of localized Gaussian bumps and an
+/// oriented stroke); samples are prototypes plus pixel noise and a small
+/// global brightness jitter, clipped to [0, 1]. This produces datasets on
+/// which the paper's architectures train to high accuracy while still having
+/// non-robust inputs near class boundaries — exercising both the proof-
+/// search and counterexample-search paths of the verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_DATA_SYNTHETICIMAGES_H
+#define CHARON_DATA_SYNTHETICIMAGES_H
+
+#include "nn/Conv2D.h"
+#include "nn/Train.h"
+
+namespace charon {
+class Rng;
+
+/// Configuration for a synthetic image dataset.
+struct ImageDatasetConfig {
+  TensorShape Shape;          ///< channels x height x width
+  int NumClasses = 10;        ///< number of classes
+  int SamplesPerClass = 40;   ///< dataset size / NumClasses
+  double PixelNoise = 0.08;   ///< stddev of per-pixel Gaussian noise
+  uint64_t Seed = 1;          ///< dataset seed (prototypes + noise)
+};
+
+/// "MNIST-like": single-channel 10x10 images, 10 classes.
+ImageDatasetConfig mnistLikeConfig();
+
+/// "CIFAR-like": three-channel 8x8 images, 10 classes.
+ImageDatasetConfig cifarLikeConfig();
+
+/// Generates the dataset described by \p Config.
+Dataset makeImageDataset(const ImageDatasetConfig &Config);
+
+/// Generates a single sample of class \p Label under \p Config (useful for
+/// building held-out benchmark inputs distinct from the training set).
+Vector makeImageSample(const ImageDatasetConfig &Config, int Label, Rng &R);
+
+/// Generates a decision-boundary sample: a convex blend of the \p Label and
+/// \p OtherLabel prototypes (\p Mix is the weight of the other class) plus
+/// noise. Blends near Mix ~ 0.5 sit close to the classifier's decision
+/// boundary, which is where adversarial brightenings exist — the source of
+/// the falsifiable benchmarks in the evaluation workload.
+Vector makeBoundaryImageSample(const ImageDatasetConfig &Config, int Label,
+                               int OtherLabel, double Mix, Rng &R);
+
+} // namespace charon
+
+#endif // CHARON_DATA_SYNTHETICIMAGES_H

@@ -1,0 +1,92 @@
+//===- Box.cpp - Axis-aligned box regions -----------------------------------===//
+
+#include "linalg/Box.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+Box::Box(Vector Lower, Vector Upper) : Lo(std::move(Lower)), Hi(std::move(Upper)) {
+  assert(Lo.size() == Hi.size() && "box bound size mismatch");
+#ifndef NDEBUG
+  for (size_t I = 0, E = Lo.size(); I < E; ++I)
+    assert(Lo[I] <= Hi[I] && "box has inverted bounds");
+#endif
+}
+
+Box Box::uniform(size_t N, double Lo, double Hi) {
+  return Box(Vector(N, Lo), Vector(N, Hi));
+}
+
+Box Box::linfBall(const Vector &Center, double Eps, double ClipLo,
+                  double ClipHi) {
+  Vector Lo(Center.size()), Hi(Center.size());
+  for (size_t I = 0, E = Center.size(); I < E; ++I) {
+    Lo[I] = std::max(Center[I] - Eps, ClipLo);
+    Hi[I] = std::min(Center[I] + Eps, ClipHi);
+  }
+  return Box(std::move(Lo), std::move(Hi));
+}
+
+Vector Box::center() const {
+  Vector C(Lo.size());
+  for (size_t I = 0, E = Lo.size(); I < E; ++I)
+    C[I] = 0.5 * (Lo[I] + Hi[I]);
+  return C;
+}
+
+double Box::diameter() const {
+  double Sum = 0.0;
+  for (size_t I = 0, E = Lo.size(); I < E; ++I) {
+    double W = Hi[I] - Lo[I];
+    Sum += W * W;
+  }
+  return std::sqrt(Sum);
+}
+
+size_t Box::longestDim() const {
+  assert(dim() > 0 && "empty box");
+  size_t Best = 0;
+  for (size_t I = 1, E = dim(); I < E; ++I)
+    if (width(I) > width(Best))
+      Best = I;
+  return Best;
+}
+
+bool Box::contains(const Vector &X, double Tol) const {
+  assert(X.size() == dim() && "dimension mismatch");
+  for (size_t I = 0, E = dim(); I < E; ++I)
+    if (X[I] < Lo[I] - Tol || X[I] > Hi[I] + Tol)
+      return false;
+  return true;
+}
+
+Vector Box::project(const Vector &X) const {
+  return clamp(X, Lo, Hi);
+}
+
+std::pair<Box, Box> Box::split(size_t D, double C) const {
+  assert(D < dim() && "split dimension out of range");
+  // Nudge the cut strictly inside the interval so each half is strictly
+  // smaller (Assumption 1). Degenerate (zero-width) dimensions bisect.
+  double Margin = 0.01 * width(D);
+  double Cut = std::min(std::max(C, Lo[D] + Margin), Hi[D] - Margin);
+  if (width(D) == 0.0)
+    Cut = Lo[D];
+  Vector LoHalfHi = Hi;
+  LoHalfHi[D] = Cut;
+  Vector HiHalfLo = Lo;
+  HiHalfLo[D] = Cut;
+  return {Box(Lo, std::move(LoHalfHi)), Box(std::move(HiHalfLo), Hi)};
+}
+
+Vector Box::sample(Rng &R) const {
+  Vector X(dim());
+  for (size_t I = 0, E = dim(); I < E; ++I)
+    X[I] = R.uniform(Lo[I], Hi[I]);
+  return X;
+}

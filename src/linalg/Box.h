@@ -1,0 +1,80 @@
+//===- Box.h - Axis-aligned box regions --------------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Axis-aligned boxes over R^n. Robustness properties (I, K) use a box as
+/// the input region I (Sec. 2.2); the verification algorithm splits boxes
+/// with axis-aligned hyperplanes (Sec. 4.1), and Definition 5.1's diameter
+/// drives the termination argument (Theorem 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_LINALG_BOX_H
+#define CHARON_LINALG_BOX_H
+
+#include "linalg/Vector.h"
+
+#include <utility>
+
+namespace charon {
+class Rng;
+
+/// Axis-aligned box [Lo_1, Hi_1] x ... x [Lo_n, Hi_n].
+class Box {
+public:
+  Box() = default;
+
+  /// Creates a box with the given bounds; requires Lo[i] <= Hi[i].
+  Box(Vector Lower, Vector Upper);
+
+  /// Creates the box [Lo, Hi]^n.
+  static Box uniform(size_t N, double Lo, double Hi);
+
+  /// Creates the L-infinity ball of radius \p Eps around \p Center, clipped
+  /// to [ClipLo, ClipHi] per dimension.
+  static Box linfBall(const Vector &Center, double Eps, double ClipLo,
+                      double ClipHi);
+
+  size_t dim() const { return Lo.size(); }
+
+  const Vector &lower() const { return Lo; }
+  const Vector &upper() const { return Hi; }
+
+  /// Midpoint of the box.
+  Vector center() const;
+
+  /// Hi[I] - Lo[I].
+  double width(size_t I) const { return Hi[I] - Lo[I]; }
+
+  /// L2 diameter sup ||x1 - x2||_2 (Definition 5.1) — the norm of widths.
+  double diameter() const;
+
+  /// Index of the widest dimension.
+  size_t longestDim() const;
+
+  /// True when \p X lies inside the box (inclusive).
+  bool contains(const Vector &X, double Tol = 0.0) const;
+
+  /// Projects \p X onto the box (componentwise clamp) — the projection step
+  /// of projected gradient descent.
+  Vector project(const Vector &X) const;
+
+  /// Splits along hyperplane x_D = C into (lower, upper) halves. \p C is
+  /// clamped strictly inside (Lo[D], Hi[D]) so both halves have smaller
+  /// diameter (Assumption 1 of the paper).
+  std::pair<Box, Box> split(size_t D, double C) const;
+
+  /// Uniform sample from the box.
+  Vector sample(Rng &R) const;
+
+private:
+  Vector Lo;
+  Vector Hi;
+};
+
+} // namespace charon
+
+#endif // CHARON_LINALG_BOX_H

@@ -1,0 +1,65 @@
+//===- Cholesky.cpp - Cholesky factorization for SPD systems --------------===//
+
+#include "linalg/Cholesky.h"
+
+#include <cmath>
+
+using namespace charon;
+
+Cholesky::Cholesky(const Matrix &A) {
+  assert(A.rows() == A.cols() && "Cholesky requires a square matrix");
+  size_t N = A.rows();
+  L = Matrix(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double Sum = A(I, J);
+      for (size_t K = 0; K < J; ++K)
+        Sum -= L(I, K) * L(J, K);
+      if (I == J) {
+        if (Sum <= 0.0)
+          return; // Not (numerically) positive definite; Valid stays false.
+        L(I, I) = std::sqrt(Sum);
+      } else {
+        L(I, J) = Sum / L(J, J);
+      }
+    }
+  }
+  Valid = true;
+}
+
+Vector Cholesky::solveLower(const Vector &B) const {
+  assert(Valid && "solve on failed factorization");
+  size_t N = L.rows();
+  assert(B.size() == N && "rhs size mismatch");
+  Vector Y(N);
+  for (size_t I = 0; I < N; ++I) {
+    double Sum = B[I];
+    for (size_t K = 0; K < I; ++K)
+      Sum -= L(I, K) * Y[K];
+    Y[I] = Sum / L(I, I);
+  }
+  return Y;
+}
+
+Vector Cholesky::solve(const Vector &B) const {
+  // Forward substitution L y = b, then back substitution L^T x = y.
+  Vector Y = solveLower(B);
+  size_t N = L.rows();
+  Vector X(N);
+  for (size_t Iu = N; Iu > 0; --Iu) {
+    size_t I = Iu - 1;
+    double Sum = Y[I];
+    for (size_t K = I + 1; K < N; ++K)
+      Sum -= L(K, I) * X[K];
+    X[I] = Sum / L(I, I);
+  }
+  return X;
+}
+
+double Cholesky::logDiagSum() const {
+  assert(Valid && "logDiagSum on failed factorization");
+  double Sum = 0.0;
+  for (size_t I = 0, N = L.rows(); I < N; ++I)
+    Sum += std::log(L(I, I));
+  return Sum;
+}

@@ -1,0 +1,54 @@
+//===- Cholesky.h - Cholesky factorization for SPD systems ------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cholesky factorization and triangular solves. The Gaussian-process
+/// surrogate used for Bayesian optimization (Sec. 4.2) solves SPD systems
+/// K alpha = y on every posterior query; this is the kernel behind it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_LINALG_CHOLESKY_H
+#define CHARON_LINALG_CHOLESKY_H
+
+#include "linalg/Matrix.h"
+#include "linalg/Vector.h"
+
+namespace charon {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+///
+/// Construction fails (isValid() == false) when the input is not numerically
+/// positive definite; GP callers respond by increasing jitter.
+class Cholesky {
+public:
+  /// Factorizes \p A (must be square and symmetric).
+  explicit Cholesky(const Matrix &A);
+
+  /// True when the factorization succeeded.
+  bool isValid() const { return Valid; }
+
+  /// Solves A x = b using the factor. Requires isValid().
+  Vector solve(const Vector &B) const;
+
+  /// Solves L y = b (forward substitution). Requires isValid().
+  Vector solveLower(const Vector &B) const;
+
+  /// Sum of log of the diagonal entries of L; the GP log-marginal likelihood
+  /// needs log det(A) = 2 * logDiagSum().
+  double logDiagSum() const;
+
+  /// The factor L with A = L L^T.
+  const Matrix &factor() const { return L; }
+
+private:
+  Matrix L;
+  bool Valid = false;
+};
+
+} // namespace charon
+
+#endif // CHARON_LINALG_CHOLESKY_H

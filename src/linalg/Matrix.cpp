@@ -1,0 +1,93 @@
+//===- Matrix.cpp - Dense row-major matrix --------------------------------===//
+
+#include "linalg/Matrix.h"
+
+#include <cmath>
+
+using namespace charon;
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> Init) {
+  NumRows = Init.size();
+  NumCols = NumRows == 0 ? 0 : Init.begin()->size();
+  Data.reserve(NumRows * NumCols);
+  for (const auto &Row : Init) {
+    assert(Row.size() == NumCols && "ragged matrix initializer");
+    Data.insert(Data.end(), Row.begin(), Row.end());
+  }
+}
+
+Matrix Matrix::identity(size_t N) {
+  Matrix I(N, N);
+  for (size_t K = 0; K < N; ++K)
+    I(K, K) = 1.0;
+  return I;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix T(NumCols, NumRows);
+  for (size_t R = 0; R < NumRows; ++R)
+    for (size_t C = 0; C < NumCols; ++C)
+      T(C, R) = (*this)(R, C);
+  return T;
+}
+
+Matrix &Matrix::operator*=(double Scale) {
+  for (double &X : Data)
+    X *= Scale;
+  return *this;
+}
+
+Vector charon::matVec(const Matrix &A, const Vector &X) {
+  assert(A.cols() == X.size() && "matVec shape mismatch");
+  Vector Y(A.rows());
+  for (size_t R = 0, NR = A.rows(); R < NR; ++R) {
+    const double *Row = A.row(R);
+    double Sum = 0.0;
+    for (size_t C = 0, NC = A.cols(); C < NC; ++C)
+      Sum += Row[C] * X[C];
+    Y[R] = Sum;
+  }
+  return Y;
+}
+
+Vector charon::matTVec(const Matrix &A, const Vector &X) {
+  assert(A.rows() == X.size() && "matTVec shape mismatch");
+  Vector Y(A.cols());
+  for (size_t R = 0, NR = A.rows(); R < NR; ++R) {
+    const double *Row = A.row(R);
+    double Xi = X[R];
+    if (Xi == 0.0)
+      continue;
+    for (size_t C = 0, NC = A.cols(); C < NC; ++C)
+      Y[C] += Row[C] * Xi;
+  }
+  return Y;
+}
+
+Matrix charon::matMul(const Matrix &A, const Matrix &B) {
+  assert(A.cols() == B.rows() && "matMul shape mismatch");
+  Matrix C(A.rows(), B.cols());
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (size_t I = 0, NI = A.rows(); I < NI; ++I) {
+    double *CRow = C.row(I);
+    for (size_t K = 0, NK = A.cols(); K < NK; ++K) {
+      double Aik = A(I, K);
+      if (Aik == 0.0)
+        continue;
+      const double *BRow = B.row(K);
+      for (size_t J = 0, NJ = B.cols(); J < NJ; ++J)
+        CRow[J] += Aik * BRow[J];
+    }
+  }
+  return C;
+}
+
+bool charon::approxEqual(const Matrix &A, const Matrix &B, double Tol) {
+  if (A.rows() != B.rows() || A.cols() != B.cols())
+    return false;
+  for (size_t R = 0, NR = A.rows(); R < NR; ++R)
+    for (size_t C = 0, NC = A.cols(); C < NC; ++C)
+      if (std::fabs(A(R, C) - B(R, C)) > Tol)
+        return false;
+  return true;
+}

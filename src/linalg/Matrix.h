@@ -1,0 +1,89 @@
+//===- Matrix.h - Dense row-major matrix ------------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense row-major matrix of doubles with the BLAS-2/3 kernels used by the
+/// network layers (y = Wx + b), the abstract transformers (zonotope
+/// generator-matrix updates), and the Gaussian process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_LINALG_MATRIX_H
+#define CHARON_LINALG_MATRIX_H
+
+#include "linalg/Vector.h"
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace charon {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates a Rows x Cols zero matrix.
+  Matrix(size_t Rows, size_t Cols)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, 0.0) {}
+
+  /// Creates a matrix from nested brace lists (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> Init);
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  double operator()(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  double &operator()(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Pointer to the start of row \p R.
+  const double *row(size_t R) const {
+    assert(R < NumRows && "row index out of range");
+    return Data.data() + R * NumCols;
+  }
+  double *row(size_t R) {
+    assert(R < NumRows && "row index out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// Returns the N x N identity.
+  static Matrix identity(size_t N);
+
+  /// Returns the transpose.
+  Matrix transposed() const;
+
+  /// In-place scaling.
+  Matrix &operator*=(double Scale);
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<double> Data;
+};
+
+/// y = A * x. Requires A.cols() == x.size().
+Vector matVec(const Matrix &A, const Vector &X);
+
+/// y = A^T * x (without materializing the transpose).
+Vector matTVec(const Matrix &A, const Vector &X);
+
+/// C = A * B. Requires A.cols() == B.rows().
+Matrix matMul(const Matrix &A, const Matrix &B);
+
+/// True when matrices have equal shape and entries within \p Tol.
+bool approxEqual(const Matrix &A, const Matrix &B, double Tol);
+
+} // namespace charon
+
+#endif // CHARON_LINALG_MATRIX_H

@@ -1,0 +1,249 @@
+//===- Simplex.cpp - Dense two-phase simplex LP solver -----------------------===//
+
+#include "lp/Simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace charon;
+
+namespace {
+constexpr double Tol = 1e-9;
+} // namespace
+
+int LpProblem::addVariable(double Lo, double Hi) {
+  assert(Lo <= Hi && "inverted variable bounds");
+  assert(std::isfinite(Lo) && std::isfinite(Hi) &&
+         "simplex requires finite variable bounds");
+  LoBound.push_back(Lo);
+  HiBound.push_back(Hi);
+  return static_cast<int>(LoBound.size()) - 1;
+}
+
+void LpProblem::addLeqConstraint(std::vector<std::pair<int, double>> Terms,
+                                 double Rhs) {
+#ifndef NDEBUG
+  for (const auto &[V, C] : Terms) {
+    (void)C;
+    assert(V >= 0 && static_cast<size_t>(V) < LoBound.size() &&
+           "constraint references unknown variable");
+  }
+#endif
+  Rows.push_back(Row{std::move(Terms), Rhs});
+}
+
+void LpProblem::addEqConstraint(std::vector<std::pair<int, double>> Terms,
+                                double Rhs) {
+  std::vector<std::pair<int, double>> Negated;
+  Negated.reserve(Terms.size());
+  for (const auto &[V, C] : Terms)
+    Negated.emplace_back(V, -C);
+  addLeqConstraint(Terms, Rhs);
+  addLeqConstraint(std::move(Negated), -Rhs);
+}
+
+LpResult LpProblem::maximize(const Vector &Objective,
+                             const Deadline *Budget) const {
+  assert(Objective.size() == numVariables() && "objective size mismatch");
+  size_t N = numVariables();
+
+  // Shift variables to x = x' + lo with x' in [0, hi - lo]; upper bounds
+  // become explicit rows (including zero-width rows pinning fixed
+  // variables). Constraint rhs becomes b - A*lo.
+  size_t M = Rows.size() + N;
+  // Dense tableau rows (structural + slack + artificial + rhs columns).
+  // Artificials are allocated lazily for rows whose shifted rhs is negative.
+  std::vector<std::vector<double>> Body;
+  std::vector<double> Rhs;
+  Body.reserve(M);
+  Rhs.reserve(M);
+
+  for (const Row &R : Rows) {
+    std::vector<double> Coefs(N, 0.0);
+    double B = R.Rhs;
+    for (const auto &[V, C] : R.Terms) {
+      Coefs[V] += C;
+      B -= C * LoBound[V];
+    }
+    Body.push_back(std::move(Coefs));
+    Rhs.push_back(B);
+  }
+  for (size_t I = 0; I < N; ++I) {
+    std::vector<double> Coefs(N, 0.0);
+    Coefs[I] = 1.0;
+    Body.push_back(std::move(Coefs));
+    Rhs.push_back(HiBound[I] - LoBound[I]);
+  }
+  assert(Body.size() == M && "tableau row count mismatch");
+
+  // Count artificials: one per row with negative rhs (after negation the
+  // slack coefficient is -1, so it cannot seed the basis).
+  size_t NumArt = 0;
+  for (double B : Rhs)
+    if (B < 0.0)
+      ++NumArt;
+
+  size_t Cols = N + M + NumArt + 1; // +1 for rhs column
+  size_t RhsCol = Cols - 1;
+  std::vector<std::vector<double>> T(M + 2, std::vector<double>(Cols, 0.0));
+  std::vector<int> Basis(M, -1);
+
+  size_t ArtCursor = N + M;
+  for (size_t R = 0; R < M; ++R) {
+    double Sign = Rhs[R] < 0.0 ? -1.0 : 1.0;
+    for (size_t C = 0; C < N; ++C)
+      T[R][C] = Sign * Body[R][C];
+    T[R][N + R] = Sign; // slack (or surplus after negation)
+    T[R][RhsCol] = Sign * Rhs[R];
+    if (Sign < 0.0) {
+      T[R][ArtCursor] = 1.0;
+      Basis[R] = static_cast<int>(ArtCursor);
+      ++ArtCursor;
+    } else {
+      Basis[R] = static_cast<int>(N + R);
+    }
+  }
+
+  size_t ObjRow = M;      // phase-2 objective (maximize)
+  size_t Phase1Row = M + 1; // phase-1 objective (minimize sum of artificials)
+
+  for (size_t C = 0; C < N; ++C)
+    T[ObjRow][C] = -Objective[C];
+
+  if (NumArt > 0) {
+    // Phase-1 objective: minimize sum of artificials == maximize their
+    // negation. Price out the basic artificials.
+    for (size_t C = N + M; C < RhsCol; ++C)
+      T[Phase1Row][C] = 1.0;
+    for (size_t R = 0; R < M; ++R) {
+      if (Basis[R] < static_cast<int>(N + M))
+        continue;
+      for (size_t C = 0; C < Cols; ++C)
+        T[Phase1Row][C] -= T[R][C];
+    }
+  }
+
+  auto Pivot = [&](size_t PivRow, size_t PivCol) {
+    double P = T[PivRow][PivCol];
+    assert(std::fabs(P) > Tol && "pivot on (near-)zero element");
+    for (size_t C = 0; C < Cols; ++C)
+      T[PivRow][C] /= P;
+    for (size_t R = 0; R < M + 2; ++R) {
+      if (R == PivRow)
+        continue;
+      double F = T[R][PivCol];
+      if (F == 0.0)
+        continue;
+      for (size_t C = 0; C < Cols; ++C)
+        T[R][C] -= F * T[PivRow][C];
+    }
+    Basis[PivRow] = static_cast<int>(PivCol);
+  };
+
+  // Runs simplex iterations on objective row \p ZRow over columns
+  // [0, LastCol). Returns false on unbounded.
+  long MaxIters = 200 * static_cast<long>(M + N) + 2000;
+  long Iter = 0;
+  auto RunPhase = [&](size_t ZRow, size_t LastCol, bool &HitLimit) -> bool {
+    for (;;) {
+      // A clock read is negligible next to an O(M * Cols) pivot, so the
+      // deadline is honored at every iteration.
+      if (++Iter > MaxIters || (Budget && Budget->expired())) {
+        HitLimit = true;
+        return true;
+      }
+      // Dantzig rule early, Bland's rule later to break cycles.
+      bool UseBland = Iter > MaxIters / 2;
+      size_t Entering = LastCol;
+      double BestRc = -Tol;
+      for (size_t C = 0; C < LastCol; ++C) {
+        double Rc = T[ZRow][C];
+        if (Rc < BestRc) {
+          BestRc = Rc;
+          Entering = C;
+          if (UseBland)
+            break;
+        }
+      }
+      if (Entering == LastCol)
+        return true; // Optimal for this phase.
+
+      size_t Leaving = M;
+      double BestRatio = std::numeric_limits<double>::infinity();
+      for (size_t R = 0; R < M; ++R) {
+        double A = T[R][Entering];
+        if (A <= Tol)
+          continue;
+        double Ratio = T[R][RhsCol] / A;
+        if (Ratio < BestRatio - Tol ||
+            (Ratio < BestRatio + Tol && Leaving < M &&
+             Basis[R] < Basis[Leaving])) {
+          BestRatio = Ratio;
+          Leaving = R;
+        }
+      }
+      if (Leaving == M)
+        return false; // Unbounded direction.
+      Pivot(Leaving, Entering);
+    }
+  };
+
+  LpResult Result;
+  bool HitLimit = false;
+
+  if (NumArt > 0) {
+    if (!RunPhase(Phase1Row, N + M + NumArt, HitLimit)) {
+      // Phase 1 is bounded by construction; treat as failure.
+      Result.Status = LpStatus::IterationLimit;
+      return Result;
+    }
+    if (HitLimit) {
+      Result.Status = LpStatus::IterationLimit;
+      return Result;
+    }
+    // Phase-1 optimum: -T[Phase1Row][RhsCol] is the artificial sum.
+    if (T[Phase1Row][RhsCol] < -1e-7) {
+      Result.Status = LpStatus::Infeasible;
+      return Result;
+    }
+    // Drive any basic artificial (at value zero) out of the basis when a
+    // pivotable structural/slack column exists; otherwise its row is
+    // redundant and harmless.
+    for (size_t R = 0; R < M; ++R) {
+      if (Basis[R] < static_cast<int>(N + M))
+        continue;
+      for (size_t C = 0; C < N + M; ++C) {
+        if (std::fabs(T[R][C]) > 1e-7) {
+          Pivot(R, C);
+          break;
+        }
+      }
+    }
+    // Erase artificial columns from further consideration by fixing their
+    // reduced costs very high (never entering in phase 2).
+    for (size_t C = N + M; C < RhsCol; ++C)
+      T[ObjRow][C] = 1.0; // nonnegative => never entering
+  }
+
+  if (!RunPhase(ObjRow, N + M, HitLimit)) {
+    Result.Status = LpStatus::Unbounded;
+    return Result;
+  }
+  if (HitLimit) {
+    Result.Status = LpStatus::IterationLimit;
+    return Result;
+  }
+
+  Vector X(N);
+  for (size_t R = 0; R < M; ++R)
+    if (Basis[R] >= 0 && Basis[R] < static_cast<int>(N))
+      X[Basis[R]] = T[R][RhsCol];
+  for (size_t I = 0; I < N; ++I)
+    X[I] += LoBound[I];
+
+  Result.Status = LpStatus::Optimal;
+  Result.X = std::move(X);
+  Result.Value = dot(Objective, Result.X);
+  return Result;
+}

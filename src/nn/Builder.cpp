@@ -1,0 +1,65 @@
+//===- Builder.cpp - Network construction helpers ----------------------------===//
+
+#include "nn/Builder.h"
+
+#include "nn/Dense.h"
+#include "nn/MaxPool2D.h"
+#include "nn/Relu.h"
+#include "support/Random.h"
+
+using namespace charon;
+
+Network charon::makeMlp(size_t InputSize,
+                        const std::vector<size_t> &HiddenSizes,
+                        size_t NumClasses, Rng &R) {
+  Network Net;
+  size_t Prev = InputSize;
+  for (size_t H : HiddenSizes) {
+    auto D = std::make_unique<DenseLayer>(Prev, H);
+    D->initHe(R);
+    Net.addLayer(std::move(D));
+    Net.addLayer(std::make_unique<ReluLayer>(H));
+    Prev = H;
+  }
+  auto Out = std::make_unique<DenseLayer>(Prev, NumClasses);
+  Out->initHe(R);
+  Net.addLayer(std::move(Out));
+  return Net;
+}
+
+Network charon::makeLeNet(TensorShape Input, size_t NumClasses, Rng &R) {
+  Network Net;
+
+  auto AddConvRelu = [&](TensorShape In, int OutC, int K) {
+    auto C = std::make_unique<Conv2DLayer>(In, OutC, K, K, /*Stride=*/1,
+                                           /*Pad=*/1);
+    C->initHe(R);
+    TensorShape Out = C->outputShape();
+    Net.addLayer(std::move(C));
+    Net.addLayer(std::make_unique<ReluLayer>(Out.size()));
+    return Out;
+  };
+
+  TensorShape Shape = AddConvRelu(Input, /*OutC=*/8, /*K=*/3);
+  Shape = AddConvRelu(Shape, /*OutC=*/8, /*K=*/3);
+
+  auto Pool1 = std::make_unique<MaxPool2DLayer>(Shape, 2, 2, 2);
+  Shape = Pool1->outputShape();
+  Net.addLayer(std::move(Pool1));
+
+  Shape = AddConvRelu(Shape, /*OutC=*/16, /*K=*/3);
+
+  auto Pool2 = std::make_unique<MaxPool2DLayer>(Shape, 2, 2, 2);
+  Shape = Pool2->outputShape();
+  Net.addLayer(std::move(Pool2));
+
+  auto Fc1 = std::make_unique<DenseLayer>(Shape.size(), 64);
+  Fc1->initHe(R);
+  Net.addLayer(std::move(Fc1));
+  Net.addLayer(std::make_unique<ReluLayer>(64));
+
+  auto Fc2 = std::make_unique<DenseLayer>(64, NumClasses);
+  Fc2->initHe(R);
+  Net.addLayer(std::move(Fc2));
+  return Net;
+}

@@ -1,0 +1,40 @@
+//===- Builder.h - Network construction helpers ------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience constructors for the architectures the paper evaluates
+/// (Sec. 7): fully connected NxM ReLU networks and a scaled LeNet-style
+/// convolutional network.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_BUILDER_H
+#define CHARON_NN_BUILDER_H
+
+#include "nn/Conv2D.h"
+#include "nn/Network.h"
+
+#include <vector>
+
+namespace charon {
+class Rng;
+
+/// Builds a fully connected ReLU network: input -> hidden sizes (each
+/// followed by ReLU) -> output logits, He-initialized from \p R.
+///
+/// The paper's "NxM" nets correspond to N entries of M in \p HiddenSizes.
+Network makeMlp(size_t InputSize, const std::vector<size_t> &HiddenSizes,
+                size_t NumClasses, Rng &R);
+
+/// Builds a scaled LeNet-style convolutional network (Sec. 7 uses two conv
+/// layers, max pool, two more conv layers, max pool, then fully connected
+/// layers; we scale the channel counts to the synthetic input size):
+/// conv-relu, conv-relu, maxpool, conv-relu, maxpool, dense-relu, dense.
+Network makeLeNet(TensorShape Input, size_t NumClasses, Rng &R);
+
+} // namespace charon
+
+#endif // CHARON_NN_BUILDER_H

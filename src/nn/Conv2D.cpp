@@ -1,0 +1,158 @@
+//===- Conv2D.cpp - 2-D convolution layer ----------------------------------===//
+
+#include "nn/Conv2D.h"
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace charon;
+
+static TensorShape convOutputShape(const TensorShape &In, int OutChannels,
+                                   int KH, int KW, int S, int P) {
+  TensorShape Out;
+  Out.Channels = OutChannels;
+  Out.Height = (In.Height + 2 * P - KH) / S + 1;
+  Out.Width = (In.Width + 2 * P - KW) / S + 1;
+  assert(Out.Height > 0 && Out.Width > 0 && "convolution output is empty");
+  return Out;
+}
+
+Conv2DLayer::Conv2DLayer(TensorShape In, int OutChannels, int KernelH,
+                         int KernelW, int Stride, int Pad)
+    : InShape(In),
+      OutShape(convOutputShape(In, OutChannels, KernelH, KernelW, Stride, Pad)),
+      KH(KernelH), KW(KernelW), S(Stride), P(Pad),
+      Kernels(static_cast<size_t>(OutChannels) * In.Channels * KernelH *
+              KernelW),
+      B(static_cast<size_t>(OutChannels)),
+      GradKernels(Kernels.size()), GradB(B.size()) {}
+
+void Conv2DLayer::initHe(Rng &R) {
+  double FanIn = static_cast<double>(InShape.Channels) * KH * KW;
+  double Scale = std::sqrt(2.0 / FanIn);
+  for (double &K : Kernels)
+    K = R.gaussian(0.0, Scale);
+  B.fill(0.0);
+  Lowered.reset();
+}
+
+Vector Conv2DLayer::forward(const Vector &Input) const {
+  assert(Input.size() == static_cast<size_t>(InShape.size()) &&
+         "conv input size mismatch");
+  Vector Out(OutShape.size());
+  for (int Oc = 0; Oc < OutShape.Channels; ++Oc) {
+    for (int Oy = 0; Oy < OutShape.Height; ++Oy) {
+      for (int Ox = 0; Ox < OutShape.Width; ++Ox) {
+        double Sum = B[Oc];
+        for (int Ic = 0; Ic < InShape.Channels; ++Ic) {
+          for (int Ky = 0; Ky < KH; ++Ky) {
+            int Iy = Oy * S + Ky - P;
+            if (Iy < 0 || Iy >= InShape.Height)
+              continue;
+            for (int Kx = 0; Kx < KW; ++Kx) {
+              int Ix = Ox * S + Kx - P;
+              if (Ix < 0 || Ix >= InShape.Width)
+                continue;
+              Sum += kernelAt(Oc, Ic, Ky, Kx) * Input[InShape.index(Ic, Iy, Ix)];
+            }
+          }
+        }
+        Out[OutShape.index(Oc, Oy, Ox)] = Sum;
+      }
+    }
+  }
+  return Out;
+}
+
+Vector Conv2DLayer::backward(const Vector &Input, const Vector &GradOut,
+                             bool AccumulateParams) {
+  assert(GradOut.size() == static_cast<size_t>(OutShape.size()) &&
+         "conv gradient size mismatch");
+  Vector GradIn(InShape.size());
+  for (int Oc = 0; Oc < OutShape.Channels; ++Oc) {
+    for (int Oy = 0; Oy < OutShape.Height; ++Oy) {
+      for (int Ox = 0; Ox < OutShape.Width; ++Ox) {
+        double G = GradOut[OutShape.index(Oc, Oy, Ox)];
+        if (G == 0.0)
+          continue;
+        if (AccumulateParams)
+          GradB[Oc] += G;
+        for (int Ic = 0; Ic < InShape.Channels; ++Ic) {
+          for (int Ky = 0; Ky < KH; ++Ky) {
+            int Iy = Oy * S + Ky - P;
+            if (Iy < 0 || Iy >= InShape.Height)
+              continue;
+            for (int Kx = 0; Kx < KW; ++Kx) {
+              int Ix = Ox * S + Kx - P;
+              if (Ix < 0 || Ix >= InShape.Width)
+                continue;
+              int In = InShape.index(Ic, Iy, Ix);
+              GradIn[In] += Kernels[kernelIndex(Oc, Ic, Ky, Kx)] * G;
+              if (AccumulateParams)
+                GradKernels[kernelIndex(Oc, Ic, Ky, Kx)] += G * Input[In];
+            }
+          }
+        }
+      }
+    }
+  }
+  return GradIn;
+}
+
+void Conv2DLayer::applyGradients(double LearningRate, double BatchSize) {
+  double Step = LearningRate / BatchSize;
+  for (size_t I = 0, E = Kernels.size(); I < E; ++I)
+    Kernels[I] -= Step * GradKernels[I];
+  for (size_t I = 0, E = B.size(); I < E; ++I)
+    B[I] -= Step * GradB[I];
+  Lowered.reset();
+}
+
+void Conv2DLayer::zeroGradients() {
+  std::fill(GradKernels.begin(), GradKernels.end(), 0.0);
+  GradB.fill(0.0);
+}
+
+void Conv2DLayer::buildLowered() const {
+  auto Form = std::make_unique<LoweredForm>();
+  Form->W = Matrix(OutShape.size(), InShape.size());
+  Form->Bias = Vector(OutShape.size());
+  for (int Oc = 0; Oc < OutShape.Channels; ++Oc) {
+    for (int Oy = 0; Oy < OutShape.Height; ++Oy) {
+      for (int Ox = 0; Ox < OutShape.Width; ++Ox) {
+        int Row = OutShape.index(Oc, Oy, Ox);
+        Form->Bias[Row] = B[Oc];
+        for (int Ic = 0; Ic < InShape.Channels; ++Ic) {
+          for (int Ky = 0; Ky < KH; ++Ky) {
+            int Iy = Oy * S + Ky - P;
+            if (Iy < 0 || Iy >= InShape.Height)
+              continue;
+            for (int Kx = 0; Kx < KW; ++Kx) {
+              int Ix = Ox * S + Kx - P;
+              if (Ix < 0 || Ix >= InShape.Width)
+                continue;
+              Form->W(Row, InShape.index(Ic, Iy, Ix)) =
+                  Kernels[kernelIndex(Oc, Ic, Ky, Kx)];
+            }
+          }
+        }
+      }
+    }
+  }
+  Lowered = std::move(Form);
+}
+
+std::optional<AffineView> Conv2DLayer::affineForm() const {
+  if (!Lowered)
+    buildLowered();
+  return AffineView{&Lowered->W, &Lowered->Bias};
+}
+
+std::unique_ptr<Layer> Conv2DLayer::clone() const {
+  auto Copy =
+      std::make_unique<Conv2DLayer>(InShape, OutShape.Channels, KH, KW, S, P);
+  Copy->Kernels = Kernels;
+  Copy->B = B;
+  return Copy;
+}

@@ -1,0 +1,108 @@
+//===- Conv2D.h - 2-D convolution layer -------------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 2-D convolution with zero padding. Tensors are flattened channel-major:
+/// index(c, y, x) = c*H*W + y*W + x. Sec. 2.1 of the paper treats
+/// convolutional layers as affine transformations for analysis purposes;
+/// \c affineForm() returns the lowered dense matrix (cached between weight
+/// updates) so the abstract transformers see the exact same map the concrete
+/// forward pass computes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_CONV2D_H
+#define CHARON_NN_CONV2D_H
+
+#include "nn/Layer.h"
+
+namespace charon {
+class Rng;
+
+/// Shape of a conv/pool input or output tensor.
+struct TensorShape {
+  int Channels;
+  int Height;
+  int Width;
+
+  int size() const { return Channels * Height * Width; }
+  int index(int C, int Y, int X) const { return (C * Height + Y) * Width + X; }
+};
+
+/// 2-D convolution layer with stride and zero padding.
+class Conv2DLayer : public Layer {
+public:
+  /// Creates a zero-initialized convolution from \p In (shape) with
+  /// \p OutChannels filters of size \p KernelH x \p KernelW.
+  Conv2DLayer(TensorShape In, int OutChannels, int KernelH, int KernelW,
+              int Stride, int Pad);
+
+  /// He-initializes the kernels.
+  void initHe(Rng &R);
+
+  LayerKind kind() const override { return LayerKind::Conv2D; }
+  size_t inputSize() const override { return InShape.size(); }
+  size_t outputSize() const override { return OutShape.size(); }
+
+  Vector forward(const Vector &Input) const override;
+  Vector backward(const Vector &Input, const Vector &GradOut,
+                  bool AccumulateParams) override;
+  void applyGradients(double LearningRate, double BatchSize) override;
+  void zeroGradients() override;
+
+  std::optional<AffineView> affineForm() const override;
+
+  std::unique_ptr<Layer> clone() const override;
+
+  const TensorShape &inputShape() const { return InShape; }
+  const TensorShape &outputShape() const { return OutShape; }
+  int kernelHeight() const { return KH; }
+  int kernelWidth() const { return KW; }
+  int stride() const { return S; }
+  int padding() const { return P; }
+
+  /// Kernel weight for (output channel, input channel, ky, kx).
+  double kernelAt(int Oc, int Ic, int Ky, int Kx) const {
+    return Kernels[kernelIndex(Oc, Ic, Ky, Kx)];
+  }
+  double &kernelAt(int Oc, int Ic, int Ky, int Kx) {
+    Lowered.reset();
+    return Kernels[kernelIndex(Oc, Ic, Ky, Kx)];
+  }
+
+  const Vector &bias() const { return B; }
+  Vector &bias() {
+    Lowered.reset();
+    return B;
+  }
+
+private:
+  int kernelIndex(int Oc, int Ic, int Ky, int Kx) const {
+    return ((Oc * InShape.Channels + Ic) * KH + Ky) * KW + Kx;
+  }
+
+  void buildLowered() const;
+
+  TensorShape InShape;
+  TensorShape OutShape;
+  int KH, KW, S, P;
+  std::vector<double> Kernels;
+  Vector B;
+  std::vector<double> GradKernels;
+  Vector GradB;
+
+  /// Cached dense lowering y = W x + b of the convolution; rebuilt lazily
+  /// after any weight update.
+  struct LoweredForm {
+    Matrix W;
+    Vector Bias;
+  };
+  mutable std::unique_ptr<LoweredForm> Lowered;
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_CONV2D_H

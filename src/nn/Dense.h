@@ -1,0 +1,62 @@
+//===- Dense.h - Fully connected (affine) layer -----------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fully connected layer computing y = W x + b (Sec. 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_DENSE_H
+#define CHARON_NN_DENSE_H
+
+#include "nn/Layer.h"
+
+namespace charon {
+class Rng;
+
+/// Fully connected affine layer y = W x + b.
+class DenseLayer : public Layer {
+public:
+  /// Creates a zero-initialized layer mapping \p In to \p Out dimensions.
+  DenseLayer(size_t In, size_t Out);
+
+  /// Creates a layer with explicit parameters.
+  DenseLayer(Matrix Weights, Vector Bias);
+
+  /// He-initializes weights (scaled for a following ReLU).
+  void initHe(Rng &R);
+
+  LayerKind kind() const override { return LayerKind::Dense; }
+  size_t inputSize() const override { return W.cols(); }
+  size_t outputSize() const override { return W.rows(); }
+
+  Vector forward(const Vector &Input) const override;
+  Vector backward(const Vector &Input, const Vector &GradOut,
+                  bool AccumulateParams) override;
+  void applyGradients(double LearningRate, double BatchSize) override;
+  void zeroGradients() override;
+
+  std::optional<AffineView> affineForm() const override {
+    return AffineView{&W, &B};
+  }
+
+  std::unique_ptr<Layer> clone() const override;
+
+  const Matrix &weights() const { return W; }
+  const Vector &bias() const { return B; }
+  Matrix &weights() { return W; }
+  Vector &bias() { return B; }
+
+private:
+  Matrix W;
+  Vector B;
+  Matrix GradW;
+  Vector GradB;
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_DENSE_H

@@ -1,0 +1,144 @@
+//===- Io.cpp - Network (de)serialization -----------------------------------===//
+
+#include "nn/Io.h"
+
+#include "nn/Conv2D.h"
+#include "nn/Dense.h"
+#include "nn/MaxPool2D.h"
+#include "nn/Relu.h"
+#include "support/Check.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+using namespace charon;
+
+void charon::saveNetwork(const Network &Net, std::ostream &Os) {
+  Os << "charon-network 1 " << Net.numLayers() << "\n";
+  Os << std::setprecision(17);
+  for (size_t I = 0, E = Net.numLayers(); I < E; ++I) {
+    const Layer &L = Net.layer(I);
+    switch (L.kind()) {
+    case LayerKind::Dense: {
+      const auto &D = static_cast<const DenseLayer &>(L);
+      Os << "dense " << D.inputSize() << " " << D.outputSize() << "\n";
+      const Matrix &W = D.weights();
+      for (size_t R = 0; R < W.rows(); ++R) {
+        for (size_t C = 0; C < W.cols(); ++C)
+          Os << W(R, C) << " ";
+        Os << "\n";
+      }
+      for (size_t R = 0; R < D.bias().size(); ++R)
+        Os << D.bias()[R] << " ";
+      Os << "\n";
+      break;
+    }
+    case LayerKind::Relu:
+      Os << "relu " << L.inputSize() << "\n";
+      break;
+    case LayerKind::Conv2D: {
+      const auto &C = static_cast<const Conv2DLayer &>(L);
+      const TensorShape &In = C.inputShape();
+      Os << "conv " << In.Channels << " " << In.Height << " " << In.Width
+         << " " << C.outputShape().Channels << " " << C.kernelHeight() << " "
+         << C.kernelWidth() << " " << C.stride() << " " << C.padding() << "\n";
+      for (int Oc = 0; Oc < C.outputShape().Channels; ++Oc)
+        for (int Ic = 0; Ic < In.Channels; ++Ic)
+          for (int Ky = 0; Ky < C.kernelHeight(); ++Ky)
+            for (int Kx = 0; Kx < C.kernelWidth(); ++Kx)
+              Os << C.kernelAt(Oc, Ic, Ky, Kx) << " ";
+      Os << "\n";
+      for (size_t R = 0; R < C.bias().size(); ++R)
+        Os << C.bias()[R] << " ";
+      Os << "\n";
+      break;
+    }
+    case LayerKind::MaxPool2D: {
+      const auto &M = static_cast<const MaxPool2DLayer &>(L);
+      const TensorShape &In = M.inputShape();
+      Os << "maxpool " << In.Channels << " " << In.Height << " " << In.Width
+         << " " << M.poolHeight() << " " << M.poolWidth() << " " << M.stride()
+         << "\n";
+      break;
+    }
+    }
+  }
+}
+
+std::optional<Network> charon::loadNetwork(std::istream &Is) {
+  std::string Magic;
+  int Version = 0;
+  size_t NumLayers = 0;
+  if (!(Is >> Magic >> Version >> NumLayers) || Magic != "charon-network" ||
+      Version != 1)
+    return std::nullopt;
+
+  Network Net;
+  for (size_t I = 0; I < NumLayers; ++I) {
+    std::string Kind;
+    if (!(Is >> Kind))
+      return std::nullopt;
+    if (Kind == "dense") {
+      size_t In = 0, Out = 0;
+      if (!(Is >> In >> Out))
+        return std::nullopt;
+      Matrix W(Out, In);
+      for (size_t R = 0; R < Out; ++R)
+        for (size_t C = 0; C < In; ++C)
+          if (!(Is >> W(R, C)))
+            return std::nullopt;
+      Vector B(Out);
+      for (size_t R = 0; R < Out; ++R)
+        if (!(Is >> B[R]))
+          return std::nullopt;
+      Net.addLayer(std::make_unique<DenseLayer>(std::move(W), std::move(B)));
+    } else if (Kind == "relu") {
+      size_t N = 0;
+      if (!(Is >> N))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<ReluLayer>(N));
+    } else if (Kind == "conv") {
+      TensorShape In;
+      int OutC = 0, KH = 0, KW = 0, S = 0, P = 0;
+      if (!(Is >> In.Channels >> In.Height >> In.Width >> OutC >> KH >> KW >>
+            S >> P))
+        return std::nullopt;
+      auto C = std::make_unique<Conv2DLayer>(In, OutC, KH, KW, S, P);
+      for (int Oc = 0; Oc < OutC; ++Oc)
+        for (int Ic = 0; Ic < In.Channels; ++Ic)
+          for (int Ky = 0; Ky < KH; ++Ky)
+            for (int Kx = 0; Kx < KW; ++Kx)
+              if (!(Is >> C->kernelAt(Oc, Ic, Ky, Kx)))
+                return std::nullopt;
+      for (size_t R = 0; R < C->bias().size(); ++R)
+        if (!(Is >> C->bias()[R]))
+          return std::nullopt;
+      Net.addLayer(std::move(C));
+    } else if (Kind == "maxpool") {
+      TensorShape In;
+      int PH = 0, PW = 0, S = 0;
+      if (!(Is >> In.Channels >> In.Height >> In.Width >> PH >> PW >> S))
+        return std::nullopt;
+      Net.addLayer(std::make_unique<MaxPool2DLayer>(In, PH, PW, S));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return Net;
+}
+
+bool charon::saveNetworkFile(const Network &Net, const std::string &Path) {
+  std::ofstream Os(Path);
+  if (!Os)
+    return false;
+  saveNetwork(Net, Os);
+  return static_cast<bool>(Os);
+}
+
+std::optional<Network> charon::loadNetworkFile(const std::string &Path) {
+  std::ifstream Is(Path);
+  if (!Is)
+    return std::nullopt;
+  return loadNetwork(Is);
+}

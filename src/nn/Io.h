@@ -1,0 +1,47 @@
+//===- Io.h - Network (de)serialization --------------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text serialization for networks so trained models can be saved once and
+/// re-verified across runs (and inspected by hand). The format is a simple
+/// line-oriented description; see saveNetwork() for the grammar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_IO_H
+#define CHARON_NN_IO_H
+
+#include "nn/Network.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace charon {
+
+/// Writes \p Net to \p Os.
+///
+/// Format (whitespace separated):
+/// \code
+///   charon-network 1 <num-layers>
+///   dense <in> <out> <out*in weights row-major> <out biases>
+///   relu <n>
+///   conv <inC> <inH> <inW> <outC> <kH> <kW> <stride> <pad> <weights> <bias>
+///   maxpool <inC> <inH> <inW> <poolH> <poolW> <stride>
+/// \endcode
+void saveNetwork(const Network &Net, std::ostream &Os);
+
+/// Parses a network from \p Is; returns nullopt on malformed input.
+std::optional<Network> loadNetwork(std::istream &Is);
+
+/// Convenience: save to / load from a file path. Load returns nullopt when
+/// the file is missing or malformed.
+bool saveNetworkFile(const Network &Net, const std::string &Path);
+std::optional<Network> loadNetworkFile(const std::string &Path);
+
+} // namespace charon
+
+#endif // CHARON_NN_IO_H

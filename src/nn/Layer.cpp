@@ -1,0 +1,11 @@
+//===- Layer.cpp - Neural network layer interface --------------------------===//
+
+#include "nn/Layer.h"
+
+using namespace charon;
+
+Layer::~Layer() = default;
+
+void Layer::applyGradients(double, double) {}
+
+void Layer::zeroGradients() {}

@@ -1,0 +1,94 @@
+//===- Layer.h - Neural network layer interface -----------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layer interface shared by concrete evaluation, gradient computation,
+/// training, and abstract interpretation. Following Sec. 2.1 of the paper, a
+/// network is a composition of differentiable layers and ReLU activations;
+/// fully-connected and convolutional layers are both expressible as affine
+/// transformations, which is exactly the view the abstract analyzer takes
+/// via \c affineForm().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_LAYER_H
+#define CHARON_NN_LAYER_H
+
+#include "linalg/Matrix.h"
+#include "linalg/Vector.h"
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace charon {
+
+/// Discriminator for the concrete layer classes.
+enum class LayerKind { Dense, Relu, Conv2D, MaxPool2D };
+
+/// View of a layer as the affine map y = W x + b (Sec. 2.1). The pointers
+/// stay valid until the layer's parameters change.
+struct AffineView {
+  const Matrix *W;
+  const Vector *B;
+};
+
+/// Pooling structure: for each output coordinate, the input coordinates it
+/// takes the max over. Used by both concrete eval and abstract transformers.
+struct PoolSpec {
+  /// PoolIndices[o] lists the flat input indices pooled into output o.
+  std::vector<std::vector<int>> PoolIndices;
+};
+
+/// Abstract base class for network layers.
+///
+/// A layer supports concrete forward evaluation, reverse-mode gradient
+/// propagation (with optional parameter-gradient accumulation for training),
+/// and exposes one of three abstract-transformer shapes: affine, ReLU, or
+/// max-pool.
+class Layer {
+public:
+  virtual ~Layer();
+
+  virtual LayerKind kind() const = 0;
+  virtual size_t inputSize() const = 0;
+  virtual size_t outputSize() const = 0;
+
+  /// Computes the layer output for \p Input.
+  virtual Vector forward(const Vector &Input) const = 0;
+
+  /// Reverse-mode step: given the \p Input this layer saw and the gradient
+  /// \p GradOut of the loss w.r.t. the layer output, returns the gradient
+  /// w.r.t. the input. When \p AccumulateParams is true, also accumulates
+  /// parameter gradients for a later applyGradients() (training).
+  virtual Vector backward(const Vector &Input, const Vector &GradOut,
+                          bool AccumulateParams) = 0;
+
+  /// SGD step: Params -= LearningRate * AccumGrad / BatchSize. No-op for
+  /// parameterless layers.
+  virtual void applyGradients(double LearningRate, double BatchSize);
+
+  /// Clears accumulated parameter gradients.
+  virtual void zeroGradients();
+
+  /// If this layer is an affine map, returns its (W, b) view. Dense layers
+  /// return their parameters directly; Conv2D returns the lowered matrix
+  /// (cached, rebuilt after weight updates).
+  virtual std::optional<AffineView> affineForm() const { return std::nullopt; }
+
+  /// True for ReLU activation layers.
+  virtual bool isRelu() const { return false; }
+
+  /// Non-null for max-pool layers.
+  virtual const PoolSpec *poolSpec() const { return nullptr; }
+
+  /// Deep copy.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_LAYER_H

@@ -1,0 +1,56 @@
+//===- MaxPool2D.cpp - 2-D max pooling layer --------------------------------===//
+
+#include "nn/MaxPool2D.h"
+
+using namespace charon;
+
+MaxPool2DLayer::MaxPool2DLayer(TensorShape In, int PoolH, int PoolW,
+                               int Stride)
+    : InShape(In), PH(PoolH), PW(PoolW), S(Stride) {
+  OutShape.Channels = In.Channels;
+  OutShape.Height = (In.Height - PoolH) / Stride + 1;
+  OutShape.Width = (In.Width - PoolW) / Stride + 1;
+  assert(OutShape.Height > 0 && OutShape.Width > 0 && "pool output is empty");
+  Spec.PoolIndices.resize(OutShape.size());
+  for (int C = 0; C < OutShape.Channels; ++C) {
+    for (int Oy = 0; Oy < OutShape.Height; ++Oy) {
+      for (int Ox = 0; Ox < OutShape.Width; ++Ox) {
+        std::vector<int> &Pool = Spec.PoolIndices[OutShape.index(C, Oy, Ox)];
+        for (int Py = 0; Py < PH; ++Py)
+          for (int Px = 0; Px < PW; ++Px)
+            Pool.push_back(InShape.index(C, Oy * S + Py, Ox * S + Px));
+      }
+    }
+  }
+}
+
+Vector MaxPool2DLayer::forward(const Vector &Input) const {
+  assert(Input.size() == static_cast<size_t>(InShape.size()) &&
+         "pool input size mismatch");
+  Vector Out(OutShape.size());
+  for (size_t O = 0, E = Spec.PoolIndices.size(); O < E; ++O) {
+    const std::vector<int> &Pool = Spec.PoolIndices[O];
+    double Best = Input[Pool.front()];
+    for (size_t I = 1; I < Pool.size(); ++I)
+      Best = std::max(Best, Input[Pool[I]]);
+    Out[O] = Best;
+  }
+  return Out;
+}
+
+Vector MaxPool2DLayer::backward(const Vector &Input, const Vector &GradOut,
+                                bool) {
+  assert(GradOut.size() == static_cast<size_t>(OutShape.size()) &&
+         "pool gradient size mismatch");
+  Vector GradIn(InShape.size());
+  // Route each output gradient to the (first) argmax input of its window.
+  for (size_t O = 0, E = Spec.PoolIndices.size(); O < E; ++O) {
+    const std::vector<int> &Pool = Spec.PoolIndices[O];
+    int BestIdx = Pool.front();
+    for (size_t I = 1; I < Pool.size(); ++I)
+      if (Input[Pool[I]] > Input[BestIdx])
+        BestIdx = Pool[I];
+    GradIn[BestIdx] += GradOut[O];
+  }
+  return GradIn;
+}

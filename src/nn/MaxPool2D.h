@@ -1,0 +1,57 @@
+//===- MaxPool2D.h - 2-D max pooling layer ----------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 2-D max pooling. The paper's convolutional network (LeNet architecture,
+/// Sec. 7) interleaves max-pool layers with convolutions; the abstract
+/// analyzer consumes the layer via \c poolSpec().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_MAXPOOL2D_H
+#define CHARON_NN_MAXPOOL2D_H
+
+#include "nn/Conv2D.h"
+#include "nn/Layer.h"
+
+namespace charon {
+
+/// Non-overlapping (or strided) 2-D max pooling.
+class MaxPool2DLayer : public Layer {
+public:
+  /// Pools \p In with windows of \p PoolH x \p PoolW and stride \p Stride.
+  MaxPool2DLayer(TensorShape In, int PoolH, int PoolW, int Stride);
+
+  LayerKind kind() const override { return LayerKind::MaxPool2D; }
+  size_t inputSize() const override { return InShape.size(); }
+  size_t outputSize() const override { return OutShape.size(); }
+
+  Vector forward(const Vector &Input) const override;
+  Vector backward(const Vector &Input, const Vector &GradOut,
+                  bool AccumulateParams) override;
+
+  const PoolSpec *poolSpec() const override { return &Spec; }
+
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2DLayer>(InShape, PH, PW, S);
+  }
+
+  const TensorShape &inputShape() const { return InShape; }
+  const TensorShape &outputShape() const { return OutShape; }
+  int poolHeight() const { return PH; }
+  int poolWidth() const { return PW; }
+  int stride() const { return S; }
+
+private:
+  TensorShape InShape;
+  TensorShape OutShape;
+  int PH, PW, S;
+  PoolSpec Spec;
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_MAXPOOL2D_H

@@ -1,0 +1,109 @@
+//===- Network.cpp - Sequential feed-forward network ------------------------===//
+
+#include "nn/Network.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace charon;
+
+void Network::addLayer(std::unique_ptr<Layer> L) {
+  assert(L && "null layer");
+  assert((Layers.empty() || Layers.back()->outputSize() == L->inputSize()) &&
+         "layer input size must match previous output size");
+  Layers.push_back(std::move(L));
+}
+
+size_t Network::inputSize() const {
+  assert(!Layers.empty() && "empty network");
+  return Layers.front()->inputSize();
+}
+
+size_t Network::outputSize() const {
+  assert(!Layers.empty() && "empty network");
+  return Layers.back()->outputSize();
+}
+
+Vector Network::evaluate(const Vector &Input) const {
+  Vector X = Input;
+  for (const auto &L : Layers)
+    X = L->forward(X);
+  return X;
+}
+
+std::vector<Vector> Network::evaluateWithActivations(const Vector &Input) const {
+  std::vector<Vector> Acts;
+  Acts.reserve(Layers.size() + 1);
+  Acts.push_back(Input);
+  for (const auto &L : Layers)
+    Acts.push_back(L->forward(Acts.back()));
+  return Acts;
+}
+
+size_t Network::classify(const Vector &Input) const {
+  return argmax(evaluate(Input));
+}
+
+Vector Network::inputGradient(const Vector &Input, const Vector &Seed) const {
+  std::vector<Vector> Acts = evaluateWithActivations(Input);
+  Vector Grad = Seed;
+  for (size_t Iu = Layers.size(); Iu > 0; --Iu) {
+    size_t I = Iu - 1;
+    Grad = Layers[I]->backward(Acts[I], Grad, /*AccumulateParams=*/false);
+  }
+  return Grad;
+}
+
+double Network::objective(const Vector &Input, size_t K) const {
+  Vector Y = evaluate(Input);
+  assert(K < Y.size() && "target class out of range");
+  double Best = -std::numeric_limits<double>::infinity();
+  for (size_t J = 0, E = Y.size(); J < E; ++J)
+    if (J != K && Y[J] > Best)
+      Best = Y[J];
+  return Y[K] - Best;
+}
+
+Vector Network::objectiveGradient(const Vector &Input, size_t K) const {
+  Vector Y = evaluate(Input);
+  assert(K < Y.size() && "target class out of range");
+  size_t BestJ = K == 0 ? 1 : 0;
+  for (size_t J = 0, E = Y.size(); J < E; ++J)
+    if (J != K && Y[J] > Y[BestJ])
+      BestJ = J;
+  // d/dx [ y_K - y_{j*} ] with j* the active competitor class.
+  Vector Seed(Y.size());
+  Seed[K] = 1.0;
+  Seed[BestJ] = -1.0;
+  return inputGradient(Input, Seed);
+}
+
+Network Network::clone() const {
+  Network Copy;
+  for (const auto &L : Layers)
+    Copy.addLayer(L->clone());
+  Copy.Name = Name;
+  return Copy;
+}
+
+void Network::zeroGradients() {
+  for (auto &L : Layers)
+    L->zeroGradients();
+}
+
+void Network::applyGradients(double LearningRate, double BatchSize) {
+  for (auto &L : Layers)
+    L->applyGradients(LearningRate, BatchSize);
+}
+
+Vector Network::backpropagate(const std::vector<Vector> &Activations,
+                              const Vector &GradOut) {
+  assert(Activations.size() == Layers.size() + 1 &&
+         "activation trace size mismatch");
+  Vector Grad = GradOut;
+  for (size_t Iu = Layers.size(); Iu > 0; --Iu) {
+    size_t I = Iu - 1;
+    Grad = Layers[I]->backward(Activations[I], Grad, /*AccumulateParams=*/true);
+  }
+  return Grad;
+}

@@ -1,0 +1,86 @@
+//===- Network.h - Sequential feed-forward network --------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A feed-forward network N : R^n -> R^m as a sequence of layers
+/// (Sec. 2.1). Supports concrete evaluation, classification, and reverse-mode
+/// gradients w.r.t. the input — the primitive behind the paper's
+/// gradient-based counterexample search (Sec. 3, Eq. 1-2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_NETWORK_H
+#define CHARON_NN_NETWORK_H
+
+#include "nn/Layer.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace charon {
+
+/// Sequential feed-forward network.
+class Network {
+public:
+  Network() = default;
+
+  /// Appends \p L; its input size must match the current output size.
+  void addLayer(std::unique_ptr<Layer> L);
+
+  size_t numLayers() const { return Layers.size(); }
+  Layer &layer(size_t I) { return *Layers[I]; }
+  const Layer &layer(size_t I) const { return *Layers[I]; }
+
+  size_t inputSize() const;
+  size_t outputSize() const;
+
+  /// Evaluates the network on \p Input.
+  Vector evaluate(const Vector &Input) const;
+
+  /// Evaluates and records every intermediate activation; Activations[0] is
+  /// the input and Activations[numLayers()] the output.
+  std::vector<Vector> evaluateWithActivations(const Vector &Input) const;
+
+  /// Class with the highest score for \p Input (Sec. 2.1).
+  size_t classify(const Vector &Input) const;
+
+  /// Gradient of Seed . N(x) with respect to x, computed by reverse-mode
+  /// differentiation. \p Seed has output dimension.
+  Vector inputGradient(const Vector &Input, const Vector &Seed) const;
+
+  /// Robustness objective F(x) = N(x)_K - max_{j != K} N(x)_j (Eq. 2).
+  /// Negative or zero iff x is an adversarial counterexample for class K.
+  double objective(const Vector &Input, size_t K) const;
+
+  /// Gradient of the objective at \p Input via the active argmax branch.
+  Vector objectiveGradient(const Vector &Input, size_t K) const;
+
+  /// Deep copy.
+  Network clone() const;
+
+  /// Optional human-readable name (used in benchmark reports).
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Training hooks: forwarded to every layer.
+  void zeroGradients();
+  void applyGradients(double LearningRate, double BatchSize);
+
+  /// Backpropagates \p GradOut through the whole network given the
+  /// activations from evaluateWithActivations(); accumulates parameter
+  /// gradients. Returns the gradient at the input.
+  Vector backpropagate(const std::vector<Vector> &Activations,
+                       const Vector &GradOut);
+
+private:
+  std::vector<std::unique_ptr<Layer>> Layers;
+  std::string Name;
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_NETWORK_H

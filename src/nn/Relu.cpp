@@ -1,0 +1,24 @@
+//===- Relu.cpp - Rectified linear unit activation -------------------------===//
+
+#include "nn/Relu.h"
+
+using namespace charon;
+
+Vector ReluLayer::forward(const Vector &Input) const {
+  assert(Input.size() == Size && "relu input size mismatch");
+  Vector Y(Size);
+  for (size_t I = 0; I < Size; ++I)
+    Y[I] = Input[I] > 0.0 ? Input[I] : 0.0;
+  return Y;
+}
+
+Vector ReluLayer::backward(const Vector &Input, const Vector &GradOut, bool) {
+  assert(Input.size() == Size && GradOut.size() == Size &&
+         "relu gradient size mismatch");
+  Vector GradIn(Size);
+  // Subgradient: pass through where the unit was active. At exactly zero we
+  // use the 0 branch, matching the forward max(x, 0) tie-break.
+  for (size_t I = 0; I < Size; ++I)
+    GradIn[I] = Input[I] > 0.0 ? GradOut[I] : 0.0;
+  return GradIn;
+}

@@ -1,0 +1,45 @@
+//===- Relu.h - Rectified linear unit activation ----------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Element-wise ReLU(x) = max(x, 0), the activation the paper's networks use
+/// throughout (Sec. 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_RELU_H
+#define CHARON_NN_RELU_H
+
+#include "nn/Layer.h"
+
+namespace charon {
+
+/// Element-wise rectified linear unit.
+class ReluLayer : public Layer {
+public:
+  explicit ReluLayer(size_t N) : Size(N) {}
+
+  LayerKind kind() const override { return LayerKind::Relu; }
+  size_t inputSize() const override { return Size; }
+  size_t outputSize() const override { return Size; }
+
+  Vector forward(const Vector &Input) const override;
+  Vector backward(const Vector &Input, const Vector &GradOut,
+                  bool AccumulateParams) override;
+
+  bool isRelu() const override { return true; }
+
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReluLayer>(Size);
+  }
+
+private:
+  size_t Size;
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_RELU_H

@@ -1,0 +1,75 @@
+//===- Train.cpp - SGD training for classification networks ----------------===//
+
+#include "nn/Train.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+Vector charon::softmax(const Vector &Logits) {
+  assert(!Logits.empty() && "softmax of empty vector");
+  double MaxLogit = Logits[argmax(Logits)];
+  Vector Probs(Logits.size());
+  double Sum = 0.0;
+  for (size_t I = 0, E = Logits.size(); I < E; ++I) {
+    Probs[I] = std::exp(Logits[I] - MaxLogit);
+    Sum += Probs[I];
+  }
+  for (size_t I = 0, E = Probs.size(); I < E; ++I)
+    Probs[I] /= Sum;
+  return Probs;
+}
+
+double charon::crossEntropy(const Vector &Logits, int Label) {
+  assert(Label >= 0 && static_cast<size_t>(Label) < Logits.size() &&
+         "label out of range");
+  Vector Probs = softmax(Logits);
+  return -std::log(std::max(Probs[Label], 1e-12));
+}
+
+double charon::trainSgd(Network &Net, const Dataset &Data,
+                        const TrainConfig &Config, Rng &R) {
+  assert(Data.size() > 0 && "empty dataset");
+  assert(Net.outputSize() == static_cast<size_t>(Data.NumClasses) &&
+         "network output size must match the class count");
+
+  std::vector<int> Order(Data.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = static_cast<int>(I);
+
+  double Lr = Config.LearningRate;
+  for (int Epoch = 0; Epoch < Config.Epochs; ++Epoch) {
+    R.shuffle(Order);
+    for (size_t Start = 0; Start < Order.size();
+         Start += static_cast<size_t>(Config.BatchSize)) {
+      size_t End =
+          std::min(Order.size(), Start + static_cast<size_t>(Config.BatchSize));
+      Net.zeroGradients();
+      for (size_t I = Start; I < End; ++I) {
+        const Vector &X = Data.Inputs[Order[I]];
+        int Label = Data.Labels[Order[I]];
+        std::vector<Vector> Acts = Net.evaluateWithActivations(X);
+        // d(cross-entropy)/d(logits) = softmax(logits) - onehot(label).
+        Vector Grad = softmax(Acts.back());
+        Grad[Label] -= 1.0;
+        Net.backpropagate(Acts, Grad);
+      }
+      Net.applyGradients(Lr, static_cast<double>(End - Start));
+    }
+    Lr *= Config.LearningRateDecay;
+  }
+  return accuracy(Net, Data);
+}
+
+double charon::accuracy(const Network &Net, const Dataset &Data) {
+  if (Data.size() == 0)
+    return 0.0;
+  size_t Correct = 0;
+  for (size_t I = 0, E = Data.size(); I < E; ++I)
+    if (Net.classify(Data.Inputs[I]) == static_cast<size_t>(Data.Labels[I]))
+      ++Correct;
+  return static_cast<double>(Correct) / static_cast<double>(Data.size());
+}

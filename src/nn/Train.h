@@ -1,0 +1,61 @@
+//===- Train.h - SGD training for classification networks -------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minibatch SGD with softmax cross-entropy loss. The paper evaluates on
+/// networks trained on MNIST/CIFAR; since those datasets are not available
+/// offline we train the same architectures on synthetic datasets (see
+/// src/data/) with this trainer, producing genuinely trained ReLU networks
+/// with both robust and non-robust input regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_TRAIN_H
+#define CHARON_NN_TRAIN_H
+
+#include "linalg/Vector.h"
+#include "nn/Network.h"
+
+#include <vector>
+
+namespace charon {
+class Rng;
+
+/// A labeled dataset: Inputs[i] has label Labels[i] in [0, NumClasses).
+struct Dataset {
+  std::vector<Vector> Inputs;
+  std::vector<int> Labels;
+  int NumClasses = 0;
+
+  size_t size() const { return Inputs.size(); }
+};
+
+/// SGD hyperparameters.
+struct TrainConfig {
+  int Epochs = 10;
+  int BatchSize = 32;
+  double LearningRate = 0.05;
+  /// Multiplied into the learning rate after each epoch.
+  double LearningRateDecay = 0.95;
+};
+
+/// Softmax of \p Logits (numerically stabilized).
+Vector softmax(const Vector &Logits);
+
+/// Cross-entropy loss of \p Logits against \p Label.
+double crossEntropy(const Vector &Logits, int Label);
+
+/// Trains \p Net in place with minibatch SGD and cross-entropy loss.
+/// Returns the final training accuracy in [0, 1].
+double trainSgd(Network &Net, const Dataset &Data, const TrainConfig &Config,
+                Rng &R);
+
+/// Fraction of \p Data classified correctly by \p Net.
+double accuracy(const Network &Net, const Dataset &Data);
+
+} // namespace charon
+
+#endif // CHARON_NN_TRAIN_H

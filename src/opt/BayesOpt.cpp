@@ -1,0 +1,103 @@
+//===- BayesOpt.cpp - Bayesian optimization driver ----------------------------===//
+
+#include "opt/BayesOpt.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace charon;
+
+namespace {
+
+/// Standard normal pdf.
+double normPdf(double Z) {
+  return std::exp(-0.5 * Z * Z) / std::sqrt(2.0 * M_PI);
+}
+
+/// Standard normal cdf via erfc.
+double normCdf(double Z) { return 0.5 * std::erfc(-Z / std::sqrt(2.0)); }
+
+} // namespace
+
+double charon::expectedImprovement(double Mean, double Variance, double BestY,
+                                   double Xi) {
+  double Sigma = std::sqrt(Variance);
+  double Improvement = Mean - BestY - Xi;
+  if (Sigma < 1e-12)
+    return Improvement > 0.0 ? Improvement : 0.0;
+  double Z = Improvement / Sigma;
+  return Improvement * normCdf(Z) + Sigma * normPdf(Z);
+}
+
+BayesOptResult
+charon::bayesOptimize(const std::function<double(const Vector &)> &Objective,
+                      const Box &Domain, const BayesOptConfig &Config, Rng &R) {
+  assert(Config.InitialSamples >= 1 && "need at least one initial sample");
+  BayesOptResult Result;
+  Result.BestY = -std::numeric_limits<double>::infinity();
+
+  auto Evaluate = [&](const Vector &X) {
+    double Y = Objective(X);
+    Result.History.push_back(BayesOptSample{X, Y});
+    if (Y > Result.BestY) {
+      Result.BestY = Y;
+      Result.BestX = X;
+    }
+  };
+
+  // Seed with the domain center plus uniform random samples (exploration
+  // prior to having any model).
+  Evaluate(Domain.center());
+  for (int I = 1; I < Config.InitialSamples; ++I)
+    Evaluate(Domain.sample(R));
+
+  // Normalize observations before fitting (GP prior is zero-mean).
+  for (int Iter = 0; Iter < Config.Iterations; ++Iter) {
+    std::vector<Vector> Xs;
+    Vector Ys(Result.History.size());
+    Xs.reserve(Result.History.size());
+    double Mean = 0.0;
+    for (const auto &S : Result.History)
+      Mean += S.Y;
+    Mean /= static_cast<double>(Result.History.size());
+    double Var = 0.0;
+    for (const auto &S : Result.History)
+      Var += (S.Y - Mean) * (S.Y - Mean);
+    Var /= static_cast<double>(Result.History.size());
+    double Scale = Var > 1e-12 ? std::sqrt(Var) : 1.0;
+    for (size_t I = 0; I < Result.History.size(); ++I) {
+      Xs.push_back(Result.History[I].X);
+      Ys[I] = (Result.History[I].Y - Mean) / Scale;
+    }
+
+    // Length scale heuristic: a fraction of the domain diameter.
+    GpConfig GpC = Config.Gp;
+    if (GpC.LengthScale <= 0.0)
+      GpC.LengthScale = 0.2 * Domain.diameter();
+    GaussianProcess Gp(GpC);
+    if (!Gp.fit(std::move(Xs), std::move(Ys))) {
+      // Surrogate failed (degenerate data); fall back to random search.
+      Evaluate(Domain.sample(R));
+      continue;
+    }
+
+    double BestNorm = (Result.BestY - Mean) / Scale;
+    Vector BestCandidate = Domain.sample(R);
+    double BestEi = -1.0;
+    for (int C = 0; C < Config.Candidates; ++C) {
+      Vector X = Domain.sample(R);
+      GpPrediction P = Gp.predict(X);
+      double Ei = expectedImprovement(P.Mean, P.Variance, BestNorm,
+                                      Config.ExploreXi);
+      if (Ei > BestEi) {
+        BestEi = Ei;
+        BestCandidate = std::move(X);
+      }
+    }
+    Evaluate(BestCandidate);
+  }
+  return Result;
+}

@@ -1,0 +1,63 @@
+//===- BayesOpt.h - Bayesian optimization driver ------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Black-box Bayesian optimization (Sec. 4.2): repeatedly fit a Gaussian-
+/// process surrogate to the observations so far, maximize the expected-
+/// improvement acquisition function over random candidates, evaluate the
+/// objective there, and return the best input found. This is the learning
+/// engine that tunes the verification-policy parameter matrix theta; the
+/// paper uses the BayesOpt library with the same surrogate and acquisition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_OPT_BAYESOPT_H
+#define CHARON_OPT_BAYESOPT_H
+
+#include "linalg/Box.h"
+#include "opt/GaussianProcess.h"
+
+#include <functional>
+#include <vector>
+
+namespace charon {
+class Rng;
+
+/// Bayesian-optimization settings.
+struct BayesOptConfig {
+  int InitialSamples = 8;  ///< random evaluations before fitting the GP
+  int Iterations = 24;     ///< GP-guided evaluations
+  int Candidates = 256;    ///< random candidates scored per iteration
+  double ExploreXi = 0.01; ///< EI exploration offset
+  GpConfig Gp;             ///< surrogate hyperparameters
+};
+
+/// One evaluated sample.
+struct BayesOptSample {
+  Vector X;
+  double Y;
+};
+
+/// Result: the best point found and the full evaluation history.
+struct BayesOptResult {
+  Vector BestX;
+  double BestY = 0.0;
+  std::vector<BayesOptSample> History;
+};
+
+/// Expected improvement of a GP posterior (\p Mean, \p Variance) over the
+/// incumbent \p BestY for maximization, with exploration offset \p Xi.
+double expectedImprovement(double Mean, double Variance, double BestY,
+                           double Xi);
+
+/// Maximizes \p Objective over \p Domain.
+BayesOptResult bayesOptimize(const std::function<double(const Vector &)> &Objective,
+                             const Box &Domain, const BayesOptConfig &Config,
+                             Rng &R);
+
+} // namespace charon
+
+#endif // CHARON_OPT_BAYESOPT_H

@@ -1,0 +1,66 @@
+//===- GaussianProcess.cpp - GP regression for Bayesian optimization ---------===//
+
+#include "opt/GaussianProcess.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+GaussianProcess::GaussianProcess(GpConfig C) : Config(C) {}
+
+double GaussianProcess::kernel(const Vector &A, const Vector &B) const {
+  double D = distance2(A, B);
+  return Config.SignalVariance *
+         std::exp(-0.5 * D * D / (Config.LengthScale * Config.LengthScale));
+}
+
+bool GaussianProcess::fit(std::vector<Vector> X, Vector Y) {
+  assert(X.size() == Y.size() && "observation count mismatch");
+  assert(!X.empty() && "cannot fit GP to zero observations");
+  Xs = std::move(X);
+
+  size_t N = Xs.size();
+  Matrix K(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double V = kernel(Xs[I], Xs[J]);
+      K(I, J) = V;
+      K(J, I) = V;
+    }
+  }
+
+  // Add noise, escalating jitter until the factorization succeeds.
+  double Jitter = Config.NoiseVariance;
+  for (int Attempt = 0; Attempt < 8; ++Attempt) {
+    Matrix Kj = K;
+    for (size_t I = 0; I < N; ++I)
+      Kj(I, I) += Jitter;
+    auto F = std::make_unique<Cholesky>(Kj);
+    if (F->isValid()) {
+      Alpha = F->solve(Y);
+      Factor = std::move(F);
+      return true;
+    }
+    Jitter *= 10.0;
+  }
+  Factor.reset();
+  return false;
+}
+
+GpPrediction GaussianProcess::predict(const Vector &Query) const {
+  assert(Factor && "predict before successful fit");
+  size_t N = Xs.size();
+  Vector Kstar(N);
+  for (size_t I = 0; I < N; ++I)
+    Kstar[I] = kernel(Xs[I], Query);
+
+  GpPrediction P;
+  P.Mean = dot(Kstar, Alpha);
+  // var = k(x,x) - k*^T K^-1 k* computed via the Cholesky factor.
+  Vector V = Factor->solveLower(Kstar);
+  P.Variance = Config.SignalVariance + Config.NoiseVariance - dot(V, V);
+  if (P.Variance < 0.0)
+    P.Variance = 0.0;
+  return P;
+}

@@ -1,0 +1,66 @@
+//===- Pgd.cpp - Projected gradient descent counterexample search ------------===//
+
+#include "opt/Pgd.h"
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace charon;
+
+PgdResult charon::pgdMinimize(const Network &Net, const Box &Region, size_t K,
+                              const PgdConfig &Config, Rng &R) {
+  PgdResult Best;
+  Best.X = Region.center();
+  Best.Objective = Net.objective(Best.X, K);
+
+  for (int Restart = 0; Restart < Config.Restarts; ++Restart) {
+    Vector X = Restart == 0 ? Region.center() : Region.sample(R);
+    double Fx = Net.objective(X, K);
+    if (Fx < Best.Objective) {
+      Best.X = X;
+      Best.Objective = Fx;
+    }
+    for (int Step = 0; Step < Config.Steps; ++Step) {
+      Vector Grad = Net.objectiveGradient(X, K);
+      // Signed steps scaled per dimension by the region width (the natural
+      // metric for L-infinity style regions), with 1/sqrt(t) decay.
+      double Decay = 1.0 / std::sqrt(1.0 + Step);
+      bool Moved = false;
+      for (size_t I = 0, E = X.size(); I < E; ++I) {
+        double W = Region.width(I);
+        if (W == 0.0 || Grad[I] == 0.0)
+          continue;
+        X[I] -= Config.StepScale * Decay * W * (Grad[I] > 0.0 ? 1.0 : -1.0);
+        Moved = true;
+      }
+      if (!Moved)
+        break; // Zero gradient (dead ReLU region): no descent direction.
+      X = Region.project(X);
+      Fx = Net.objective(X, K);
+      if (Fx < Best.Objective) {
+        Best.X = X;
+        Best.Objective = Fx;
+      }
+      if (Best.Objective <= 0.0)
+        return Best; // Found a true counterexample; stop early.
+    }
+  }
+  return Best;
+}
+
+PgdResult charon::fgsmMinimize(const Network &Net, const Box &Region,
+                               size_t K) {
+  Vector X = Region.center();
+  Vector Grad = Net.objectiveGradient(X, K);
+  for (size_t I = 0, E = X.size(); I < E; ++I) {
+    if (Grad[I] > 0.0)
+      X[I] = Region.lower()[I];
+    else if (Grad[I] < 0.0)
+      X[I] = Region.upper()[I];
+  }
+  PgdResult Result;
+  Result.Objective = Net.objective(X, K);
+  Result.X = std::move(X);
+  return Result;
+}

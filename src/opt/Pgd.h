@@ -1,0 +1,56 @@
+//===- Pgd.h - Projected gradient descent counterexample search --*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gradient-based adversarial counterexample search (Sec. 3, Eq. 1):
+///
+///   x* = argmin_{x in I} F(x),  F(x) = N(x)_K - max_{j != K} N(x)_j.
+///
+/// The paper uses projected gradient descent (PGD, Madry et al.); FGSM is
+/// provided as the classic single-step alternative. Both are *unsound*
+/// falsifiers: F(x*) <= 0 certifies a violation, but F(x*) > 0 proves
+/// nothing — which is exactly why Algorithm 1 couples them with abstract
+/// interpretation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_OPT_PGD_H
+#define CHARON_OPT_PGD_H
+
+#include "linalg/Box.h"
+#include "nn/Network.h"
+
+namespace charon {
+class Rng;
+
+/// PGD hyperparameters. The defaults are deliberately light: Algorithm 1
+/// runs a search at every refinement node, so a cheap-but-decent search
+/// beats a thorough-but-slow one (splitting compensates, Sec. 3).
+struct PgdConfig {
+  int Steps = 25;         ///< gradient steps per restart
+  int Restarts = 2;       ///< random restarts (first start is the center)
+  double StepScale = 0.3; ///< initial step, as a fraction of region width
+};
+
+/// Result of a counterexample search: the best point found and its
+/// objective value F(X).
+struct PgdResult {
+  Vector X;
+  double Objective = 0.0;
+};
+
+/// Minimizes the robustness objective over \p Region with projected
+/// gradient descent (steepest-descent steps scaled per dimension by the
+/// region width, projected back onto the box).
+PgdResult pgdMinimize(const Network &Net, const Box &Region, size_t K,
+                      const PgdConfig &Config, Rng &R);
+
+/// Single-step fast gradient sign method from the region center.
+PgdResult fgsmMinimize(const Network &Net, const Box &Region, size_t K);
+
+} // namespace charon
+
+#endif // CHARON_OPT_PGD_H

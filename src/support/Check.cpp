@@ -1,0 +1,18 @@
+//===- Check.cpp - Assertion and fatal-error utilities -------------------===//
+
+#include "support/Check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace charon;
+
+void charon::reportUnreachable(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+void charon::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::abort();
+}

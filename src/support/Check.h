@@ -1,0 +1,32 @@
+//===- Check.h - Assertion and fatal-error utilities ----------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight assertion helpers used throughout the project. The library
+/// does not use exceptions; invariant violations abort with a message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_SUPPORT_CHECK_H
+#define CHARON_SUPPORT_CHECK_H
+
+namespace charon {
+
+/// Prints \p Msg (with file/line context) to stderr and aborts. Used to mark
+/// control flow that must be unreachable if program invariants hold.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    int Line);
+
+/// Prints a fatal-error message to stderr and aborts. Unlike assertions this
+/// is kept in release builds; use it for errors triggered by bad input.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+} // namespace charon
+
+#define charon_unreachable(MSG)                                               \
+  ::charon::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // CHARON_SUPPORT_CHECK_H

@@ -1,0 +1,67 @@
+//===- Random.cpp - Deterministic random number generation ---------------===//
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+uint64_t Rng::next() {
+  // splitmix64 (Vigna). Passes BigCrush; plenty for experiment synthesis.
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+double Rng::uniform() {
+  // Use the top 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "empty uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t Rng::uniformInt(uint64_t N) {
+  assert(N > 0 && "uniformInt requires a nonempty range");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Limit = UINT64_MAX - UINT64_MAX % N;
+  uint64_t V = next();
+  while (V >= Limit)
+    V = next();
+  return V % N;
+}
+
+double Rng::gaussian() {
+  if (HasSpare) {
+    HasSpare = false;
+    return Spare;
+  }
+  // Box-Muller transform; cache the second variate.
+  double U1 = uniform();
+  double U2 = uniform();
+  while (U1 <= 1e-300)
+    U1 = uniform();
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  Spare = R * std::sin(Theta);
+  HasSpare = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::gaussian(double Mean, double Stddev) {
+  return Mean + Stddev * gaussian();
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xda3e39cb94b95bdbull); }
+
+void Rng::shuffle(std::vector<int> &Indices) {
+  for (size_t I = Indices.size(); I > 1; --I) {
+    size_t J = uniformInt(I);
+    std::swap(Indices[I - 1], Indices[J]);
+  }
+}

@@ -1,0 +1,64 @@
+//===- Random.h - Deterministic random number generation ------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic RNG (splitmix64 core). Every stochastic
+/// component in the project (dataset synthesis, network initialization, PGD
+/// restarts, Bayesian-optimization sampling) draws from an explicitly seeded
+/// Rng so that experiments are reproducible run-to-run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_SUPPORT_RANDOM_H
+#define CHARON_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace charon {
+
+/// Deterministic pseudo-random generator built on splitmix64.
+///
+/// The generator is cheap to copy and fork: \c fork() derives an independent
+/// stream, which lets parallel workers use decorrelated randomness while the
+/// overall experiment stays reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double uniform();
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Returns an integer uniformly distributed in [0, N). Requires N > 0.
+  uint64_t uniformInt(uint64_t N);
+
+  /// Returns a sample from the standard normal distribution (Box-Muller).
+  double gaussian();
+
+  /// Returns a sample from N(Mean, Stddev^2).
+  double gaussian(double Mean, double Stddev);
+
+  /// Derives an independent generator seeded from this stream.
+  Rng fork();
+
+  /// Fisher-Yates shuffles \p Indices in place.
+  void shuffle(std::vector<int> &Indices);
+
+private:
+  uint64_t State;
+  bool HasSpare = false;
+  double Spare = 0.0;
+};
+
+} // namespace charon
+
+#endif // CHARON_SUPPORT_RANDOM_H

@@ -1,0 +1,48 @@
+//===- Stats.cpp - Online statistics accumulators -------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+void OnlineStats::add(double X) {
+  ++N;
+  Sum += X;
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+  Min = std::min(Min, X);
+  Max = std::max(Max, X);
+}
+
+double OnlineStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double charon::geometricMean(const std::vector<double> &Ratios) {
+  if (Ratios.empty())
+    return 1.0;
+  double LogSum = 0.0;
+  for (double R : Ratios) {
+    assert(R > 0.0 && "geometric mean requires positive ratios");
+    LogSum += std::log(R);
+  }
+  return std::exp(LogSum / static_cast<double>(Ratios.size()));
+}
+
+double charon::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  size_t Mid = Values.size() / 2;
+  if (Values.size() % 2 == 1)
+    return Values[Mid];
+  return 0.5 * (Values[Mid - 1] + Values[Mid]);
+}

@@ -1,0 +1,67 @@
+//===- Stats.h - Online statistics accumulators ----------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers used by the benchmark harnesses: an online
+/// mean/variance accumulator (Welford) and geometric-mean speedup
+/// aggregation like the paper's "6.15x faster" style summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_SUPPORT_STATS_H
+#define CHARON_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace charon {
+
+/// Online mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+public:
+  /// Adds an observation.
+  void add(double X);
+
+  /// Number of observations so far.
+  size_t count() const { return N; }
+
+  /// Sample mean (0 when empty).
+  double mean() const { return Mean; }
+
+  /// Unbiased sample variance (0 with fewer than two observations).
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation (+inf when empty).
+  double min() const { return Min; }
+
+  /// Largest observation (-inf when empty).
+  double max() const { return Max; }
+
+  /// Sum of all observations.
+  double sum() const { return Sum; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Sum = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean of a list of positive ratios; returns 1.0 when empty.
+double geometricMean(const std::vector<double> &Ratios);
+
+/// Median of \p Values (copies and sorts); returns 0.0 when empty.
+double median(std::vector<double> Values);
+
+} // namespace charon
+
+#endif // CHARON_SUPPORT_STATS_H

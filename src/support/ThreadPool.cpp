@@ -1,0 +1,68 @@
+//===- ThreadPool.cpp - Fixed-size worker pool ----------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace charon;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0) {
+    NumThreads = std::thread::hardware_concurrency();
+    if (NumThreads == 0)
+      NumThreads = 1;
+  }
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return Queue.empty() && Active == 0; });
+}
+
+void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
+  for (int I = 0; I < N; ++I)
+    submit([&Fn, I] { Fn(I); });
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Queue.empty(); });
+      if (ShuttingDown && Queue.empty())
+        return;
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Active;
+      if (Queue.empty() && Active == 0)
+        AllDone.notify_all();
+    }
+  }
+}

@@ -1,0 +1,65 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size thread pool. The paper parallelizes independent calls to the
+/// abstract interpreter across threads (Sec. 6, "Parallelization") and trains
+/// the verification policy by solving the training benchmarks concurrently
+/// (their implementation uses MPI; we substitute an in-process pool).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_SUPPORT_THREADPOOL_H
+#define CHARON_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace charon {
+
+/// Fixed-size pool executing enqueued tasks; \c wait() blocks until all
+/// submitted work has drained. Tasks may not themselves block on the pool.
+class ThreadPool {
+public:
+  /// Creates a pool with \p NumThreads workers (0 means hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Schedules \p Task for execution on some worker.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs \p Fn(I) for I in [0, N) across the pool and waits for completion.
+  void parallelFor(int N, const std::function<void(int)> &Fn);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  unsigned Active = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace charon
+
+#endif // CHARON_SUPPORT_THREADPOOL_H

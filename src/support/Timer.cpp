@@ -1,0 +1,23 @@
+//===- Timer.cpp - Wall/CPU timers and time budgets -----------------------===//
+
+#include "support/Timer.h"
+
+#include <ctime>
+#include <limits>
+
+using namespace charon;
+
+double charon::processCpuSeconds() {
+  timespec Ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &Ts) != 0)
+    return 0.0;
+  return static_cast<double>(Ts.tv_sec) +
+         static_cast<double>(Ts.tv_nsec) * 1e-9;
+}
+
+double Deadline::remaining() const {
+  if (LimitSeconds < 0.0)
+    return std::numeric_limits<double>::infinity();
+  double Left = LimitSeconds - Watch.seconds();
+  return Left > 0.0 ? Left : 0.0;
+}

@@ -1,0 +1,64 @@
+//===- TestNetworks.h - Shared paper-example networks for tests --*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worked-example networks from the paper, shared across test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_TESTS_TESTNETWORKS_H
+#define CHARON_TESTS_TESTNETWORKS_H
+
+#include "nn/Dense.h"
+#include "nn/Network.h"
+#include "nn/Relu.h"
+
+namespace charon {
+namespace testing_nets {
+
+/// The XOR network of Figure 3 / Example 2.1. Weights reconstructed from
+/// the figure and the traced evaluation: [0 0] -> affine [0 -1] -> ReLU
+/// [0 0] -> [1 0] (class 0), and [0 1], [1 0] -> class 1, [1 1] -> class 0.
+inline Network makeXorNetwork() {
+  Network Net;
+  Net.addLayer(std::make_unique<DenseLayer>(Matrix{{1.0, 1.0}, {1.0, 1.0}},
+                                            Vector{0.0, -1.0}));
+  Net.addLayer(std::make_unique<ReluLayer>(2));
+  Net.addLayer(std::make_unique<DenseLayer>(Matrix{{-1.0, 2.0}, {1.0, -2.0}},
+                                            Vector{1.0, 0.0}));
+  return Net;
+}
+
+/// The two-layer network of Example 2.2. On [-1, 1] the output is
+/// [a+1, a+2] for a = ReLU(2x+1) in [0, 3], so every point is class 1; at
+/// x = 2 the output is [8, 6], class 0. (The paper's printed N(0) = [1 3]
+/// is a typo for [2 3]: its own closed form [a+1, a+2] gives a = 1 at 0.)
+inline Network makeExample22Network() {
+  Network Net;
+  Net.addLayer(
+      std::make_unique<DenseLayer>(Matrix{{1.0}, {2.0}}, Vector{-1.0, 1.0}));
+  Net.addLayer(std::make_unique<ReluLayer>(2));
+  Net.addLayer(std::make_unique<DenseLayer>(Matrix{{2.0, 1.0}, {-1.0, 1.0}},
+                                            Vector{1.0, 2.0}));
+  return Net;
+}
+
+/// The network of Example 2.3 / Figure 4 (class A = 0, class B = 1; the
+/// property is that every x in [0,1]^2 is classified B).
+inline Network makeExample23Network() {
+  Network Net;
+  Net.addLayer(std::make_unique<DenseLayer>(Matrix{{1.0, -3.0}, {0.0, 3.0}},
+                                            Vector{1.0, 1.0}));
+  Net.addLayer(std::make_unique<ReluLayer>(2));
+  Net.addLayer(std::make_unique<DenseLayer>(Matrix{{1.0, 1.1}, {-1.0, 1.0}},
+                                            Vector{-3.0, 1.2}));
+  return Net;
+}
+
+} // namespace testing_nets
+} // namespace charon
+
+#endif // CHARON_TESTS_TESTNETWORKS_H

@@ -1,0 +1,192 @@
+//===- AbstractEdgeTests.cpp - Edge cases of the abstract domains -------------===//
+
+#include "abstract/Analyzer.h"
+#include "abstract/IntervalElement.h"
+#include "abstract/PowersetElement.h"
+#include "abstract/ZonotopeElement.h"
+#include "nn/Builder.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+//===----------------------------------------------------------------------===//
+// Degenerate regions
+//===----------------------------------------------------------------------===//
+
+TEST(DegenerateRegionTest, PointRegionIsExactEverywhere) {
+  // A zero-width region must propagate to exactly the concrete output in
+  // every domain (no approximation is possible or allowed).
+  Network Net = testing_nets::makeExample23Network();
+  Vector P{0.4, 0.7};
+  Box Region(P, P);
+  Vector Y = Net.evaluate(P);
+  for (DomainSpec Spec : {DomainSpec{BaseDomainKind::Interval, 1},
+                          DomainSpec{BaseDomainKind::Zonotope, 1},
+                          DomainSpec{BaseDomainKind::Zonotope, 4},
+                          DomainSpec{BaseDomainKind::SymbolicInterval, 1}}) {
+    auto Elem = makeElement(Region, Spec);
+    propagate(Net, *Elem);
+    for (size_t O = 0; O < Y.size(); ++O) {
+      EXPECT_NEAR(Elem->lowerBound(O), Y[O], 1e-9) << toString(Spec);
+      EXPECT_NEAR(Elem->upperBound(O), Y[O], 1e-9) << toString(Spec);
+    }
+  }
+}
+
+TEST(DegenerateRegionTest, PartiallyDegenerateRegion) {
+  // Brightening regions fix most coordinates; the zonotope abstraction
+  // must not create generators for zero-width dimensions.
+  Vector Lo{0.2, 0.5, 0.2};
+  Vector Hi{0.2, 0.9, 0.2};
+  ZonotopeElement Z(Box(Lo, Hi));
+  EXPECT_EQ(Z.numGenerators(), 1u);
+  EXPECT_DOUBLE_EQ(Z.lowerBound(0), 0.2);
+  EXPECT_DOUBLE_EQ(Z.upperBound(0), 0.2);
+}
+
+//===----------------------------------------------------------------------===//
+// Deadline-aware propagation
+//===----------------------------------------------------------------------===//
+
+TEST(AnalyzerDeadlineTest, ExpiredDeadlineAbortsAsTimeout) {
+  Network Net = testing_nets::makeExample23Network();
+  Deadline Expired(0.0);
+  AnalysisResult R =
+      analyzeRobustness(Net, Box::uniform(2, 0.0, 1.0), 1,
+                        DomainSpec{BaseDomainKind::Zonotope, 1}, &Expired);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_FALSE(R.Verified);
+}
+
+TEST(AnalyzerDeadlineTest, GenerousDeadlineCompletes) {
+  Network Net = testing_nets::makeExample23Network();
+  Deadline Generous(60.0);
+  AnalysisResult R =
+      analyzeRobustness(Net, Box::uniform(2, 0.0, 1.0), 1,
+                        DomainSpec{BaseDomainKind::Zonotope, 2}, &Generous);
+  EXPECT_FALSE(R.TimedOut);
+  EXPECT_TRUE(R.Verified);
+}
+
+//===----------------------------------------------------------------------===//
+// Powerset of intervals (the (I, k) domains of phi_alpha)
+//===----------------------------------------------------------------------===//
+
+TEST(IntervalPowersetTest, CaseSplitIsExactOnOneNeuron) {
+  // For intervals, the halfspace meet is exact, so an (I, 2) powerset
+  // through one crossing ReLU is exactly the union of the two cases.
+  auto Base =
+      std::make_unique<IntervalElement>(Box(Vector{-2.0}, Vector{3.0}));
+  PowersetElement P(std::move(Base), 2);
+  P.applyRelu();
+  EXPECT_EQ(P.numDisjuncts(), 2u);
+  EXPECT_DOUBLE_EQ(P.lowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(P.upperBound(0), 3.0);
+}
+
+TEST(IntervalPowersetTest, SoundThroughWholeNetwork) {
+  Rng NetRng(7);
+  Rng SampleRng(8);
+  Network Net = makeMlp(2, {6, 6}, 2, NetRng);
+  Box Region = Box::uniform(2, -0.5, 0.5);
+  auto Elem = makeElement(Region, DomainSpec{BaseDomainKind::Interval, 8});
+  propagate(Net, *Elem);
+  for (int S = 0; S < 300; ++S) {
+    Vector Y = Net.evaluate(Region.sample(SampleRng));
+    for (size_t O = 0; O < Y.size(); ++O) {
+      EXPECT_GE(Y[O], Elem->lowerBound(O) - 1e-9);
+      EXPECT_LE(Y[O], Elem->upperBound(O) + 1e-9);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Repeated meets (the pattern powerset ReLU produces)
+//===----------------------------------------------------------------------===//
+
+TEST(MeetChainTest, RepeatedMeetsStaySoundAndShrink) {
+  Rng SampleRng(9);
+  ZonotopeElement Z(Box::uniform(3, -1.0, 1.0));
+  Z.applyAffine(Matrix{{1.0, 0.4, 0.2}, {0.1, 1.0, -0.3}, {0.5, -0.2, 1.0}},
+                Vector{0.05, -0.1, 0.0});
+
+  auto M1 = Z.meetHalfspaceAtZero(0, true);
+  ASSERT_TRUE(M1);
+  auto M2 = M1->meetHalfspaceAtZero(1, false);
+  ASSERT_TRUE(M2);
+
+  // Every sampled point satisfying both constraints stays inside.
+  Box Orig = Box::uniform(3, -1.0, 1.0);
+  Matrix W{{1.0, 0.4, 0.2}, {0.1, 1.0, -0.3}, {0.5, -0.2, 1.0}};
+  Vector B{0.05, -0.1, 0.0};
+  for (int S = 0; S < 500; ++S) {
+    Vector E = Orig.sample(SampleRng);
+    Vector P = matVec(W, E);
+    P += B;
+    if (P[0] < 0.0 || P[1] > 0.0)
+      continue;
+    for (size_t D = 0; D < 3; ++D) {
+      EXPECT_GE(P[D], M2->lowerBound(D) - 1e-9);
+      EXPECT_LE(P[D], M2->upperBound(D) + 1e-9);
+    }
+  }
+  // And the meets only ever shrink the bounds.
+  for (size_t D = 0; D < 3; ++D) {
+    EXPECT_GE(M2->lowerBound(D), Z.lowerBound(D) - 1e-9);
+    EXPECT_LE(M2->upperBound(D), Z.upperBound(D) + 1e-9);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Margin semantics
+//===----------------------------------------------------------------------===//
+
+TEST(MarginTest, MarginMatchesConcreteOnPointRegion) {
+  // On a point region the analysis margin equals the concrete objective.
+  Network Net = testing_nets::makeXorNetwork();
+  Vector P{0.6, 0.4};
+  AnalysisResult R = analyzeRobustness(Net, Box(P, P), 1,
+                                       DomainSpec{BaseDomainKind::Zonotope, 1});
+  EXPECT_NEAR(R.Margin, Net.objective(P, 1), 1e-9);
+}
+
+TEST(MarginTest, MarginIsLowerBoundOfObjective) {
+  // For any region and domain, Margin <= min_x F(x) over sampled x.
+  Rng NetRng(11);
+  Rng SampleRng(12);
+  for (int T = 0; T < 5; ++T) {
+    Network Net = makeMlp(3, {7}, 3, NetRng);
+    Box Region = Box::uniform(3, -0.4, 0.4);
+    size_t K = Net.classify(Region.center());
+    AnalysisResult R = analyzeRobustness(
+        Net, Region, K, DomainSpec{BaseDomainKind::Zonotope, 2});
+    for (int S = 0; S < 200; ++S)
+      EXPECT_GE(Net.objective(Region.sample(SampleRng), K), R.Margin - 1e-9);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Zonotope generator growth management
+//===----------------------------------------------------------------------===//
+
+TEST(GeneratorGrowthTest, ReluAddsAtMostOneGeneratorPerCrossing) {
+  Rng NetRng(13);
+  Network Net = makeMlp(4, {10, 10, 10}, 3, NetRng);
+  ZonotopeElement Z(Box::uniform(4, -0.5, 0.5));
+  size_t MaxPossible = 4; // input generators
+  for (size_t L = 0; L < Net.numLayers(); ++L) {
+    const Layer &Layer = Net.layer(L);
+    if (auto Affine = Layer.affineForm())
+      Z.applyAffine(*Affine->W, *Affine->B);
+    else if (Layer.isRelu()) {
+      MaxPossible += Layer.inputSize();
+      Z.applyRelu();
+    }
+    EXPECT_LE(Z.numGenerators(), MaxPossible);
+  }
+}

@@ -1,0 +1,99 @@
+//===- MaxPoolPropertyTests.cpp - Max-pool transformer invariants --------------===//
+//
+// Parameterized soundness sweep for the max-pool abstract transformers —
+// the transformer with the most case analysis (dominance detection vs
+// interval fallback in the zonotope domain).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/Analyzer.h"
+#include "nn/MaxPool2D.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+struct PoolCase {
+  const char *Name;
+  TensorShape In;
+  int PoolH, PoolW, Stride;
+};
+
+class MaxPoolSweepTest
+    : public ::testing::TestWithParam<std::tuple<PoolCase, DomainSpec>> {};
+
+} // namespace
+
+TEST_P(MaxPoolSweepTest, SoundUnderSampling) {
+  const auto &[Case, Spec] = GetParam();
+  MaxPool2DLayer Pool(Case.In, Case.PoolH, Case.PoolW, Case.Stride);
+
+  Rng R(91);
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    // Random box input, pushed through a random affine map first so the
+    // abstract element carries correlations into the pooling layer.
+    Box Region = Box::uniform(Case.In.size(), -0.5, 0.5);
+    Matrix W(Case.In.size(), Case.In.size());
+    for (size_t I = 0; I < W.rows(); ++I)
+      for (size_t J = 0; J < W.cols(); ++J)
+        W(I, J) = R.gaussian(0.0, 0.3);
+    Vector B(Case.In.size());
+    for (size_t I = 0; I < B.size(); ++I)
+      B[I] = R.gaussian(0.0, 0.2);
+
+    auto Elem = makeElement(Region, Spec);
+    Elem->applyAffine(W, B);
+    Elem->applyMaxPool(*Pool.poolSpec());
+
+    for (int S = 0; S < 200; ++S) {
+      Vector X = Region.sample(R);
+      Vector Pre = matVec(W, X);
+      Pre += B;
+      Vector Y = Pool.forward(Pre);
+      for (size_t O = 0; O < Y.size(); ++O) {
+        EXPECT_GE(Y[O], Elem->lowerBound(O) - 1e-7)
+            << Case.Name << " " << toString(Spec);
+        EXPECT_LE(Y[O], Elem->upperBound(O) + 1e-7)
+            << Case.Name << " " << toString(Spec);
+      }
+    }
+  }
+}
+
+TEST_P(MaxPoolSweepTest, OutputLowerBoundsAreNonTrivial) {
+  // max >= each input, so the abstract output's upper bound must be at
+  // least every input's lower bound (basic sanity of the window logic).
+  const auto &[Case, Spec] = GetParam();
+  MaxPool2DLayer Pool(Case.In, Case.PoolH, Case.PoolW, Case.Stride);
+  Box Region = Box::uniform(Case.In.size(), 0.0, 1.0);
+  auto Pre = makeElement(Region, Spec);
+  auto Elem = Pre->clone();
+  Elem->applyMaxPool(*Pool.poolSpec());
+  const PoolSpec *S = Pool.poolSpec();
+  for (size_t O = 0; O < S->PoolIndices.size(); ++O)
+    for (int In : S->PoolIndices[O])
+      EXPECT_GE(Elem->upperBound(O), Pre->lowerBound(In) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoolsAndDomains, MaxPoolSweepTest,
+    ::testing::Combine(
+        ::testing::Values(PoolCase{"p2x2s2", TensorShape{1, 4, 4}, 2, 2, 2},
+                          PoolCase{"p2x2s2c2", TensorShape{2, 4, 4}, 2, 2, 2},
+                          PoolCase{"p3x3s3", TensorShape{1, 6, 6}, 3, 3, 3},
+                          PoolCase{"p2x2s1", TensorShape{1, 3, 3}, 2, 2, 1}),
+        ::testing::Values(DomainSpec{BaseDomainKind::Interval, 1},
+                          DomainSpec{BaseDomainKind::Zonotope, 1},
+                          DomainSpec{BaseDomainKind::Zonotope, 2})),
+    [](const ::testing::TestParamInfo<std::tuple<PoolCase, DomainSpec>>
+           &Info) {
+      std::string Name = std::get<0>(Info.param).Name;
+      Name += "_" + toString(std::get<1>(Info.param));
+      for (char &C : Name)
+        if (C == '^')
+          C = '_';
+      return Name;
+    });

@@ -1,0 +1,229 @@
+//===- BaselineTests.cpp - Tests for the AI2/ReluVal/Reluplex baselines -------===//
+
+#include "baselines/Ai2.h"
+#include "baselines/ReluVal.h"
+#include "baselines/Reluplex.h"
+
+#include "nn/Builder.h"
+#include "nn/Dense.h"
+#include "nn/Relu.h"
+#include "support/Random.h"
+
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+
+
+RobustnessProperty makeProperty(Box Region, size_t K) {
+  RobustnessProperty P;
+  P.Region = std::move(Region);
+  P.TargetClass = K;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AI2
+//===----------------------------------------------------------------------===//
+
+TEST(Ai2Test, VerifiesEasyProperty) {
+  Network Net = testing_nets::makeExample22Network();
+  Ai2Result R =
+      ai2Verify(Net, makeProperty(Box(Vector{-1.0}, Vector{1.0}), 1),
+                ai2Zonotope());
+  EXPECT_EQ(R.Result, Ai2Outcome::Verified);
+  EXPECT_GT(R.Margin, 0.0);
+}
+
+TEST(Ai2Test, CannotFalsifyOnlyUnknown) {
+  // The property is false on [-1, 2]; AI2 has no counterexample search so
+  // it must answer Unknown, never Falsified (there is no such verdict).
+  Network Net = testing_nets::makeExample22Network();
+  Ai2Result R =
+      ai2Verify(Net, makeProperty(Box(Vector{-1.0}, Vector{2.0}), 1),
+                ai2Zonotope());
+  EXPECT_EQ(R.Result, Ai2Outcome::Unknown);
+  EXPECT_LE(R.Margin, 0.0);
+}
+
+TEST(Ai2Test, Bounded64AtLeastAsPreciseAsZonotope) {
+  Rng NetRng(3);
+  Rng RegionRng(4);
+  for (int T = 0; T < 5; ++T) {
+    Network Net = makeMlp(3, {8, 8}, 3, NetRng);
+    Vector Center(3);
+    for (size_t I = 0; I < 3; ++I)
+      Center[I] = RegionRng.uniform(-0.4, 0.4);
+    Box Region = Box::linfBall(Center, 0.2, -1.0, 1.0);
+    auto Prop = makeProperty(Region, Net.classify(Center));
+    Ai2Result Z = ai2Verify(Net, Prop, ai2Zonotope());
+    Ai2Result B64 = ai2Verify(Net, Prop, ai2Bounded64());
+    EXPECT_GE(B64.Margin, Z.Margin - 1e-9) << "trial " << T;
+  }
+}
+
+TEST(Ai2Test, TimeoutClassification) {
+  Network Net = testing_nets::makeExample22Network();
+  Ai2Config C = ai2Zonotope(/*TimeLimitSeconds=*/1e-12);
+  Ai2Result R =
+      ai2Verify(Net, makeProperty(Box(Vector{-1.0}, Vector{1.0}), 1), C);
+  EXPECT_EQ(R.Result, Ai2Outcome::Timeout);
+}
+
+//===----------------------------------------------------------------------===//
+// ReluVal
+//===----------------------------------------------------------------------===//
+
+TEST(ReluValTest, VerifiesXorRegionViaRefinement) {
+  Network Net = testing_nets::makeXorNetwork();
+  ReluValConfig Config;
+  Config.TimeLimitSeconds = 10.0;
+  ReluValResult R =
+      reluvalVerify(Net, makeProperty(Box::uniform(2, 0.3, 0.7), 1), Config);
+  EXPECT_EQ(R.Result, Outcome::Verified);
+  EXPECT_GE(R.AnalyzeCalls, 1);
+}
+
+TEST(ReluValTest, FalsifiesOnlyViaConcreteProbe) {
+  // The wide XOR region's center (0.5, 0.5) lies on the boundary where
+  // class 0 wins (objective <= 0), so the concrete probe fires.
+  Network Net = testing_nets::makeXorNetwork();
+  ReluValConfig Config;
+  Config.TimeLimitSeconds = 10.0;
+  ReluValResult R =
+      reluvalVerify(Net, makeProperty(Box::uniform(2, 0.1, 0.9), 1), Config);
+  if (R.Result == Outcome::Falsified)
+    EXPECT_LE(Net.objective(R.Counterexample, 1), 0.0);
+  else
+    EXPECT_EQ(R.Result, Outcome::Timeout);
+}
+
+TEST(ReluValTest, SoundOnVerifiedRegions) {
+  Rng NetRng(5);
+  Rng SampleRng(6);
+  int Verified = 0;
+  for (int T = 0; T < 8; ++T) {
+    Network Net = makeMlp(2, {6}, 2, NetRng);
+    Vector Center{SampleRng.uniform(-0.3, 0.3), SampleRng.uniform(-0.3, 0.3)};
+    Box Region = Box::linfBall(Center, 0.1, -1.0, 1.0);
+    size_t K = Net.classify(Center);
+    ReluValConfig Config;
+    Config.TimeLimitSeconds = 5.0;
+    ReluValResult R = reluvalVerify(Net, makeProperty(Region, K), Config);
+    if (R.Result != Outcome::Verified)
+      continue;
+    ++Verified;
+    for (int S = 0; S < 200; ++S)
+      EXPECT_EQ(Net.classify(Region.sample(SampleRng)), K);
+  }
+  EXPECT_GE(Verified, 3);
+}
+
+TEST(ReluValTest, RespectsTimeBudget) {
+  Rng NetRng(7);
+  Network Net = makeMlp(6, {20, 20}, 3, NetRng);
+  Box Region = Box::uniform(6, -1.0, 1.0);
+  ReluValConfig Config;
+  Config.TimeLimitSeconds = 0.2;
+  Stopwatch W;
+  reluvalVerify(Net, makeProperty(Region, 0), Config);
+  EXPECT_LT(W.seconds(), 5.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Reluplex-style complete verifier
+//===----------------------------------------------------------------------===//
+
+TEST(ReluplexTest, VerifiesXorRegion) {
+  Network Net = testing_nets::makeXorNetwork();
+  ReluplexConfig Config;
+  Config.TimeLimitSeconds = 30.0;
+  ReluplexResult R =
+      reluplexVerify(Net, makeProperty(Box::uniform(2, 0.3, 0.7), 1), Config);
+  EXPECT_EQ(R.Result, Outcome::Verified);
+  EXPECT_GE(R.LpSolves, 1);
+}
+
+TEST(ReluplexTest, FalsifiesWithTrueCounterexample) {
+  Network Net = testing_nets::makeXorNetwork();
+  ReluplexConfig Config;
+  Config.TimeLimitSeconds = 30.0;
+  RobustnessProperty Prop = makeProperty(Box::uniform(2, 0.1, 0.9), 1);
+  ReluplexResult R = reluplexVerify(Net, Prop, Config);
+  ASSERT_EQ(R.Result, Outcome::Falsified);
+  EXPECT_TRUE(Prop.Region.contains(R.Counterexample, 1e-7));
+  EXPECT_LE(Net.objective(R.Counterexample, 1), 0.0);
+}
+
+TEST(ReluplexTest, Example22BothVerdicts) {
+  Network Net = testing_nets::makeExample22Network();
+  ReluplexConfig Config;
+  Config.TimeLimitSeconds = 30.0;
+  ReluplexResult Robust =
+      reluplexVerify(Net, makeProperty(Box(Vector{-1.0}, Vector{1.0}), 1),
+                     Config);
+  EXPECT_EQ(Robust.Result, Outcome::Verified);
+  ReluplexResult Broken =
+      reluplexVerify(Net, makeProperty(Box(Vector{-1.0}, Vector{2.0}), 1),
+                     Config);
+  ASSERT_EQ(Broken.Result, Outcome::Falsified);
+  EXPECT_LE(Net.objective(Broken.Counterexample, 1), 0.0);
+}
+
+TEST(ReluplexTest, AgreesWithSamplingOnRandomNets) {
+  // Completeness check: on small random networks, the verdict must agree
+  // with dense sampling (sampling finds a cex => Falsified; Reluplex says
+  // Verified => sampling finds nothing).
+  Rng NetRng(9);
+  Rng SampleRng(10);
+  for (int T = 0; T < 6; ++T) {
+    Network Net = makeMlp(2, {4}, 2, NetRng);
+    Vector Center{SampleRng.uniform(-0.5, 0.5), SampleRng.uniform(-0.5, 0.5)};
+    Box Region = Box::linfBall(Center, 0.3, -1.0, 1.0);
+    size_t K = Net.classify(Center);
+    ReluplexConfig Config;
+    Config.TimeLimitSeconds = 20.0;
+    ReluplexResult R = reluplexVerify(Net, makeProperty(Region, K), Config);
+    bool SamplingFoundCex = false;
+    for (int S = 0; S < 2000 && !SamplingFoundCex; ++S)
+      SamplingFoundCex = Net.classify(Region.sample(SampleRng)) != K;
+    if (R.Result == Outcome::Verified) {
+      EXPECT_FALSE(SamplingFoundCex) << "trial " << T;
+    }
+    if (SamplingFoundCex) {
+      EXPECT_EQ(R.Result, Outcome::Falsified) << "trial " << T;
+    }
+  }
+}
+
+TEST(ReluplexTest, NodeCapYieldsTimeout) {
+  // Find a robust instance that genuinely needs branching, then confirm
+  // that capping the node budget below its tree size yields Timeout.
+  Rng NetRng(11);
+  Rng ProbeRng(12);
+  for (int T = 0; T < 20; ++T) {
+    Network Net = makeMlp(3, {10, 10}, 3, NetRng);
+    Vector Center(3);
+    for (size_t I = 0; I < 3; ++I)
+      Center[I] = ProbeRng.uniform(-0.4, 0.4);
+    Box Region = Box::linfBall(Center, 0.25, -1.0, 1.0);
+    auto Prop = makeProperty(Region, Net.classify(Center));
+    ReluplexConfig Full;
+    Full.TimeLimitSeconds = 10.0;
+    ReluplexResult Reference = reluplexVerify(Net, Prop, Full);
+    if (Reference.Result != Outcome::Verified || Reference.Nodes < 3)
+      continue; // Too easy (or falsified); try another instance.
+    ReluplexConfig Capped;
+    Capped.MaxNodes = Reference.Nodes - 1;
+    ReluplexResult R = reluplexVerify(Net, Prop, Capped);
+    EXPECT_EQ(R.Result, Outcome::Timeout);
+    return;
+  }
+  GTEST_SKIP() << "no branching-heavy verified instance found";
+}

@@ -1,0 +1,116 @@
+//===- ReluplexModeTests.cpp - Encoding-mode tests for the complete solver -----===//
+
+#include "baselines/Reluplex.h"
+
+#include "nn/Builder.h"
+#include "support/Random.h"
+
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+RobustnessProperty makeProperty(Box Region, size_t K) {
+  RobustnessProperty P;
+  P.Region = std::move(Region);
+  P.TargetClass = K;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The two encodings must agree on verdicts (both are sound and complete);
+// they differ only in cost.
+//===----------------------------------------------------------------------===//
+
+class ReluplexModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ReluplexModeTest, XorRegionVerdicts) {
+  Network Net = testing_nets::makeXorNetwork();
+  ReluplexConfig Config;
+  Config.TimeLimitSeconds = 30.0;
+  Config.SymbolicBoundTightening = GetParam();
+
+  EXPECT_EQ(reluplexVerify(Net, makeProperty(Box::uniform(2, 0.3, 0.7), 1),
+                           Config)
+                .Result,
+            Outcome::Verified);
+  ReluplexResult Broken =
+      reluplexVerify(Net, makeProperty(Box::uniform(2, 0.1, 0.9), 1), Config);
+  ASSERT_EQ(Broken.Result, Outcome::Falsified);
+  EXPECT_LE(Net.objective(Broken.Counterexample, 1), 0.0);
+}
+
+TEST_P(ReluplexModeTest, AgreesWithSamplingOnRandomNets) {
+  Rng NetRng(21);
+  Rng SampleRng(22);
+  ReluplexConfig Config;
+  Config.TimeLimitSeconds = 20.0;
+  Config.SymbolicBoundTightening = GetParam();
+  for (int T = 0; T < 4; ++T) {
+    Network Net = makeMlp(2, {5}, 2, NetRng);
+    Vector Center{SampleRng.uniform(-0.4, 0.4), SampleRng.uniform(-0.4, 0.4)};
+    Box Region = Box::linfBall(Center, 0.25, -1.0, 1.0);
+    size_t K = Net.classify(Center);
+    ReluplexResult R = reluplexVerify(Net, makeProperty(Region, K), Config);
+    bool SamplingFoundCex = false;
+    for (int S = 0; S < 1500 && !SamplingFoundCex; ++S)
+      SamplingFoundCex = Net.classify(Region.sample(SampleRng)) != K;
+    if (R.Result == Outcome::Verified) {
+      EXPECT_FALSE(SamplingFoundCex) << "trial " << T;
+    }
+    if (SamplingFoundCex && R.Result != Outcome::Timeout) {
+      EXPECT_EQ(R.Result, Outcome::Falsified) << "trial " << T;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, ReluplexModeTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &Info) {
+                           return Info.param ? "SymbolicTightened"
+                                             : "PaperFaithful";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Cost asymmetry: the tightened encoding must explore no more nodes.
+//===----------------------------------------------------------------------===//
+
+TEST(ReluplexCostTest, TighteningShrinksSearchInAggregate) {
+  // Tightened bounds decide more neurons up front, so across a batch of
+  // instances the tightened encoding explores no more nodes overall.
+  // (Per-instance the branching order can differ, so only the aggregate is
+  // a stable invariant.)
+  Rng NetRng(23);
+  Rng RegionRng(24);
+  long FaithfulNodes = 0, TightenedNodes = 0;
+  int Compared = 0;
+  for (int T = 0; T < 6; ++T) {
+    Network Net = makeMlp(3, {8, 8}, 2, NetRng);
+    Vector Center(3);
+    for (size_t I = 0; I < 3; ++I)
+      Center[I] = RegionRng.uniform(-0.3, 0.3);
+    Box Region = Box::linfBall(Center, 0.15, -1.0, 1.0);
+    auto Prop = makeProperty(Region, Net.classify(Center));
+
+    ReluplexConfig Faithful;
+    Faithful.TimeLimitSeconds = 20.0;
+    ReluplexConfig Tightened = Faithful;
+    Tightened.SymbolicBoundTightening = true;
+
+    ReluplexResult A = reluplexVerify(Net, Prop, Faithful);
+    ReluplexResult B = reluplexVerify(Net, Prop, Tightened);
+    if (A.Result == Outcome::Timeout || B.Result == Outcome::Timeout)
+      continue;
+    EXPECT_EQ(A.Result, B.Result) << "trial " << T;
+    FaithfulNodes += A.Nodes;
+    TightenedNodes += B.Nodes;
+    ++Compared;
+  }
+  ASSERT_GE(Compared, 3);
+  EXPECT_LE(TightenedNodes, FaithfulNodes);
+}

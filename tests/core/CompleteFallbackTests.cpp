@@ -1,0 +1,115 @@
+//===- CompleteFallbackTests.cpp - Solver-as-precise-domain extension ----------===//
+//
+// Tests the Sec. 9 future-work extension: plugging a complete decision
+// procedure into the verifier as a perfectly precise "abstract domain" for
+// small subregions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Reluplex.h"
+#include "core/Verifier.h"
+
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+/// Wraps the complete branch-and-bound verifier as a fallback callback.
+std::function<Outcome(const Network &, const Box &, size_t)>
+makeReluplexFallback(double Budget) {
+  return [Budget](const Network &Net, const Box &Region, size_t K) {
+    ReluplexConfig Config;
+    Config.TimeLimitSeconds = Budget;
+    Config.SymbolicBoundTightening = true;
+    RobustnessProperty Prop;
+    Prop.Region = Region;
+    Prop.TargetClass = K;
+    return reluplexVerify(Net, Prop, Config).Result;
+  };
+}
+
+/// A policy pinned to the interval domain, so the fallback actually fires
+/// (the default zonotope policy one-shots the XOR examples).
+VerificationPolicy makeIntervalOnlyPolicy() {
+  Matrix Theta(PolicyNumOutputs, PolicyNumFeatures);
+  Theta(0, 4) = -10.0;
+  Theta(1, 4) = -10.0;
+  Theta(2, 4) = 10.0;
+  Theta(3, 4) = -10.0;
+  Theta(4, 4) = -10.0;
+  return VerificationPolicy(std::move(Theta));
+}
+
+} // namespace
+
+TEST(CompleteFallbackTest, VerdictsUnchangedOnRobustRegion) {
+  Network Net = testing_nets::makeXorNetwork();
+  VerifierConfig Config;
+  Config.TimeLimitSeconds = 20.0;
+  Config.CompleteFallback = makeReluplexFallback(5.0);
+  Config.CompleteFallbackDiameter = 0.2;
+  Verifier V(Net, makeIntervalOnlyPolicy(), Config);
+  RobustnessProperty Prop;
+  Prop.Region = Box::uniform(2, 0.3, 0.7);
+  Prop.TargetClass = 1;
+  EXPECT_EQ(V.verify(Prop).Result, Outcome::Verified);
+}
+
+TEST(CompleteFallbackTest, FalsificationKeepsDeltaContract) {
+  Network Net = testing_nets::makeXorNetwork();
+  VerifierConfig Config;
+  Config.TimeLimitSeconds = 20.0;
+  Config.CompleteFallback = makeReluplexFallback(5.0);
+  Config.CompleteFallbackDiameter = 0.5;
+  Verifier V(Net, makeIntervalOnlyPolicy(), Config);
+  RobustnessProperty Prop;
+  Prop.Region = Box::uniform(2, 0.1, 0.9);
+  Prop.TargetClass = 1;
+  VerifyResult R = V.verify(Prop);
+  ASSERT_EQ(R.Result, Outcome::Falsified);
+  EXPECT_TRUE(Prop.Region.contains(R.Counterexample, 1e-9));
+  EXPECT_LE(Net.objective(R.Counterexample, 1), Config.Delta);
+}
+
+TEST(CompleteFallbackTest, FallbackReducesSplitsOnWeakDomain) {
+  // With the interval-only policy, the fallback should terminate branches
+  // that plain interval refinement would keep splitting.
+  Network Net = testing_nets::makeXorNetwork();
+  RobustnessProperty Prop;
+  Prop.Region = Box::uniform(2, 0.3, 0.7);
+  Prop.TargetClass = 1;
+
+  VerifierConfig Plain;
+  Plain.TimeLimitSeconds = 20.0;
+  VerifyResult WithoutFallback =
+      Verifier(Net, makeIntervalOnlyPolicy(), Plain).verify(Prop);
+
+  VerifierConfig WithCallback = Plain;
+  WithCallback.CompleteFallback = makeReluplexFallback(5.0);
+  WithCallback.CompleteFallbackDiameter = 0.4;
+  VerifyResult WithFallback =
+      Verifier(Net, makeIntervalOnlyPolicy(), WithCallback).verify(Prop);
+
+  ASSERT_EQ(WithoutFallback.Result, Outcome::Verified);
+  ASSERT_EQ(WithFallback.Result, Outcome::Verified);
+  EXPECT_LE(WithFallback.Stats.Splits, WithoutFallback.Stats.Splits);
+}
+
+TEST(CompleteFallbackTest, TimeoutFallbackFallsThroughToSplitting) {
+  // A fallback that always gives up must leave behaviour unchanged.
+  Network Net = testing_nets::makeXorNetwork();
+  VerifierConfig Config;
+  Config.TimeLimitSeconds = 20.0;
+  Config.CompleteFallback = [](const Network &, const Box &, size_t) {
+    return Outcome::Timeout;
+  };
+  Config.CompleteFallbackDiameter = 1e9; // fires at every node
+  Verifier V(Net, makeIntervalOnlyPolicy(), Config);
+  RobustnessProperty Prop;
+  Prop.Region = Box::uniform(2, 0.3, 0.7);
+  Prop.TargetClass = 1;
+  EXPECT_EQ(V.verify(Prop).Result, Outcome::Verified);
+}

@@ -1,0 +1,189 @@
+//===- DataTests.cpp - Tests for the synthetic dataset generators -------------===//
+
+#include "data/Acas.h"
+#include "data/Benchmarks.h"
+#include "data/SyntheticImages.h"
+
+#include "nn/Builder.h"
+#include "nn/Train.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+//===----------------------------------------------------------------------===//
+// Synthetic images
+//===----------------------------------------------------------------------===//
+
+TEST(SyntheticImagesTest, DatasetShapeAndLabels) {
+  ImageDatasetConfig C = mnistLikeConfig();
+  C.SamplesPerClass = 5;
+  Dataset D = makeImageDataset(C);
+  EXPECT_EQ(D.size(), 50u);
+  EXPECT_EQ(D.NumClasses, 10);
+  for (size_t I = 0; I < D.size(); ++I) {
+    EXPECT_EQ(D.Inputs[I].size(), static_cast<size_t>(C.Shape.size()));
+    EXPECT_GE(D.Labels[I], 0);
+    EXPECT_LT(D.Labels[I], 10);
+  }
+}
+
+TEST(SyntheticImagesTest, PixelsInUnitRange) {
+  Dataset D = makeImageDataset(cifarLikeConfig());
+  for (const Vector &X : D.Inputs)
+    for (size_t I = 0; I < X.size(); ++I) {
+      EXPECT_GE(X[I], 0.0);
+      EXPECT_LE(X[I], 1.0);
+    }
+}
+
+TEST(SyntheticImagesTest, DeterministicForSeed) {
+  ImageDatasetConfig C = mnistLikeConfig();
+  C.SamplesPerClass = 3;
+  Dataset A = makeImageDataset(C);
+  Dataset B = makeImageDataset(C);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_TRUE(approxEqual(A.Inputs[I], B.Inputs[I], 0.0));
+}
+
+TEST(SyntheticImagesTest, ClassesAreSeparated) {
+  // Prototypes of distinct classes must differ substantially, otherwise the
+  // dataset cannot be learned.
+  ImageDatasetConfig C = mnistLikeConfig();
+  Rng R(1);
+  Vector A = makeImageSample(C, 0, R);
+  Vector B = makeImageSample(C, 1, R);
+  EXPECT_GT(distance2(A, B), 0.5);
+}
+
+TEST(SyntheticImagesTest, MlpTrainsToHighAccuracy) {
+  // The whole evaluation hinges on the synthetic data being learnable.
+  ImageDatasetConfig C = mnistLikeConfig();
+  C.SamplesPerClass = 20;
+  Dataset D = makeImageDataset(C);
+  Rng R(2);
+  Network Net = makeMlp(C.Shape.size(), {25, 25}, 10, R);
+  TrainConfig TC;
+  TC.Epochs = 30;
+  double Acc = trainSgd(Net, D, TC, R);
+  EXPECT_GT(Acc, 0.9);
+}
+
+//===----------------------------------------------------------------------===//
+// ACAS-like dataset
+//===----------------------------------------------------------------------===//
+
+TEST(AcasTest, AdvisoryIsDeterministicPiecewise) {
+  // Far-away encounters are clear-of-conflict.
+  EXPECT_EQ(acasAdvisory(Vector{0.95, 0.5, 0.5, 0.5, 0.5}), 0);
+  // Close, fast, head-on encounters demand strong maneuvers.
+  int Advisory = acasAdvisory(Vector{0.05, 0.3, 0.5, 0.9, 0.9});
+  EXPECT_TRUE(Advisory == 2 || Advisory == 4);
+}
+
+TEST(AcasTest, AllAdvisoriesReachable) {
+  Rng R(3);
+  Dataset D = makeAcasDataset(5000, R);
+  std::vector<int> Counts(AcasOutputs, 0);
+  for (int L : D.Labels)
+    ++Counts[L];
+  for (int A = 0; A < AcasOutputs; ++A)
+    EXPECT_GT(Counts[A], 0) << "advisory " << A << " never produced";
+}
+
+TEST(AcasTest, NetworkLearnsAdvisories) {
+  Rng R(4);
+  Dataset D = makeAcasDataset(3000, R);
+  Network Net = makeMlp(AcasInputs, {24, 24}, AcasOutputs, R);
+  TrainConfig TC;
+  TC.Epochs = 40;
+  TC.LearningRate = 0.08;
+  double Acc = trainSgd(Net, D, TC, R);
+  EXPECT_GT(Acc, 0.85);
+}
+
+//===----------------------------------------------------------------------===//
+// Brightening attacks (Sec. 7.1)
+//===----------------------------------------------------------------------===//
+
+TEST(BrighteningTest, OnlyBrightPixelsPerturbed) {
+  Vector X{0.2, 0.7, 0.9, 0.4};
+  Box I = brighteningRegion(X, 0.6);
+  // Dim pixels stay fixed.
+  EXPECT_DOUBLE_EQ(I.lower()[0], 0.2);
+  EXPECT_DOUBLE_EQ(I.upper()[0], 0.2);
+  EXPECT_DOUBLE_EQ(I.lower()[3], 0.4);
+  EXPECT_DOUBLE_EQ(I.upper()[3], 0.4);
+  // Bright pixels may brighten to 1.
+  EXPECT_DOUBLE_EQ(I.lower()[1], 0.7);
+  EXPECT_DOUBLE_EQ(I.upper()[1], 1.0);
+  EXPECT_DOUBLE_EQ(I.upper()[2], 1.0);
+}
+
+TEST(BrighteningTest, OriginalImageIsInRegion) {
+  Rng R(5);
+  ImageDatasetConfig C = mnistLikeConfig();
+  Vector X = makeImageSample(C, 3, R);
+  Box I = brighteningRegion(X, 0.5);
+  EXPECT_TRUE(I.contains(X));
+}
+
+TEST(BrighteningTest, ThresholdOneIsPointRegion) {
+  Vector X{0.3, 0.99};
+  Box I = brighteningRegion(X, 1.01);
+  EXPECT_DOUBLE_EQ(I.diameter(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Benchmark suites
+//===----------------------------------------------------------------------===//
+
+TEST(BenchmarkSuiteTest, PaperSuiteConfigsCoverSevenNetworks) {
+  auto Configs = paperSuiteConfigs(10);
+  ASSERT_EQ(Configs.size(), 7u);
+  int ConvCount = 0;
+  for (const auto &C : Configs) {
+    EXPECT_EQ(C.NumProperties, 10);
+    if (C.HiddenSizes.empty())
+      ++ConvCount;
+  }
+  EXPECT_EQ(ConvCount, 1); // exactly one convolutional network
+}
+
+TEST(BenchmarkSuiteTest, AcasSuiteBuildsTrainedNetwork) {
+  BenchmarkSuite Suite = makeAcasSuite(12, 99, "/tmp/charon-test-networks");
+  EXPECT_EQ(Suite.Net.inputSize(), static_cast<size_t>(AcasInputs));
+  EXPECT_EQ(Suite.Net.outputSize(), static_cast<size_t>(AcasOutputs));
+  ASSERT_EQ(Suite.Properties.size(), 12u);
+  for (const auto &P : Suite.Properties) {
+    EXPECT_EQ(P.Region.dim(), static_cast<size_t>(AcasInputs));
+    EXPECT_LT(P.TargetClass, static_cast<size_t>(AcasOutputs));
+    // The region center is classified as the target class by construction.
+    EXPECT_EQ(Suite.Net.classify(P.Region.center()), P.TargetClass);
+  }
+}
+
+TEST(BenchmarkSuiteTest, NetworkCachingRoundTrips) {
+  // Building the same suite twice must load identical weights from cache.
+  BenchmarkSuite A = makeAcasSuite(2, 99, "/tmp/charon-test-networks");
+  BenchmarkSuite B = makeAcasSuite(2, 99, "/tmp/charon-test-networks");
+  Vector X{0.5, 0.5, 0.5, 0.5, 0.5};
+  EXPECT_TRUE(approxEqual(A.Net.evaluate(X), B.Net.evaluate(X), 1e-12));
+}
+
+TEST(BenchmarkSuiteTest, ImageSuiteSmall) {
+  SuiteConfig C;
+  C.Name = "test_tiny";
+  C.Data = mnistLikeConfig();
+  C.Data.SamplesPerClass = 10;
+  C.HiddenSizes = {12};
+  C.NumProperties = 5;
+  C.TrainEpochs = 10;
+  C.CacheDir = "/tmp/charon-test-networks";
+  BenchmarkSuite Suite = makeImageSuite(C);
+  EXPECT_EQ(Suite.Properties.size(), 5u);
+  for (const auto &P : Suite.Properties)
+    EXPECT_EQ(P.Region.dim(), Suite.Net.inputSize());
+}

@@ -1,0 +1,105 @@
+//===- SuitePropertyTests.cpp - Invariants of the benchmark generators ----------===//
+
+#include "data/Benchmarks.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace charon;
+
+namespace {
+
+/// Small cached suite shared by the tests here.
+const BenchmarkSuite &tinySuite() {
+  static BenchmarkSuite Suite = [] {
+    SuiteConfig Config;
+    Config.Name = "suite_prop_tiny";
+    Config.Data = mnistLikeConfig();
+    Config.Data.SamplesPerClass = 10;
+    Config.HiddenSizes = {16};
+    Config.NumProperties = 12;
+    Config.TrainEpochs = 12;
+    Config.Seed = 777;
+    Config.CacheDir = "/tmp/charon-test-networks";
+    return makeImageSuite(Config);
+  }();
+  return Suite;
+}
+
+} // namespace
+
+TEST(SuitePropertyTest, GenerationIsDeterministic) {
+  SuiteConfig Config;
+  Config.Name = "suite_prop_tiny";
+  Config.Data = mnistLikeConfig();
+  Config.Data.SamplesPerClass = 10;
+  Config.HiddenSizes = {16};
+  Config.NumProperties = 12;
+  Config.TrainEpochs = 12;
+  Config.Seed = 777;
+  Config.CacheDir = "/tmp/charon-test-networks";
+  BenchmarkSuite A = makeImageSuite(Config);
+  BenchmarkSuite B = makeImageSuite(Config);
+  ASSERT_EQ(A.Properties.size(), B.Properties.size());
+  for (size_t I = 0; I < A.Properties.size(); ++I) {
+    EXPECT_EQ(A.Properties[I].TargetClass, B.Properties[I].TargetClass);
+    EXPECT_TRUE(approxEqual(A.Properties[I].Region.lower(),
+                            B.Properties[I].Region.lower(), 0.0));
+    EXPECT_TRUE(approxEqual(A.Properties[I].Region.upper(),
+                            B.Properties[I].Region.upper(), 0.0));
+  }
+}
+
+TEST(SuitePropertyTest, RegionsAreValidBrightenings) {
+  for (const auto &Prop : tinySuite().Properties) {
+    const Box &I = Prop.Region;
+    for (size_t D = 0; D < I.dim(); ++D) {
+      // Brightening: lower bound is the original pixel; upper is either
+      // the same (untouched pixel) or exactly 1.
+      EXPECT_GE(I.lower()[D], 0.0);
+      EXPECT_LE(I.lower()[D], 1.0);
+      EXPECT_TRUE(I.upper()[D] == I.lower()[D] || I.upper()[D] == 1.0);
+    }
+  }
+}
+
+TEST(SuitePropertyTest, PropertyNamesAreUnique) {
+  std::set<std::string> Names;
+  for (const auto &Prop : tinySuite().Properties)
+    EXPECT_TRUE(Names.insert(Prop.Name).second) << Prop.Name;
+}
+
+TEST(SuitePropertyTest, BoundaryInstancesCorrectAtProbePoints) {
+  // The screening guarantee: every property's unperturbed image (the
+  // region's lower corner) and midpoint classify as the target class OR
+  // the instance is a non-boundary one whose prediction may differ from
+  // the ground-truth target. Either way the *boundary* slice is required
+  // to be probe-clean; here we check the weaker global invariant that at
+  // most a third of properties are misclassified at the probe points
+  // (non-boundary instances are usually classified correctly too).
+  const BenchmarkSuite &S = tinySuite();
+  int ProbeViolations = 0;
+  for (const auto &Prop : S.Properties) {
+    if (S.Net.objective(Prop.Region.lower(), Prop.TargetClass) <= 0.0 ||
+        S.Net.objective(Prop.Region.center(), Prop.TargetClass) <= 0.0)
+      ++ProbeViolations;
+  }
+  EXPECT_LE(ProbeViolations,
+            static_cast<int>(S.Properties.size()) / 3);
+}
+
+TEST(SuitePropertyTest, AcasScreeningProducesDifficultySpread) {
+  BenchmarkSuite Suite = makeAcasSuite(12, 321, "/tmp/charon-test-networks");
+  ASSERT_EQ(Suite.Properties.size(), 12u);
+  // Regions must span meaningfully different sizes (screening draws from
+  // hard/easy/falsifiable buckets with different geometry).
+  double MinDiam = 1e18, MaxDiam = 0.0;
+  for (const auto &Prop : Suite.Properties) {
+    MinDiam = std::min(MinDiam, Prop.Region.diameter());
+    MaxDiam = std::max(MaxDiam, Prop.Region.diameter());
+  }
+  EXPECT_GT(MaxDiam, 1.5 * MinDiam);
+}

@@ -1,0 +1,192 @@
+//===- PipelineTests.cpp - End-to-end integration tests ------------------------===//
+//
+// Exercises the full pipeline the evaluation uses: synthesize data, train a
+// network, generate brightening-attack properties, verify with every tool,
+// and cross-check all verdicts for mutual consistency and against sampling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Ai2.h"
+#include "baselines/ReluVal.h"
+#include "baselines/Reluplex.h"
+#include "core/PolicyTrainer.h"
+#include "core/Verifier.h"
+#include "data/Benchmarks.h"
+#include "nn/Builder.h"
+#include "nn/Train.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+/// A small trained classifier + properties, shared across the tests in this
+/// file (trained once; gtest constructs the environment lazily).
+struct Pipeline {
+  BenchmarkSuite Suite;
+
+  Pipeline() {
+    SuiteConfig Config;
+    Config.Name = "integration_mnist";
+    Config.Data = mnistLikeConfig();
+    Config.Data.SamplesPerClass = 15;
+    Config.HiddenSizes = {20, 20};
+    Config.NumProperties = 8;
+    Config.TrainEpochs = 20;
+    Config.Seed = 404;
+    Config.CacheDir = "/tmp/charon-test-networks";
+    Suite = makeImageSuite(Config);
+  }
+};
+
+Pipeline &pipeline() {
+  static Pipeline P;
+  return P;
+}
+
+} // namespace
+
+TEST(PipelineTest, SuiteIsWellFormed) {
+  const BenchmarkSuite &S = pipeline().Suite;
+  EXPECT_EQ(S.Properties.size(), 8u);
+  for (const auto &P : S.Properties) {
+    EXPECT_EQ(P.Region.dim(), S.Net.inputSize());
+    EXPECT_LT(P.TargetClass, S.Net.outputSize());
+    EXPECT_FALSE(P.Name.empty());
+  }
+}
+
+TEST(PipelineTest, CharonVerdictsAreSelfConsistent) {
+  const BenchmarkSuite &S = pipeline().Suite;
+  Rng SampleRng(1);
+  VerifierConfig Config;
+  Config.TimeLimitSeconds = 5.0;
+  Verifier V(S.Net, VerificationPolicy(), Config);
+  for (const auto &Prop : S.Properties) {
+    VerifyResult R = V.verify(Prop);
+    if (R.Result == Outcome::Verified) {
+      for (int I = 0; I < 100; ++I)
+        EXPECT_EQ(S.Net.classify(Prop.Region.sample(SampleRng)),
+                  Prop.TargetClass)
+            << Prop.Name;
+    } else if (R.Result == Outcome::Falsified) {
+      EXPECT_TRUE(Prop.Region.contains(R.Counterexample, 1e-9)) << Prop.Name;
+      EXPECT_LE(S.Net.objective(R.Counterexample, Prop.TargetClass),
+                Config.Delta)
+          << Prop.Name;
+    }
+  }
+}
+
+TEST(PipelineTest, ToolsNeverContradict) {
+  // Sound tools can disagree on *solving* but never on *verdicts*: if any
+  // tool verifies, no tool may produce a true counterexample, and vice
+  // versa.
+  const BenchmarkSuite &S = pipeline().Suite;
+  VerifierConfig Config;
+  Config.TimeLimitSeconds = 3.0;
+  Verifier Charon(S.Net, VerificationPolicy(), Config);
+  ReluValConfig RC;
+  RC.TimeLimitSeconds = 3.0;
+
+  for (const auto &Prop : S.Properties) {
+    VerifyResult C = Charon.verify(Prop);
+    Ai2Result Z = ai2Verify(S.Net, Prop, ai2Zonotope(3.0));
+    ReluValResult RV = reluvalVerify(S.Net, Prop, RC);
+
+    bool AnyVerified = C.Result == Outcome::Verified ||
+                       Z.Result == Ai2Outcome::Verified ||
+                       RV.Result == Outcome::Verified;
+    bool AnyFalsified =
+        C.Result == Outcome::Falsified || RV.Result == Outcome::Falsified;
+    // Note: Charon's falsification is delta-relaxed; treat only true
+    // violations as contradictions.
+    if (C.Result == Outcome::Falsified &&
+        S.Net.objective(C.Counterexample, Prop.TargetClass) > 0.0)
+      AnyFalsified = RV.Result == Outcome::Falsified;
+    EXPECT_FALSE(AnyVerified && AnyFalsified) << Prop.Name;
+  }
+}
+
+TEST(PipelineTest, ParallelAgreesWithSequential) {
+  const BenchmarkSuite &S = pipeline().Suite;
+  VerifierConfig Config;
+  Config.TimeLimitSeconds = 5.0;
+  Verifier V(S.Net, VerificationPolicy(), Config);
+  ThreadPool Pool(4);
+  int Checked = 0;
+  for (const auto &Prop : S.Properties) {
+    VerifyResult Seq = V.verify(Prop);
+    if (Seq.Result == Outcome::Timeout)
+      continue; // Timing-dependent; parallel may legitimately differ.
+    VerifyResult Par = V.verifyParallel(Prop, Pool);
+    if (Par.Result == Outcome::Timeout)
+      continue;
+    EXPECT_EQ(Par.Result, Seq.Result) << Prop.Name;
+    ++Checked;
+  }
+  EXPECT_GE(Checked, 4);
+}
+
+TEST(PipelineTest, PolicyTrainingOnRealProblems) {
+  // Train theta on a few of the pipeline's own properties; the result must
+  // score at least as well as the default on the training set.
+  const BenchmarkSuite &S = pipeline().Suite;
+  std::vector<TrainingProblem> Problems;
+  for (size_t I = 0; I < 4; ++I)
+    Problems.push_back({&S.Net, S.Properties[I]});
+  PolicyTrainConfig Config;
+  Config.TimeLimitSeconds = 0.5;
+  Config.BayesOpt.InitialSamples = 3;
+  Config.BayesOpt.Iterations = 3;
+  Rng R(5);
+  PolicyTrainResult Result = trainPolicy(Problems, Config, R);
+  EXPECT_GE(Result.BestScore, Result.DefaultScore);
+}
+
+TEST(PipelineTest, ReluplexAgreesOnSmallNetwork) {
+  // Build a genuinely small net so the complete tool finishes, and check
+  // its verdicts against Charon's on shared properties.
+  Rng R(6);
+  ImageDatasetConfig DataConfig = mnistLikeConfig();
+  DataConfig.Shape = TensorShape{1, 4, 4};
+  DataConfig.NumClasses = 3;
+  DataConfig.SamplesPerClass = 20;
+  Dataset Data = makeImageDataset(DataConfig);
+  Network Net = makeMlp(16, {10}, 3, R);
+  TrainConfig TC;
+  TC.Epochs = 25;
+  trainSgd(Net, Data, TC, R);
+
+  VerifierConfig VC;
+  VC.TimeLimitSeconds = 5.0;
+  Verifier Charon(Net, VerificationPolicy(), VC);
+  ReluplexConfig PC;
+  PC.TimeLimitSeconds = 20.0;
+  PC.SymbolicBoundTightening = true;
+
+  Rng PropRng(7);
+  int Compared = 0;
+  for (int T = 0; T < 6; ++T) {
+    Vector X = makeImageSample(DataConfig, T % 3, PropRng);
+    RobustnessProperty Prop;
+    Prop.Region = brighteningRegion(X, 0.7);
+    Prop.TargetClass = Net.classify(X);
+    Prop.Name = "cmp" + std::to_string(T);
+    VerifyResult C = Charon.verify(Prop);
+    ReluplexResult P = reluplexVerify(Net, Prop, PC);
+    if (C.Result == Outcome::Timeout || P.Result == Outcome::Timeout)
+      continue;
+    // Exact agreement modulo delta: a Charon delta-counterexample with a
+    // strictly positive concrete objective may be Verified by Reluplex.
+    if (C.Result == Outcome::Falsified &&
+        Net.objective(C.Counterexample, Prop.TargetClass) > 0.0)
+      continue;
+    EXPECT_EQ(C.Result, P.Result) << Prop.Name;
+    ++Compared;
+  }
+  EXPECT_GE(Compared, 2);
+}

@@ -1,0 +1,114 @@
+//===- BoxPropertyTests.cpp - Parameterized Box invariants ----------------------===//
+
+#include "linalg/Box.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace charon;
+
+namespace {
+
+class BoxSweepTest : public ::testing::TestWithParam<size_t> {};
+
+Box randomBox(size_t Dim, Rng &R) {
+  Vector Lo(Dim), Hi(Dim);
+  for (size_t I = 0; I < Dim; ++I) {
+    double A = R.uniform(-2.0, 2.0);
+    double B = R.uniform(-2.0, 2.0);
+    Lo[I] = std::min(A, B);
+    Hi[I] = std::max(A, B);
+  }
+  return Box(std::move(Lo), std::move(Hi));
+}
+
+} // namespace
+
+TEST_P(BoxSweepTest, SplitShrinksDiameterAtAnyCut) {
+  // Assumption 1 of the paper must hold for every dimension and cut value,
+  // including cuts outside the box (which are clamped inward).
+  size_t Dim = GetParam();
+  Rng R(Dim * 7 + 1);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Box B = randomBox(Dim, R);
+    if (B.diameter() == 0.0)
+      continue;
+    size_t D = R.uniformInt(Dim);
+    if (B.width(D) == 0.0)
+      continue;
+    double Cut = R.uniform(-3.0, 3.0);
+    auto [L, H] = B.split(D, Cut);
+    EXPECT_LT(L.diameter(), B.diameter());
+    EXPECT_LT(H.diameter(), B.diameter());
+    // Halves partition the box along D.
+    EXPECT_DOUBLE_EQ(L.upper()[D], H.lower()[D]);
+    EXPECT_DOUBLE_EQ(L.lower()[D], B.lower()[D]);
+    EXPECT_DOUBLE_EQ(H.upper()[D], B.upper()[D]);
+  }
+}
+
+TEST_P(BoxSweepTest, SplitPreservesSampledPoints) {
+  size_t Dim = GetParam();
+  Rng R(Dim * 11 + 3);
+  Box B = randomBox(Dim, R);
+  size_t D = B.longestDim();
+  auto [L, H] = B.split(D, B.center()[D]);
+  for (int S = 0; S < 200; ++S) {
+    Vector X = B.sample(R);
+    EXPECT_TRUE(L.contains(X, 1e-12) || H.contains(X, 1e-12));
+  }
+}
+
+TEST_P(BoxSweepTest, ProjectionIsIdempotentAndInside) {
+  size_t Dim = GetParam();
+  Rng R(Dim * 13 + 5);
+  Box B = randomBox(Dim, R);
+  for (int S = 0; S < 100; ++S) {
+    Vector X(Dim);
+    for (size_t I = 0; I < Dim; ++I)
+      X[I] = R.uniform(-5.0, 5.0);
+    Vector P = B.project(X);
+    EXPECT_TRUE(B.contains(P, 1e-12));
+    EXPECT_TRUE(approxEqual(B.project(P), P, 0.0));
+    // Projection moves no coordinate past the nearer face.
+    for (size_t I = 0; I < Dim; ++I)
+      if (B.contains(X, 0.0)) {
+        EXPECT_DOUBLE_EQ(P[I], X[I]);
+      }
+  }
+}
+
+TEST_P(BoxSweepTest, DiameterBoundsPairwiseDistances) {
+  size_t Dim = GetParam();
+  Rng R(Dim * 17 + 7);
+  Box B = randomBox(Dim, R);
+  double Diam = B.diameter();
+  for (int S = 0; S < 100; ++S)
+    EXPECT_LE(distance2(B.sample(R), B.sample(R)), Diam + 1e-12);
+}
+
+TEST_P(BoxSweepTest, RepeatedBisectionConvergesGeometrically) {
+  // The termination argument (Thm. 5.2) needs D(child) < lambda * D(parent)
+  // uniformly; bisecting the longest dimension achieves lambda well below 1
+  // after Dim consecutive splits.
+  size_t Dim = GetParam();
+  Rng R(Dim * 19 + 9);
+  Box B = randomBox(Dim, R);
+  double Initial = B.diameter();
+  if (Initial == 0.0)
+    return;
+  for (size_t Round = 0; Round < 3 * Dim; ++Round) {
+    size_t D = B.longestDim();
+    auto [L, H] = B.split(D, B.center()[D]);
+    B = R.uniform() < 0.5 ? L : H; // random descent path
+  }
+  EXPECT_LT(B.diameter(), 0.3 * Initial);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, BoxSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           return "dim" + std::to_string(Info.param);
+                         });

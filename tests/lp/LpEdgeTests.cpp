@@ -1,0 +1,104 @@
+//===- LpEdgeTests.cpp - Simplex edge cases and deadline behaviour --------------===//
+
+#include "lp/Simplex.h"
+
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+TEST(LpEdgeTest, ExpiredDeadlineAbortsCleanly) {
+  Rng R(3);
+  LpProblem Lp;
+  int N = 20;
+  for (int I = 0; I < N; ++I)
+    Lp.addVariable(-1.0, 1.0);
+  for (int C = 0; C < 30; ++C) {
+    std::vector<std::pair<int, double>> Terms;
+    for (int I = 0; I < N; ++I)
+      Terms.emplace_back(I, R.gaussian());
+    Lp.addLeqConstraint(std::move(Terms), R.uniform(0.5, 2.0));
+  }
+  Vector Obj(N);
+  for (int I = 0; I < N; ++I)
+    Obj[I] = R.gaussian();
+  Deadline Expired(0.0);
+  LpResult Res = Lp.maximize(Obj, &Expired);
+  EXPECT_EQ(Res.Status, LpStatus::IterationLimit);
+}
+
+TEST(LpEdgeTest, GenerousDeadlineDoesNotChangeResult) {
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 4.0);
+  int Y = Lp.addVariable(0.0, 4.0);
+  Lp.addLeqConstraint({{X, 1.0}, {Y, 1.0}}, 5.0);
+  Vector Obj{1.0, 1.0};
+  Deadline Generous(60.0);
+  LpResult WithDeadline = Lp.maximize(Obj, &Generous);
+  LpResult Without = Lp.maximize(Obj);
+  ASSERT_EQ(WithDeadline.Status, LpStatus::Optimal);
+  ASSERT_EQ(Without.Status, LpStatus::Optimal);
+  EXPECT_NEAR(WithDeadline.Value, Without.Value, 1e-9);
+}
+
+TEST(LpEdgeTest, EmptyObjectiveStillFindsFeasiblePoint) {
+  LpProblem Lp;
+  int X = Lp.addVariable(-1.0, 1.0);
+  Lp.addLeqConstraint({{X, -1.0}}, -0.5); // x >= 0.5
+  LpResult Res = Lp.maximize(Vector{0.0});
+  ASSERT_EQ(Res.Status, LpStatus::Optimal);
+  EXPECT_GE(Res.X[0], 0.5 - 1e-8);
+  EXPECT_LE(Res.X[0], 1.0 + 1e-8);
+}
+
+TEST(LpEdgeTest, RedundantConstraintsHarmless) {
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 1.0);
+  for (int I = 0; I < 10; ++I)
+    Lp.addLeqConstraint({{X, 1.0}}, 0.75); // same row, ten times
+  LpResult Res = Lp.maximize(Vector{1.0});
+  ASSERT_EQ(Res.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Res.X[0], 0.75, 1e-8);
+}
+
+TEST(LpEdgeTest, ZeroCoefficientTermsIgnored) {
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 2.0);
+  int Y = Lp.addVariable(0.0, 2.0);
+  Lp.addLeqConstraint({{X, 1.0}, {Y, 0.0}}, 1.0);
+  LpResult Res = Lp.maximize(Vector{1.0, 1.0});
+  ASSERT_EQ(Res.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Res.Value, 3.0, 1e-8); // x = 1, y = 2
+}
+
+TEST(LpEdgeTest, DuplicateVariableTermsAccumulate) {
+  // 0.5x + 0.5x <= 1 must behave as x <= 1.
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 5.0);
+  Lp.addLeqConstraint({{X, 0.5}, {X, 0.5}}, 1.0);
+  LpResult Res = Lp.maximize(Vector{1.0});
+  ASSERT_EQ(Res.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Res.X[0], 1.0, 1e-8);
+}
+
+TEST(LpEdgeTest, HighlyDegenerateCornerTerminates) {
+  // Many constraints active at the optimum; Bland's rule must prevent
+  // cycling.
+  LpProblem Lp;
+  int N = 8;
+  for (int I = 0; I < N; ++I)
+    Lp.addVariable(0.0, 1.0);
+  // All pairwise sums bounded by 1: optimum pushes everything to the same
+  // degenerate corner region.
+  for (int I = 0; I < N; ++I)
+    for (int J = I + 1; J < N; ++J)
+      Lp.addLeqConstraint({{I, 1.0}, {J, 1.0}}, 1.0);
+  Vector Obj(N, 1.0);
+  LpResult Res = Lp.maximize(Obj);
+  ASSERT_EQ(Res.Status, LpStatus::Optimal);
+  // Optimum of sum(x) under pairwise caps of 1 is n/2 * 1 = 4 (each pair
+  // shares the budget; x_i = 0.5 for all i is feasible and optimal).
+  EXPECT_NEAR(Res.Value, 4.0, 1e-7);
+}

@@ -1,0 +1,168 @@
+//===- LpTests.cpp - Tests for the simplex LP solver --------------------------===//
+
+#include "lp/Simplex.h"
+
+#include "linalg/Box.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+TEST(SimplexTest, UnconstrainedBoxMaximum) {
+  // max x + 2y over [0,1] x [0,2] is at the corner (1, 2).
+  LpProblem Lp;
+  Lp.addVariable(0.0, 1.0);
+  Lp.addVariable(0.0, 2.0);
+  LpResult R = Lp.maximize(Vector{1.0, 2.0});
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Value, 5.0, 1e-8);
+  EXPECT_NEAR(R.X[0], 1.0, 1e-8);
+  EXPECT_NEAR(R.X[1], 2.0, 1e-8);
+}
+
+TEST(SimplexTest, ClassicTwoVariableLp) {
+  // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+  // Optimum (2, 6) with value 36 (textbook example).
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 100.0);
+  int Y = Lp.addVariable(0.0, 100.0);
+  Lp.addLeqConstraint({{X, 1.0}}, 4.0);
+  Lp.addLeqConstraint({{Y, 2.0}}, 12.0);
+  Lp.addLeqConstraint({{X, 3.0}, {Y, 2.0}}, 18.0);
+  LpResult R = Lp.maximize(Vector{3.0, 5.0});
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Value, 36.0, 1e-7);
+  EXPECT_NEAR(R.X[0], 2.0, 1e-7);
+  EXPECT_NEAR(R.X[1], 6.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= -1 with x >= 0 is infeasible.
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 10.0);
+  Lp.addLeqConstraint({{X, 1.0}}, -1.0);
+  LpResult R = Lp.maximize(Vector{1.0});
+  EXPECT_EQ(R.Status, LpStatus::Infeasible);
+}
+
+TEST(SimplexTest, ContradictoryConstraintsInfeasible) {
+  LpProblem Lp;
+  int X = Lp.addVariable(-10.0, 10.0);
+  Lp.addLeqConstraint({{X, 1.0}}, 2.0);   // x <= 2
+  Lp.addLeqConstraint({{X, -1.0}}, -5.0); // x >= 5
+  LpResult R = Lp.maximize(Vector{1.0});
+  EXPECT_EQ(R.Status, LpStatus::Infeasible);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // max -x over x in [-5, 3]: optimum at x = -5.
+  LpProblem Lp;
+  Lp.addVariable(-5.0, 3.0);
+  LpResult R = Lp.maximize(Vector{-1.0});
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.X[0], -5.0, 1e-8);
+  EXPECT_NEAR(R.Value, 5.0, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + y st x + y = 3, x in [0,2], y in [0,2].
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 2.0);
+  int Y = Lp.addVariable(0.0, 2.0);
+  Lp.addEqConstraint({{X, 1.0}, {Y, 1.0}}, 3.0);
+  LpResult R = Lp.maximize(Vector{1.0, 1.0});
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Value, 3.0, 1e-7);
+  EXPECT_NEAR(R.X[0] + R.X[1], 3.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityInfeasibleOutsideBounds) {
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 1.0);
+  Lp.addEqConstraint({{X, 1.0}}, 5.0);
+  LpResult R = Lp.maximize(Vector{1.0});
+  EXPECT_EQ(R.Status, LpStatus::Infeasible);
+}
+
+TEST(SimplexTest, DegenerateTies) {
+  // Multiple constraints active at the optimum (degenerate vertex).
+  LpProblem Lp;
+  int X = Lp.addVariable(0.0, 10.0);
+  int Y = Lp.addVariable(0.0, 10.0);
+  Lp.addLeqConstraint({{X, 1.0}, {Y, 1.0}}, 2.0);
+  Lp.addLeqConstraint({{X, 1.0}}, 1.0);
+  Lp.addLeqConstraint({{Y, 1.0}}, 1.0);
+  LpResult R = Lp.maximize(Vector{1.0, 1.0});
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.Value, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, SolutionSatisfiesAllConstraints) {
+  // Random LPs: the reported optimum must be feasible.
+  Rng R(17);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    LpProblem Lp;
+    int N = 4;
+    for (int I = 0; I < N; ++I)
+      Lp.addVariable(-2.0, 2.0);
+    std::vector<std::vector<std::pair<int, double>>> Rows;
+    std::vector<double> Rhs;
+    for (int C = 0; C < 5; ++C) {
+      std::vector<std::pair<int, double>> Terms;
+      for (int I = 0; I < N; ++I)
+        Terms.emplace_back(I, R.gaussian());
+      double B = R.uniform(0.5, 3.0);
+      Lp.addLeqConstraint(Terms, B);
+      Rows.push_back(std::move(Terms));
+      Rhs.push_back(B);
+    }
+    Vector Obj(N);
+    for (int I = 0; I < N; ++I)
+      Obj[I] = R.gaussian();
+    LpResult Res = Lp.maximize(Obj);
+    // 0 is feasible for all rows (rhs > 0), so the LP must be solvable.
+    ASSERT_EQ(Res.Status, LpStatus::Optimal) << "trial " << Trial;
+    for (size_t C = 0; C < Rows.size(); ++C) {
+      double Lhs = 0.0;
+      for (const auto &[V, Coef] : Rows[C])
+        Lhs += Coef * Res.X[V];
+      EXPECT_LE(Lhs, Rhs[C] + 1e-6) << "trial " << Trial;
+    }
+    for (int I = 0; I < N; ++I) {
+      EXPECT_GE(Res.X[I], -2.0 - 1e-8);
+      EXPECT_LE(Res.X[I], 2.0 + 1e-8);
+    }
+  }
+}
+
+TEST(SimplexTest, OptimumBeatsRandomFeasiblePoints) {
+  // The reported optimum must dominate sampled feasible points.
+  Rng R(19);
+  LpProblem Lp;
+  for (int I = 0; I < 3; ++I)
+    Lp.addVariable(-1.0, 1.0);
+  Lp.addLeqConstraint({{0, 1.0}, {1, 1.0}, {2, 1.0}}, 1.5);
+  Lp.addLeqConstraint({{0, 1.0}, {1, -1.0}}, 0.5);
+  Vector Obj{1.0, 2.0, -0.5};
+  LpResult Res = Lp.maximize(Obj);
+  ASSERT_EQ(Res.Status, LpStatus::Optimal);
+  Box B = Box::uniform(3, -1.0, 1.0);
+  for (int S = 0; S < 1000; ++S) {
+    Vector X = B.sample(R);
+    if (X[0] + X[1] + X[2] > 1.5 || X[0] - X[1] > 0.5)
+      continue;
+    EXPECT_GE(Res.Value, dot(Obj, X) - 1e-7);
+  }
+}
+
+TEST(SimplexTest, FixedVariable) {
+  // Zero-width bounds pin a variable.
+  LpProblem Lp;
+  Lp.addVariable(1.5, 1.5);
+  Lp.addVariable(0.0, 1.0);
+  LpResult R = Lp.maximize(Vector{1.0, 1.0});
+  ASSERT_EQ(R.Status, LpStatus::Optimal);
+  EXPECT_NEAR(R.X[0], 1.5, 1e-8);
+  EXPECT_NEAR(R.Value, 2.5, 1e-8);
+}

@@ -1,0 +1,425 @@
+//===- NnTests.cpp - Tests for the neural network library --------------------===//
+
+#include "nn/Builder.h"
+#include "nn/Conv2D.h"
+#include "nn/Dense.h"
+#include "nn/Io.h"
+#include "nn/MaxPool2D.h"
+#include "nn/Network.h"
+#include "nn/Relu.h"
+#include "nn/Train.h"
+#include "support/Random.h"
+
+#include "TestNetworks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+using namespace charon;
+
+namespace {
+
+
+
+/// Central-difference gradient of the objective for gradient checking.
+Vector numericObjectiveGradient(const Network &Net, const Vector &X, size_t K,
+                                double H = 1e-6) {
+  Vector Grad(X.size());
+  for (size_t I = 0; I < X.size(); ++I) {
+    Vector Plus = X, Minus = X;
+    Plus[I] += H;
+    Minus[I] -= H;
+    Grad[I] = (Net.objective(Plus, K) - Net.objective(Minus, K)) / (2.0 * H);
+  }
+  return Grad;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Figure 3 XOR network (paper Example 2.1)
+//===----------------------------------------------------------------------===//
+
+TEST(XorNetworkTest, ImplementsXor) {
+  Network Net = testing_nets::makeXorNetwork();
+  EXPECT_EQ(Net.classify(Vector{0.0, 0.0}), 0u);
+  EXPECT_EQ(Net.classify(Vector{0.0, 1.0}), 1u);
+  EXPECT_EQ(Net.classify(Vector{1.0, 0.0}), 1u);
+  EXPECT_EQ(Net.classify(Vector{1.0, 1.0}), 0u);
+}
+
+TEST(XorNetworkTest, Example21Trace) {
+  // The paper traces [0 0]: layer 1 gives [0 -1], ReLU [0 0], layer 2 [1 0].
+  Network Net = testing_nets::makeXorNetwork();
+  Vector Y = Net.evaluate(Vector{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(Y[0], 1.0);
+  EXPECT_DOUBLE_EQ(Y[1], 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Example 2.2 network
+//===----------------------------------------------------------------------===//
+
+TEST(Example22Test, MatchesPaperValues) {
+  Network Net = testing_nets::makeExample22Network();
+  // The paper's closed form gives N(x) = [a+1, a+2] with a = ReLU(2x+1),
+  // so N(0) = [2 3]^T, class 1. (The paper's printed "[1 3]" is a typo;
+  // N(2) = [8 6] below confirms the matrices.)
+  Vector Y0 = Net.evaluate(Vector{0.0});
+  EXPECT_DOUBLE_EQ(Y0[0], 2.0);
+  EXPECT_DOUBLE_EQ(Y0[1], 3.0);
+  EXPECT_EQ(Net.classify(Vector{0.0}), 1u);
+  // N(2) = [8 6]^T: class 0, so the network is not robust on [-1, 2].
+  Vector Y2 = Net.evaluate(Vector{2.0});
+  EXPECT_DOUBLE_EQ(Y2[0], 8.0);
+  EXPECT_DOUBLE_EQ(Y2[1], 6.0);
+  EXPECT_EQ(Net.classify(Vector{2.0}), 0u);
+}
+
+TEST(Example22Test, RobustOnUnitInterval) {
+  // The paper shows every x in [-1, 1] is classified 1.
+  Network Net = testing_nets::makeExample22Network();
+  for (double X = -1.0; X <= 1.0; X += 0.01)
+    EXPECT_EQ(Net.classify(Vector{X}), 1u) << "at x = " << X;
+}
+
+//===----------------------------------------------------------------------===//
+// Dense layer
+//===----------------------------------------------------------------------===//
+
+TEST(DenseTest, ForwardAffine) {
+  DenseLayer D(Matrix{{1.0, 2.0}, {0.0, -1.0}}, Vector{0.5, 1.0});
+  Vector Y = D.forward(Vector{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(Y[0], 3.5);
+  EXPECT_DOUBLE_EQ(Y[1], 0.0);
+}
+
+TEST(DenseTest, AffineFormMatchesForward) {
+  Rng R(1);
+  DenseLayer D(4, 3);
+  D.initHe(R);
+  auto Form = D.affineForm();
+  ASSERT_TRUE(Form.has_value());
+  Vector X{0.1, -0.2, 0.3, 0.4};
+  Vector ViaForm = matVec(*Form->W, X);
+  ViaForm += *Form->B;
+  EXPECT_TRUE(approxEqual(ViaForm, D.forward(X), 1e-12));
+}
+
+TEST(DenseTest, BackwardIsTranspose) {
+  DenseLayer D(Matrix{{1.0, 2.0}, {3.0, 4.0}}, Vector{0.0, 0.0});
+  Vector GradIn = D.backward(Vector{1.0, 1.0}, Vector{1.0, 0.0}, false);
+  EXPECT_DOUBLE_EQ(GradIn[0], 1.0);
+  EXPECT_DOUBLE_EQ(GradIn[1], 2.0);
+}
+
+TEST(DenseTest, GradientStepReducesLoss) {
+  // One SGD step on a scalar regression-like objective must reduce it.
+  Rng R(2);
+  DenseLayer D(2, 1);
+  D.initHe(R);
+  Vector X{1.0, -0.5};
+  auto Loss = [&] {
+    double Y = D.forward(X)[0] - 3.0;
+    return 0.5 * Y * Y;
+  };
+  double Before = Loss();
+  D.zeroGradients();
+  double Residual = D.forward(X)[0] - 3.0;
+  D.backward(X, Vector{Residual}, true);
+  D.applyGradients(0.1, 1.0);
+  EXPECT_LT(Loss(), Before);
+}
+
+//===----------------------------------------------------------------------===//
+// ReLU layer
+//===----------------------------------------------------------------------===//
+
+TEST(ReluTest, ForwardClamps) {
+  ReluLayer L(3);
+  Vector Y = L.forward(Vector{-1.0, 0.0, 2.0});
+  EXPECT_DOUBLE_EQ(Y[0], 0.0);
+  EXPECT_DOUBLE_EQ(Y[1], 0.0);
+  EXPECT_DOUBLE_EQ(Y[2], 2.0);
+}
+
+TEST(ReluTest, BackwardMasks) {
+  ReluLayer L(3);
+  Vector G = L.backward(Vector{-1.0, 0.5, 0.0}, Vector{1.0, 1.0, 1.0}, false);
+  EXPECT_DOUBLE_EQ(G[0], 0.0);
+  EXPECT_DOUBLE_EQ(G[1], 1.0);
+  EXPECT_DOUBLE_EQ(G[2], 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Conv2D layer
+//===----------------------------------------------------------------------===//
+
+TEST(Conv2DTest, KnownKernel) {
+  // 1x3x3 input, one 2x2 kernel of ones, stride 1, no pad: each output is
+  // the sum of its window.
+  Conv2DLayer C(TensorShape{1, 3, 3}, 1, 2, 2, 1, 0);
+  for (int Ky = 0; Ky < 2; ++Ky)
+    for (int Kx = 0; Kx < 2; ++Kx)
+      C.kernelAt(0, 0, Ky, Kx) = 1.0;
+  Vector X{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Vector Y = C.forward(X);
+  ASSERT_EQ(Y.size(), 4u);
+  EXPECT_DOUBLE_EQ(Y[0], 1 + 2 + 4 + 5);
+  EXPECT_DOUBLE_EQ(Y[1], 2 + 3 + 5 + 6);
+  EXPECT_DOUBLE_EQ(Y[2], 4 + 5 + 7 + 8);
+  EXPECT_DOUBLE_EQ(Y[3], 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2DTest, LoweredAffineMatchesForward) {
+  // Sec. 2.1: conv layers are affine maps; the lowering must agree with the
+  // direct convolution on random inputs, including padding.
+  Rng R(3);
+  Conv2DLayer C(TensorShape{2, 5, 4}, 3, 3, 3, 1, 1);
+  C.initHe(R);
+  auto Form = C.affineForm();
+  ASSERT_TRUE(Form.has_value());
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Vector X(C.inputSize());
+    for (size_t I = 0; I < X.size(); ++I)
+      X[I] = R.gaussian();
+    Vector ViaForm = matVec(*Form->W, X);
+    ViaForm += *Form->B;
+    EXPECT_TRUE(approxEqual(ViaForm, C.forward(X), 1e-10));
+  }
+}
+
+TEST(Conv2DTest, StridedOutputShape) {
+  Conv2DLayer C(TensorShape{1, 8, 8}, 4, 3, 3, 2, 1);
+  EXPECT_EQ(C.outputShape().Height, 4);
+  EXPECT_EQ(C.outputShape().Width, 4);
+  EXPECT_EQ(C.outputShape().Channels, 4);
+}
+
+TEST(Conv2DTest, InputGradientMatchesNumeric) {
+  Rng R(4);
+  Conv2DLayer C(TensorShape{1, 4, 4}, 2, 3, 3, 1, 1);
+  C.initHe(R);
+  Vector X(C.inputSize());
+  for (size_t I = 0; I < X.size(); ++I)
+    X[I] = R.gaussian();
+  // Scalar function: sum of outputs. Gradient via backward with ones.
+  Vector Ones(C.outputSize(), 1.0);
+  Vector Grad = C.backward(X, Ones, false);
+  double H = 1e-6;
+  for (size_t I = 0; I < X.size(); I += 3) {
+    Vector Plus = X, Minus = X;
+    Plus[I] += H;
+    Minus[I] -= H;
+    double SumPlus = 0.0, SumMinus = 0.0;
+    Vector Yp = C.forward(Plus), Ym = C.forward(Minus);
+    for (size_t O = 0; O < Yp.size(); ++O) {
+      SumPlus += Yp[O];
+      SumMinus += Ym[O];
+    }
+    EXPECT_NEAR(Grad[I], (SumPlus - SumMinus) / (2.0 * H), 1e-5);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// MaxPool2D layer
+//===----------------------------------------------------------------------===//
+
+TEST(MaxPoolTest, KnownPooling) {
+  MaxPool2DLayer P(TensorShape{1, 4, 4}, 2, 2, 2);
+  Vector X{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  Vector Y = P.forward(X);
+  ASSERT_EQ(Y.size(), 4u);
+  EXPECT_DOUBLE_EQ(Y[0], 6.0);
+  EXPECT_DOUBLE_EQ(Y[1], 8.0);
+  EXPECT_DOUBLE_EQ(Y[2], 14.0);
+  EXPECT_DOUBLE_EQ(Y[3], 16.0);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2DLayer P(TensorShape{1, 2, 2}, 2, 2, 2);
+  Vector X{1.0, 9.0, 3.0, 4.0};
+  Vector G = P.backward(X, Vector{5.0}, false);
+  EXPECT_DOUBLE_EQ(G[0], 0.0);
+  EXPECT_DOUBLE_EQ(G[1], 5.0);
+  EXPECT_DOUBLE_EQ(G[2], 0.0);
+  EXPECT_DOUBLE_EQ(G[3], 0.0);
+}
+
+TEST(MaxPoolTest, MultiChannel) {
+  MaxPool2DLayer P(TensorShape{2, 2, 2}, 2, 2, 2);
+  Vector X{1, 2, 3, 4, /*ch1*/ 8, 7, 6, 5};
+  Vector Y = P.forward(X);
+  ASSERT_EQ(Y.size(), 2u);
+  EXPECT_DOUBLE_EQ(Y[0], 4.0);
+  EXPECT_DOUBLE_EQ(Y[1], 8.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Network gradients (the PGD primitive)
+//===----------------------------------------------------------------------===//
+
+TEST(NetworkGradientTest, ObjectiveGradientMatchesNumeric) {
+  Rng R(5);
+  Network Net = makeMlp(4, {8, 8}, 3, R);
+  Rng XR(6);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Vector X(4);
+    for (size_t I = 0; I < 4; ++I)
+      X[I] = XR.uniform(-1.0, 1.0);
+    Vector Analytic = Net.objectiveGradient(X, 0);
+    Vector Numeric = numericObjectiveGradient(Net, X, 0);
+    // ReLU kinks can break finite differences at exact boundaries; these
+    // random points are almost surely interior to a linear region.
+    EXPECT_TRUE(approxEqual(Analytic, Numeric, 1e-4))
+        << "trial " << Trial;
+  }
+}
+
+TEST(NetworkGradientTest, ConvNetworkGradientMatchesNumeric) {
+  Rng R(7);
+  Network Net = makeLeNet(TensorShape{1, 8, 8}, 4, R);
+  Vector X(Net.inputSize());
+  for (size_t I = 0; I < X.size(); ++I)
+    X[I] = R.uniform(0.0, 1.0);
+  Vector Analytic = Net.objectiveGradient(X, 1);
+  Vector Numeric = numericObjectiveGradient(Net, X, 1);
+  double MaxErr = 0.0;
+  for (size_t I = 0; I < X.size(); ++I)
+    MaxErr = std::max(MaxErr, std::fabs(Analytic[I] - Numeric[I]));
+  EXPECT_LT(MaxErr, 1e-4);
+}
+
+TEST(NetworkTest, CloneIsIndependent) {
+  Rng R(8);
+  Network Net = makeMlp(3, {5}, 2, R);
+  Network Copy = Net.clone();
+  Vector X{0.1, 0.2, 0.3};
+  EXPECT_TRUE(approxEqual(Net.evaluate(X), Copy.evaluate(X), 1e-15));
+  // Mutating the copy must not affect the original.
+  static_cast<DenseLayer &>(Copy.layer(0)).weights()(0, 0) += 10.0;
+  EXPECT_FALSE(approxEqual(Net.evaluate(X), Copy.evaluate(X), 1e-6));
+}
+
+//===----------------------------------------------------------------------===//
+// Training
+//===----------------------------------------------------------------------===//
+
+TEST(TrainTest, SoftmaxNormalizes) {
+  Vector P = softmax(Vector{1.0, 2.0, 3.0});
+  double Sum = P[0] + P[1] + P[2];
+  EXPECT_NEAR(Sum, 1.0, 1e-12);
+  EXPECT_GT(P[2], P[1]);
+  EXPECT_GT(P[1], P[0]);
+}
+
+TEST(TrainTest, SoftmaxNumericallyStable) {
+  Vector P = softmax(Vector{1000.0, 1000.0});
+  EXPECT_NEAR(P[0], 0.5, 1e-12);
+}
+
+TEST(TrainTest, CrossEntropyPrefersCorrectClass) {
+  EXPECT_LT(crossEntropy(Vector{5.0, 0.0}, 0),
+            crossEntropy(Vector{5.0, 0.0}, 1));
+}
+
+TEST(TrainTest, LearnsLinearlySeparableData) {
+  Rng R(9);
+  Dataset Data;
+  Data.NumClasses = 2;
+  for (int I = 0; I < 200; ++I) {
+    double X = R.uniform(-1.0, 1.0);
+    double Y = R.uniform(-1.0, 1.0);
+    Data.Inputs.push_back(Vector{X, Y});
+    Data.Labels.push_back(X + Y > 0.0 ? 1 : 0);
+  }
+  Network Net = makeMlp(2, {8}, 2, R);
+  TrainConfig TC;
+  TC.Epochs = 40;
+  double Acc = trainSgd(Net, Data, TC, R);
+  EXPECT_GT(Acc, 0.95);
+}
+
+TEST(TrainTest, LearnsXorShapedData) {
+  Rng R(10);
+  Dataset Data;
+  Data.NumClasses = 2;
+  for (int I = 0; I < 400; ++I) {
+    double X = R.uniform(-1.0, 1.0);
+    double Y = R.uniform(-1.0, 1.0);
+    Data.Inputs.push_back(Vector{X, Y});
+    Data.Labels.push_back((X > 0.0) != (Y > 0.0) ? 1 : 0);
+  }
+  Network Net = makeMlp(2, {16, 16}, 2, R);
+  TrainConfig TC;
+  TC.Epochs = 120;
+  TC.LearningRate = 0.1;
+  double Acc = trainSgd(Net, Data, TC, R);
+  EXPECT_GT(Acc, 0.9);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+TEST(IoTest, MlpRoundTrip) {
+  Rng R(11);
+  Network Net = makeMlp(3, {4, 5}, 2, R);
+  std::stringstream Ss;
+  saveNetwork(Net, Ss);
+  auto Loaded = loadNetwork(Ss);
+  ASSERT_TRUE(Loaded.has_value());
+  Vector X{0.3, -0.7, 0.1};
+  EXPECT_TRUE(approxEqual(Net.evaluate(X), Loaded->evaluate(X), 1e-12));
+}
+
+TEST(IoTest, ConvRoundTrip) {
+  Rng R(12);
+  Network Net = makeLeNet(TensorShape{1, 8, 8}, 3, R);
+  std::stringstream Ss;
+  saveNetwork(Net, Ss);
+  auto Loaded = loadNetwork(Ss);
+  ASSERT_TRUE(Loaded.has_value());
+  Vector X(Net.inputSize());
+  for (size_t I = 0; I < X.size(); ++I)
+    X[I] = R.uniform(0.0, 1.0);
+  EXPECT_TRUE(approxEqual(Net.evaluate(X), Loaded->evaluate(X), 1e-12));
+}
+
+TEST(IoTest, RejectsGarbage) {
+  std::stringstream Ss("not-a-network 1 2");
+  EXPECT_FALSE(loadNetwork(Ss).has_value());
+}
+
+TEST(IoTest, RejectsTruncated) {
+  Rng R(13);
+  Network Net = makeMlp(3, {4}, 2, R);
+  std::stringstream Ss;
+  saveNetwork(Net, Ss);
+  std::string Text = Ss.str();
+  std::stringstream Truncated(Text.substr(0, Text.size() / 2));
+  EXPECT_FALSE(loadNetwork(Truncated).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Builders
+//===----------------------------------------------------------------------===//
+
+TEST(BuilderTest, MlpShape) {
+  Rng R(14);
+  Network Net = makeMlp(10, {20, 30}, 5, R);
+  EXPECT_EQ(Net.inputSize(), 10u);
+  EXPECT_EQ(Net.outputSize(), 5u);
+  EXPECT_EQ(Net.numLayers(), 5u); // dense relu dense relu dense
+}
+
+TEST(BuilderTest, LeNetShape) {
+  Rng R(15);
+  Network Net = makeLeNet(TensorShape{1, 10, 10}, 10, R);
+  EXPECT_EQ(Net.inputSize(), 100u);
+  EXPECT_EQ(Net.outputSize(), 10u);
+  // conv-relu, conv-relu, pool, conv-relu, pool, dense-relu, dense.
+  EXPECT_EQ(Net.numLayers(), 11u);
+}

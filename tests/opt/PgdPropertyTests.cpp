@@ -1,0 +1,86 @@
+//===- PgdPropertyTests.cpp - Parameterized PGD invariants ---------------------===//
+
+#include "opt/Pgd.h"
+
+#include "nn/Builder.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+/// Network architecture descriptor for the sweep.
+struct ArchParam {
+  size_t Inputs;
+  std::vector<size_t> Hidden;
+  size_t Classes;
+  const char *Name;
+};
+
+class PgdSweepTest : public ::testing::TestWithParam<ArchParam> {};
+
+} // namespace
+
+TEST_P(PgdSweepTest, InvariantsHoldOnRandomRegions) {
+  const ArchParam &Arch = GetParam();
+  Rng NetRng(101);
+  Network Net = makeMlp(Arch.Inputs, Arch.Hidden, Arch.Classes, NetRng);
+  Rng R(102);
+  for (int Trial = 0; Trial < 6; ++Trial) {
+    Vector Center(Arch.Inputs);
+    for (size_t I = 0; I < Arch.Inputs; ++I)
+      Center[I] = R.uniform(-0.8, 0.8);
+    Box Region = Box::linfBall(Center, R.uniform(0.05, 0.4), -1.5, 1.5);
+    size_t K = R.uniformInt(Arch.Classes);
+
+    PgdResult Result = pgdMinimize(Net, Region, K, PgdConfig(), R);
+    // Invariant 1: the witness lies in the region.
+    EXPECT_TRUE(Region.contains(Result.X, 1e-9));
+    // Invariant 2: the reported value matches a fresh evaluation.
+    EXPECT_NEAR(Result.Objective, Net.objective(Result.X, K), 1e-12);
+    // Invariant 3: never worse than the starting point (the center).
+    EXPECT_LE(Result.Objective, Net.objective(Region.center(), K) + 1e-12);
+  }
+}
+
+TEST_P(PgdSweepTest, DeterministicForFixedSeed) {
+  const ArchParam &Arch = GetParam();
+  Rng NetRng(103);
+  Network Net = makeMlp(Arch.Inputs, Arch.Hidden, Arch.Classes, NetRng);
+  Box Region = Box::uniform(Arch.Inputs, -0.3, 0.3);
+  Rng R1(7), R2(7);
+  PgdResult A = pgdMinimize(Net, Region, 0, PgdConfig(), R1);
+  PgdResult B = pgdMinimize(Net, Region, 0, PgdConfig(), R2);
+  EXPECT_TRUE(approxEqual(A.X, B.X, 0.0));
+  EXPECT_DOUBLE_EQ(A.Objective, B.Objective);
+}
+
+TEST_P(PgdSweepTest, MoreRestartsNeverHurt) {
+  const ArchParam &Arch = GetParam();
+  Rng NetRng(104);
+  Network Net = makeMlp(Arch.Inputs, Arch.Hidden, Arch.Classes, NetRng);
+  Box Region = Box::uniform(Arch.Inputs, -0.6, 0.6);
+
+  PgdConfig Few;
+  Few.Restarts = 1;
+  PgdConfig Many;
+  Many.Restarts = 6;
+  // Same seed: the first restart of "Many" is identical to "Few", so the
+  // best-over-restarts result can only improve.
+  Rng R1(9), R2(9);
+  double FewBest = pgdMinimize(Net, Region, 0, Few, R1).Objective;
+  double ManyBest = pgdMinimize(Net, Region, 0, Many, R2).Objective;
+  EXPECT_LE(ManyBest, FewBest + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Architectures, PgdSweepTest,
+    ::testing::Values(ArchParam{2, {6}, 2, "tiny"},
+                      ArchParam{4, {10, 10}, 3, "small"},
+                      ArchParam{8, {16, 16, 16}, 5, "medium"},
+                      ArchParam{16, {24}, 4, "wide"}),
+    [](const ::testing::TestParamInfo<ArchParam> &Info) {
+      return Info.param.Name;
+    });

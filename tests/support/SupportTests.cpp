@@ -1,0 +1,224 @@
+//===- SupportTests.cpp - Tests for the support library ----------------------===//
+
+#include "support/Check.h"
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+using namespace charon;
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng R(9);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.uniform(-3.0, 5.5);
+    EXPECT_GE(U, -3.0);
+    EXPECT_LT(U, 5.5);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng R(11);
+  OnlineStats S;
+  for (int I = 0; I < 20000; ++I)
+    S.add(R.uniform());
+  EXPECT_NEAR(S.mean(), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng R(13);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = R.uniformInt(10);
+    EXPECT_LT(V, 10u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 10u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(17);
+  OnlineStats S;
+  for (int I = 0; I < 50000; ++I)
+    S.add(R.gaussian());
+  EXPECT_NEAR(S.mean(), 0.0, 0.02);
+  EXPECT_NEAR(S.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng R(19);
+  OnlineStats S;
+  for (int I = 0; I < 50000; ++I)
+    S.add(R.gaussian(3.0, 2.0));
+  EXPECT_NEAR(S.mean(), 3.0, 0.05);
+  EXPECT_NEAR(S.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng A(23);
+  Rng B = A.fork();
+  int Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_LT(Same, 3);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng R(29);
+  std::vector<int> V{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  R.shuffle(V);
+  std::set<int> S(V.begin(), V.end());
+  EXPECT_EQ(S.size(), 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// OnlineStats
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, EmptyDefaults) {
+  OnlineStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(StatsTest, KnownSequence) {
+  OnlineStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_EQ(S.count(), 8u);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 40.0);
+}
+
+TEST(StatsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({}), 1.0);
+  EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(StatsTest, Median) {
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Timer / Deadline
+//===----------------------------------------------------------------------===//
+
+TEST(TimerTest, StopwatchAdvances) {
+  Stopwatch W;
+  volatile double Sink = 0.0;
+  for (int I = 0; I < 100000; ++I)
+    Sink += std::sqrt(static_cast<double>(I));
+  EXPECT_GT(W.seconds(), 0.0);
+}
+
+TEST(TimerTest, UnlimitedDeadlineNeverExpires) {
+  Deadline D;
+  EXPECT_FALSE(D.expired());
+  EXPECT_TRUE(std::isinf(D.remaining()));
+}
+
+TEST(TimerTest, ZeroDeadlineExpiresImmediately) {
+  Deadline D(0.0);
+  EXPECT_TRUE(D.expired());
+  EXPECT_EQ(D.remaining(), 0.0);
+}
+
+TEST(TimerTest, ProcessCpuSecondsMonotone) {
+  double A = processCpuSeconds();
+  volatile double Sink = 0.0;
+  for (int I = 0; I < 200000; ++I)
+    Sink += std::sqrt(static_cast<double>(I));
+  double B = processCpuSeconds();
+  EXPECT_GE(B, A);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(4);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Counter] { Counter.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversIndices) {
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Hits(50);
+  Pool.parallelFor(50, [&Hits](int I) { Hits[I].fetch_add(1); });
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  Pool.submit([&] {
+    Counter.fetch_add(1);
+    for (int I = 0; I < 10; ++I)
+      Pool.submit([&Counter] { Counter.fetch_add(1); });
+  });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  Pool.submit([&Counter] { Counter.fetch_add(1); });
+  Pool.wait();
+  Pool.submit([&Counter] { Counter.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, DefaultSizeIsPositive) {
+  ThreadPool Pool;
+  EXPECT_GE(Pool.size(), 1u);
+}
