@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_reluval_verified.dir/bench_fig15_reluval_verified.cpp.o"
+  "CMakeFiles/bench_fig15_reluval_verified.dir/bench_fig15_reluval_verified.cpp.o.d"
+  "bench_fig15_reluval_verified"
+  "bench_fig15_reluval_verified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_reluval_verified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq2_falsification.dir/bench_rq2_falsification.cpp.o"
+  "CMakeFiles/bench_rq2_falsification.dir/bench_rq2_falsification.cpp.o.d"
+  "bench_rq2_falsification"
+  "bench_rq2_falsification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq2_falsification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq3_policy_ablation.dir/bench_rq3_policy_ablation.cpp.o"
+  "CMakeFiles/bench_rq3_policy_ablation.dir/bench_rq3_policy_ablation.cpp.o.d"
+  "bench_rq3_policy_ablation"
+  "bench_rq3_policy_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq3_policy_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

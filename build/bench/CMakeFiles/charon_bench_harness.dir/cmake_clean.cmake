@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_bench_harness.dir/Harness.cpp.o"
+  "CMakeFiles/charon_bench_harness.dir/Harness.cpp.o.d"
+  "libcharon_bench_harness.a"
+  "libcharon_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

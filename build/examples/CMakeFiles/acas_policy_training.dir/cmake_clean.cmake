@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acas_policy_training.dir/acas_policy_training.cpp.o"
+  "CMakeFiles/acas_policy_training.dir/acas_policy_training.cpp.o.d"
+  "acas_policy_training"
+  "acas_policy_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acas_policy_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

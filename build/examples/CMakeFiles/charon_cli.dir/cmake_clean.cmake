@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_cli.dir/charon_cli.cpp.o"
+  "CMakeFiles/charon_cli.dir/charon_cli.cpp.o.d"
+  "charon_cli"
+  "charon_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

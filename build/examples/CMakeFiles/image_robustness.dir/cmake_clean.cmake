@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_robustness.dir/image_robustness.cpp.o"
+  "CMakeFiles/image_robustness.dir/image_robustness.cpp.o.d"
+  "image_robustness"
+  "image_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abstract/AbstractElement.cpp" "src/abstract/CMakeFiles/charon_abstract.dir/AbstractElement.cpp.o" "gcc" "src/abstract/CMakeFiles/charon_abstract.dir/AbstractElement.cpp.o.d"
+  "/root/repo/src/abstract/Analyzer.cpp" "src/abstract/CMakeFiles/charon_abstract.dir/Analyzer.cpp.o" "gcc" "src/abstract/CMakeFiles/charon_abstract.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/abstract/IntervalElement.cpp" "src/abstract/CMakeFiles/charon_abstract.dir/IntervalElement.cpp.o" "gcc" "src/abstract/CMakeFiles/charon_abstract.dir/IntervalElement.cpp.o.d"
+  "/root/repo/src/abstract/PolyhedraElement.cpp" "src/abstract/CMakeFiles/charon_abstract.dir/PolyhedraElement.cpp.o" "gcc" "src/abstract/CMakeFiles/charon_abstract.dir/PolyhedraElement.cpp.o.d"
+  "/root/repo/src/abstract/PowersetElement.cpp" "src/abstract/CMakeFiles/charon_abstract.dir/PowersetElement.cpp.o" "gcc" "src/abstract/CMakeFiles/charon_abstract.dir/PowersetElement.cpp.o.d"
+  "/root/repo/src/abstract/SymbolicIntervalElement.cpp" "src/abstract/CMakeFiles/charon_abstract.dir/SymbolicIntervalElement.cpp.o" "gcc" "src/abstract/CMakeFiles/charon_abstract.dir/SymbolicIntervalElement.cpp.o.d"
+  "/root/repo/src/abstract/ZonotopeElement.cpp" "src/abstract/CMakeFiles/charon_abstract.dir/ZonotopeElement.cpp.o" "gcc" "src/abstract/CMakeFiles/charon_abstract.dir/ZonotopeElement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/charon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/charon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/charon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_abstract.dir/AbstractElement.cpp.o"
+  "CMakeFiles/charon_abstract.dir/AbstractElement.cpp.o.d"
+  "CMakeFiles/charon_abstract.dir/Analyzer.cpp.o"
+  "CMakeFiles/charon_abstract.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/charon_abstract.dir/IntervalElement.cpp.o"
+  "CMakeFiles/charon_abstract.dir/IntervalElement.cpp.o.d"
+  "CMakeFiles/charon_abstract.dir/PolyhedraElement.cpp.o"
+  "CMakeFiles/charon_abstract.dir/PolyhedraElement.cpp.o.d"
+  "CMakeFiles/charon_abstract.dir/PowersetElement.cpp.o"
+  "CMakeFiles/charon_abstract.dir/PowersetElement.cpp.o.d"
+  "CMakeFiles/charon_abstract.dir/SymbolicIntervalElement.cpp.o"
+  "CMakeFiles/charon_abstract.dir/SymbolicIntervalElement.cpp.o.d"
+  "CMakeFiles/charon_abstract.dir/ZonotopeElement.cpp.o"
+  "CMakeFiles/charon_abstract.dir/ZonotopeElement.cpp.o.d"
+  "libcharon_abstract.a"
+  "libcharon_abstract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_abstract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for charon_abstract.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_baselines.dir/Ai2.cpp.o"
+  "CMakeFiles/charon_baselines.dir/Ai2.cpp.o.d"
+  "CMakeFiles/charon_baselines.dir/ReluVal.cpp.o"
+  "CMakeFiles/charon_baselines.dir/ReluVal.cpp.o.d"
+  "CMakeFiles/charon_baselines.dir/Reluplex.cpp.o"
+  "CMakeFiles/charon_baselines.dir/Reluplex.cpp.o.d"
+  "libcharon_baselines.a"
+  "libcharon_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcharon_baselines.a"
+)

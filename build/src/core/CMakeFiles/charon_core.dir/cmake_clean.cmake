@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_core.dir/Policy.cpp.o"
+  "CMakeFiles/charon_core.dir/Policy.cpp.o.d"
+  "CMakeFiles/charon_core.dir/PolicyIo.cpp.o"
+  "CMakeFiles/charon_core.dir/PolicyIo.cpp.o.d"
+  "CMakeFiles/charon_core.dir/PolicyTrainer.cpp.o"
+  "CMakeFiles/charon_core.dir/PolicyTrainer.cpp.o.d"
+  "CMakeFiles/charon_core.dir/PropertyIo.cpp.o"
+  "CMakeFiles/charon_core.dir/PropertyIo.cpp.o.d"
+  "CMakeFiles/charon_core.dir/Verifier.cpp.o"
+  "CMakeFiles/charon_core.dir/Verifier.cpp.o.d"
+  "libcharon_core.a"
+  "libcharon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_data.dir/Acas.cpp.o"
+  "CMakeFiles/charon_data.dir/Acas.cpp.o.d"
+  "CMakeFiles/charon_data.dir/Benchmarks.cpp.o"
+  "CMakeFiles/charon_data.dir/Benchmarks.cpp.o.d"
+  "CMakeFiles/charon_data.dir/SyntheticImages.cpp.o"
+  "CMakeFiles/charon_data.dir/SyntheticImages.cpp.o.d"
+  "libcharon_data.a"
+  "libcharon_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

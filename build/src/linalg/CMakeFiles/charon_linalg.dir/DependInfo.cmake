@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/Box.cpp" "src/linalg/CMakeFiles/charon_linalg.dir/Box.cpp.o" "gcc" "src/linalg/CMakeFiles/charon_linalg.dir/Box.cpp.o.d"
+  "/root/repo/src/linalg/Cholesky.cpp" "src/linalg/CMakeFiles/charon_linalg.dir/Cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/charon_linalg.dir/Cholesky.cpp.o.d"
+  "/root/repo/src/linalg/Matrix.cpp" "src/linalg/CMakeFiles/charon_linalg.dir/Matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/charon_linalg.dir/Matrix.cpp.o.d"
+  "/root/repo/src/linalg/Vector.cpp" "src/linalg/CMakeFiles/charon_linalg.dir/Vector.cpp.o" "gcc" "src/linalg/CMakeFiles/charon_linalg.dir/Vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/charon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

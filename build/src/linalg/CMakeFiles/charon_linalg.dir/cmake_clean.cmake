@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_linalg.dir/Box.cpp.o"
+  "CMakeFiles/charon_linalg.dir/Box.cpp.o.d"
+  "CMakeFiles/charon_linalg.dir/Cholesky.cpp.o"
+  "CMakeFiles/charon_linalg.dir/Cholesky.cpp.o.d"
+  "CMakeFiles/charon_linalg.dir/Matrix.cpp.o"
+  "CMakeFiles/charon_linalg.dir/Matrix.cpp.o.d"
+  "CMakeFiles/charon_linalg.dir/Vector.cpp.o"
+  "CMakeFiles/charon_linalg.dir/Vector.cpp.o.d"
+  "libcharon_linalg.a"
+  "libcharon_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

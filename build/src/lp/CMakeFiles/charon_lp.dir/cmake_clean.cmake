@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_lp.dir/Simplex.cpp.o"
+  "CMakeFiles/charon_lp.dir/Simplex.cpp.o.d"
+  "libcharon_lp.a"
+  "libcharon_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/Builder.cpp" "src/nn/CMakeFiles/charon_nn.dir/Builder.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Builder.cpp.o.d"
+  "/root/repo/src/nn/Conv2D.cpp" "src/nn/CMakeFiles/charon_nn.dir/Conv2D.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Conv2D.cpp.o.d"
+  "/root/repo/src/nn/Dense.cpp" "src/nn/CMakeFiles/charon_nn.dir/Dense.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Dense.cpp.o.d"
+  "/root/repo/src/nn/Io.cpp" "src/nn/CMakeFiles/charon_nn.dir/Io.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Io.cpp.o.d"
+  "/root/repo/src/nn/Layer.cpp" "src/nn/CMakeFiles/charon_nn.dir/Layer.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Layer.cpp.o.d"
+  "/root/repo/src/nn/MaxPool2D.cpp" "src/nn/CMakeFiles/charon_nn.dir/MaxPool2D.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/MaxPool2D.cpp.o.d"
+  "/root/repo/src/nn/Network.cpp" "src/nn/CMakeFiles/charon_nn.dir/Network.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Network.cpp.o.d"
+  "/root/repo/src/nn/Relu.cpp" "src/nn/CMakeFiles/charon_nn.dir/Relu.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Relu.cpp.o.d"
+  "/root/repo/src/nn/Train.cpp" "src/nn/CMakeFiles/charon_nn.dir/Train.cpp.o" "gcc" "src/nn/CMakeFiles/charon_nn.dir/Train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/charon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/charon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_nn.dir/Builder.cpp.o"
+  "CMakeFiles/charon_nn.dir/Builder.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/Conv2D.cpp.o"
+  "CMakeFiles/charon_nn.dir/Conv2D.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/Dense.cpp.o"
+  "CMakeFiles/charon_nn.dir/Dense.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/Io.cpp.o"
+  "CMakeFiles/charon_nn.dir/Io.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/Layer.cpp.o"
+  "CMakeFiles/charon_nn.dir/Layer.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/MaxPool2D.cpp.o"
+  "CMakeFiles/charon_nn.dir/MaxPool2D.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/Network.cpp.o"
+  "CMakeFiles/charon_nn.dir/Network.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/Relu.cpp.o"
+  "CMakeFiles/charon_nn.dir/Relu.cpp.o.d"
+  "CMakeFiles/charon_nn.dir/Train.cpp.o"
+  "CMakeFiles/charon_nn.dir/Train.cpp.o.d"
+  "libcharon_nn.a"
+  "libcharon_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/BayesOpt.cpp" "src/opt/CMakeFiles/charon_opt.dir/BayesOpt.cpp.o" "gcc" "src/opt/CMakeFiles/charon_opt.dir/BayesOpt.cpp.o.d"
+  "/root/repo/src/opt/GaussianProcess.cpp" "src/opt/CMakeFiles/charon_opt.dir/GaussianProcess.cpp.o" "gcc" "src/opt/CMakeFiles/charon_opt.dir/GaussianProcess.cpp.o.d"
+  "/root/repo/src/opt/Pgd.cpp" "src/opt/CMakeFiles/charon_opt.dir/Pgd.cpp.o" "gcc" "src/opt/CMakeFiles/charon_opt.dir/Pgd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/charon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/charon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/charon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

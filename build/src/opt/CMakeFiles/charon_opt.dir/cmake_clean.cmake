@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_opt.dir/BayesOpt.cpp.o"
+  "CMakeFiles/charon_opt.dir/BayesOpt.cpp.o.d"
+  "CMakeFiles/charon_opt.dir/GaussianProcess.cpp.o"
+  "CMakeFiles/charon_opt.dir/GaussianProcess.cpp.o.d"
+  "CMakeFiles/charon_opt.dir/Pgd.cpp.o"
+  "CMakeFiles/charon_opt.dir/Pgd.cpp.o.d"
+  "libcharon_opt.a"
+  "libcharon_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charon_support.dir/Check.cpp.o"
+  "CMakeFiles/charon_support.dir/Check.cpp.o.d"
+  "CMakeFiles/charon_support.dir/Random.cpp.o"
+  "CMakeFiles/charon_support.dir/Random.cpp.o.d"
+  "CMakeFiles/charon_support.dir/Stats.cpp.o"
+  "CMakeFiles/charon_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/charon_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/charon_support.dir/ThreadPool.cpp.o.d"
+  "CMakeFiles/charon_support.dir/Timer.cpp.o"
+  "CMakeFiles/charon_support.dir/Timer.cpp.o.d"
+  "libcharon_support.a"
+  "libcharon_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charon_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

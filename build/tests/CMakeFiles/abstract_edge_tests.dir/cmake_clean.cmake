@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_edge_tests.dir/abstract/AbstractEdgeTests.cpp.o"
+  "CMakeFiles/abstract_edge_tests.dir/abstract/AbstractEdgeTests.cpp.o.d"
+  "abstract_edge_tests"
+  "abstract_edge_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_edge_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstract_tests.dir/abstract/AbstractTests.cpp.o"
+  "CMakeFiles/abstract_tests.dir/abstract/AbstractTests.cpp.o.d"
+  "abstract_tests"
+  "abstract_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstract_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_tests.dir/baselines/BaselineTests.cpp.o"
+  "CMakeFiles/baseline_tests.dir/baselines/BaselineTests.cpp.o.d"
+  "baseline_tests"
+  "baseline_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

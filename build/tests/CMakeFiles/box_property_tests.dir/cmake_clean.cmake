@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/box_property_tests.dir/linalg/BoxPropertyTests.cpp.o"
+  "CMakeFiles/box_property_tests.dir/linalg/BoxPropertyTests.cpp.o.d"
+  "box_property_tests"
+  "box_property_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/box_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complete_fallback_tests.dir/core/CompleteFallbackTests.cpp.o"
+  "CMakeFiles/complete_fallback_tests.dir/core/CompleteFallbackTests.cpp.o.d"
+  "complete_fallback_tests"
+  "complete_fallback_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complete_fallback_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

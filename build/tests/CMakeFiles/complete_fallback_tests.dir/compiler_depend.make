@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for complete_fallback_tests.
+# This may be replaced when dependencies are built.

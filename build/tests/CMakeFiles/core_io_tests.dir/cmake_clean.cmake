@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_io_tests.dir/core/IoTests.cpp.o"
+  "CMakeFiles/core_io_tests.dir/core/IoTests.cpp.o.d"
+  "core_io_tests"
+  "core_io_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

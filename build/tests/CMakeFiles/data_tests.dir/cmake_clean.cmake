@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tests.dir/data/DataTests.cpp.o"
+  "CMakeFiles/data_tests.dir/data/DataTests.cpp.o.d"
+  "data_tests"
+  "data_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcheck_tests.dir/nn/GradCheckTests.cpp.o"
+  "CMakeFiles/gradcheck_tests.dir/nn/GradCheckTests.cpp.o.d"
+  "gradcheck_tests"
+  "gradcheck_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcheck_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

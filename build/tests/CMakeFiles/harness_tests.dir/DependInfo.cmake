@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bench/HarnessTests.cpp" "tests/CMakeFiles/harness_tests.dir/bench/HarnessTests.cpp.o" "gcc" "tests/CMakeFiles/harness_tests.dir/bench/HarnessTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/charon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/charon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/charon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstract/CMakeFiles/charon_abstract.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/charon_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/charon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/charon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/charon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/charon_support.dir/DependInfo.cmake"
+  "/root/repo/build/bench/CMakeFiles/charon_bench_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harness_tests.dir/bench/HarnessTests.cpp.o"
+  "CMakeFiles/harness_tests.dir/bench/HarnessTests.cpp.o.d"
+  "harness_tests"
+  "harness_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

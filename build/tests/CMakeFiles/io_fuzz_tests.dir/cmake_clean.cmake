@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_fuzz_tests.dir/nn/IoFuzzTests.cpp.o"
+  "CMakeFiles/io_fuzz_tests.dir/nn/IoFuzzTests.cpp.o.d"
+  "io_fuzz_tests"
+  "io_fuzz_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_fuzz_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_tests.dir/linalg/LinalgTests.cpp.o"
+  "CMakeFiles/linalg_tests.dir/linalg/LinalgTests.cpp.o.d"
+  "linalg_tests"
+  "linalg_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

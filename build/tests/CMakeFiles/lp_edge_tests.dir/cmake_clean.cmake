@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_edge_tests.dir/lp/LpEdgeTests.cpp.o"
+  "CMakeFiles/lp_edge_tests.dir/lp/LpEdgeTests.cpp.o.d"
+  "lp_edge_tests"
+  "lp_edge_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_edge_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

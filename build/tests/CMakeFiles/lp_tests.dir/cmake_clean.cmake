@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_tests.dir/lp/LpTests.cpp.o"
+  "CMakeFiles/lp_tests.dir/lp/LpTests.cpp.o.d"
+  "lp_tests"
+  "lp_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxpool_property_tests.dir/abstract/MaxPoolPropertyTests.cpp.o"
+  "CMakeFiles/maxpool_property_tests.dir/abstract/MaxPoolPropertyTests.cpp.o.d"
+  "maxpool_property_tests"
+  "maxpool_property_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxpool_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

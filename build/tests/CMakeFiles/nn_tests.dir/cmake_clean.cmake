@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_tests.dir/nn/NnTests.cpp.o"
+  "CMakeFiles/nn_tests.dir/nn/NnTests.cpp.o.d"
+  "nn_tests"
+  "nn_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opt_tests.dir/opt/OptTests.cpp.o"
+  "CMakeFiles/opt_tests.dir/opt/OptTests.cpp.o.d"
+  "opt_tests"
+  "opt_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgd_property_tests.dir/opt/PgdPropertyTests.cpp.o"
+  "CMakeFiles/pgd_property_tests.dir/opt/PgdPropertyTests.cpp.o.d"
+  "pgd_property_tests"
+  "pgd_property_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgd_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

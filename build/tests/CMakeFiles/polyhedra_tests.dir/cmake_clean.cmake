@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polyhedra_tests.dir/abstract/PolyhedraTests.cpp.o"
+  "CMakeFiles/polyhedra_tests.dir/abstract/PolyhedraTests.cpp.o.d"
+  "polyhedra_tests"
+  "polyhedra_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polyhedra_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

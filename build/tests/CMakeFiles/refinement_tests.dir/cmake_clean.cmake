@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refinement_tests.dir/core/RefinementTests.cpp.o"
+  "CMakeFiles/refinement_tests.dir/core/RefinementTests.cpp.o.d"
+  "refinement_tests"
+  "refinement_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refinement_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reluplex_mode_tests.dir/baselines/ReluplexModeTests.cpp.o"
+  "CMakeFiles/reluplex_mode_tests.dir/baselines/ReluplexModeTests.cpp.o.d"
+  "reluplex_mode_tests"
+  "reluplex_mode_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reluplex_mode_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

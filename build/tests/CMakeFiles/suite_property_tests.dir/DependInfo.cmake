@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/data/SuitePropertyTests.cpp" "tests/CMakeFiles/suite_property_tests.dir/data/SuitePropertyTests.cpp.o" "gcc" "tests/CMakeFiles/suite_property_tests.dir/data/SuitePropertyTests.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/charon_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/charon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/charon_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/abstract/CMakeFiles/charon_abstract.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/charon_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/charon_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/charon_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/charon_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/charon_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

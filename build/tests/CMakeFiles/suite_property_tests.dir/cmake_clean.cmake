@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_property_tests.dir/data/SuitePropertyTests.cpp.o"
+  "CMakeFiles/suite_property_tests.dir/data/SuitePropertyTests.cpp.o.d"
+  "suite_property_tests"
+  "suite_property_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

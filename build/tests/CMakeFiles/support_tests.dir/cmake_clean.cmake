@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/SupportTests.cpp.o"
+  "CMakeFiles/support_tests.dir/support/SupportTests.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
