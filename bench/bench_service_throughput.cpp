@@ -1,0 +1,118 @@
+//===- bench_service_throughput.cpp - Service scaling + cache speedup ---------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// The service layer's two scaling claims, measured on the ACAS suite:
+//
+//  1. Worker scaling: independent jobs are embarrassingly parallel (the
+//     Sec. 6 observation applied across properties instead of within one),
+//     so jobs/sec should grow with the worker count.
+//  2. Cache speedup: re-deciding an identical batch is answered from the
+//     result cache with identical verdicts at a fraction of the cost.
+//
+// Budgets follow the harness conventions (CHARON_BENCH_BUDGET /
+// CHARON_BENCH_PROPS env overrides).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "service/VerificationService.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+using namespace charon;
+using namespace charon::bench;
+
+namespace {
+
+std::vector<JobRequest> makeJobs(NetworkId Net, const BenchmarkSuite &Suite,
+                                 double BudgetSeconds) {
+  std::vector<JobRequest> Jobs;
+  for (const RobustnessProperty &Prop : Suite.Properties) {
+    JobRequest Job;
+    Job.Net = Net;
+    Job.Prop = Prop;
+    Job.Config.TimeLimitSeconds = BudgetSeconds;
+    Jobs.push_back(std::move(Job));
+  }
+  return Jobs;
+}
+
+} // namespace
+
+int main() {
+  HarnessConfig Config = defaultHarnessConfig();
+  VerificationPolicy Policy = loadOrDefaultPolicy(Config);
+  int NumProps = std::max(12, 3 * Config.PropertiesPerSuite);
+  BenchmarkSuite Suite = makeAcasSuite(NumProps, 99, "networks");
+
+  std::printf("== Verification service throughput (ACAS suite) ==\n");
+  std::printf("(%d jobs, budget %.1fs/job, %u hardware threads)\n\n", NumProps,
+              Config.BudgetSeconds, std::thread::hardware_concurrency());
+
+  // -- 1. Worker scaling, cache off so every job really executes. --------
+  std::printf("%-10s %-14s %-12s %s\n", "workers", "wall-seconds", "jobs/sec",
+              "speedup");
+  double Baseline = 0.0;
+  std::vector<int> BaseVerdicts;
+  for (unsigned Workers : {1u, 2u, 4u, 8u}) {
+    ServiceConfig SC;
+    SC.Workers = Workers;
+    SC.EnableCache = false;
+    VerificationService Service(Policy, SC);
+    NetworkId Net = Service.registry().add(Suite.Net.clone());
+    BatchReport Report =
+        Service.runBatch(makeJobs(Net, Suite, Config.BudgetSeconds));
+    if (Workers == 1) {
+      Baseline = Report.WallSeconds;
+      for (const JobOutcome &Out : Report.Outcomes)
+        BaseVerdicts.push_back(static_cast<int>(Out.Result.Result));
+    } else {
+      // Scheduling must never change verdicts.
+      for (size_t I = 0; I < Report.Outcomes.size(); ++I)
+        if (static_cast<int>(Report.Outcomes[I].Result.Result) !=
+            BaseVerdicts[I])
+          std::printf("  WARNING: verdict drift on job %zu at %u workers\n", I,
+                      Workers);
+    }
+    std::printf("%-10u %-14.3f %-12.1f %.2fx\n", Workers, Report.WallSeconds,
+                Report.jobsPerSecond(),
+                Baseline > 0.0 ? Baseline / Report.WallSeconds : 1.0);
+  }
+
+  // -- 2. Cache speedup: identical batch twice. --------------------------
+  std::printf("\n%-10s %-14s %-12s %s\n", "batch", "wall-seconds", "jobs/sec",
+              "cache-hits");
+  ServiceConfig SC;
+  SC.Workers = 4;
+  VerificationService Service(Policy, SC);
+  NetworkId Net = Service.registry().add(Suite.Net.clone());
+  std::vector<JobRequest> Jobs = makeJobs(Net, Suite, Config.BudgetSeconds);
+
+  BatchReport Cold = Service.runBatch(Jobs);
+  BatchReport Warm = Service.runBatch(Jobs);
+  std::printf("%-10s %-14.3f %-12.1f %d/%zu\n", "cold", Cold.WallSeconds,
+              Cold.jobsPerSecond(), Cold.CacheHits, Cold.Outcomes.size());
+  std::printf("%-10s %-14.3f %-12.1f %d/%zu\n", "warm", Warm.WallSeconds,
+              Warm.jobsPerSecond(), Warm.CacheHits, Warm.Outcomes.size());
+
+  bool VerdictsMatch = true;
+  for (size_t I = 0; I < Cold.Outcomes.size(); ++I)
+    VerdictsMatch &= Cold.Outcomes[I].Result.Result ==
+                     Warm.Outcomes[I].Result.Result;
+  double Speedup =
+      Warm.WallSeconds > 0.0 ? Cold.WallSeconds / Warm.WallSeconds : 0.0;
+  std::printf("\ncache speedup %.1fx, verdicts %s\n", Speedup,
+              VerdictsMatch ? "identical" : "DIFFER (bug!)");
+
+  CacheStats CS = Service.cache().stats();
+  std::printf("cache: %ld exact hits, %ld subsumption hits, %ld misses, "
+              "%ld evictions\n",
+              CS.ExactHits, CS.SubsumptionHits, CS.Misses, CS.Evictions);
+  return VerdictsMatch ? 0 : 1;
+}

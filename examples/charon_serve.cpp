@@ -1,0 +1,167 @@
+//===- charon_serve.cpp - Batch verification service driver -------------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Drives the verification service from a JSON-lines request file (or stdin):
+// each input line names a network file and a robustness query; each output
+// line reports the verdict, timing, cache-hit flag, and counterexample.
+// Networks repeated across requests are loaded once (registry dedup) and
+// repeated or subsumed queries are answered from the result cache.
+//
+//   charon_serve [requests.jsonl] [options]
+//
+// Options:
+//   --workers <n>     worker threads (default: hardware concurrency)
+//   --cache <n>       result-cache capacity in entries (default 4096)
+//   --no-cache        disable the result cache
+//   --policy <file>   learned policy (default: built-in policy)
+//   --quiet           suppress the stderr summary
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PolicyIo.h"
+#include "service/RequestIo.h"
+#include "service/VerificationService.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace charon;
+
+namespace {
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [requests.jsonl] [--workers N] [--cache N] "
+               "[--no-cache] [--policy F] [--quiet]\n",
+               Argv0);
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string RequestPath;
+  std::string PolicyPath;
+  ServiceConfig SC;
+  bool Quiet = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--workers") && I + 1 < Argc)
+      SC.Workers = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--cache") && I + 1 < Argc)
+      SC.CacheCapacity = static_cast<size_t>(std::atol(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-cache"))
+      SC.EnableCache = false;
+    else if (!std::strcmp(Argv[I], "--policy") && I + 1 < Argc)
+      PolicyPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--quiet"))
+      Quiet = true;
+    else if (Argv[I][0] != '-' && RequestPath.empty())
+      RequestPath = Argv[I];
+    else
+      usage(Argv[0]);
+  }
+
+  VerificationPolicy Policy;
+  if (!PolicyPath.empty()) {
+    if (auto P = loadPolicyFile(PolicyPath))
+      Policy = *P;
+    else
+      std::fprintf(stderr, "warning: bad policy file %s, using default\n",
+                   PolicyPath.c_str());
+  }
+
+  std::ifstream File;
+  std::istream *In = &std::cin;
+  if (!RequestPath.empty()) {
+    File.open(RequestPath);
+    if (!File) {
+      std::fprintf(stderr, "error: cannot open %s\n", RequestPath.c_str());
+      return 2;
+    }
+    In = &File;
+  }
+
+  VerificationService Service(Policy, SC);
+
+  // Parse every request up front so malformed lines are rejected before
+  // any work starts, then run the whole file as one batch.
+  std::vector<JobRequest> Jobs;
+  std::vector<ServiceRequest> Requests;
+  std::string Line;
+  int LineNo = 0;
+  int BadLines = 0;
+  while (std::getline(*In, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    std::string Error;
+    auto Req = parseRequestLine(Line, &Error);
+    if (!Req) {
+      std::fprintf(stderr, "error: line %d: %s\n", LineNo, Error.c_str());
+      ++BadLines;
+      continue;
+    }
+    auto Net = Service.registry().addFromFile(Req->Network);
+    if (!Net) {
+      std::fprintf(stderr, "error: line %d: cannot load network %s\n", LineNo,
+                   Req->Network.c_str());
+      ++BadLines;
+      continue;
+    }
+    auto Prop = requestProperty(*Req);
+    if (!Prop) {
+      std::fprintf(stderr, "error: line %d: bad region\n", LineNo);
+      ++BadLines;
+      continue;
+    }
+    if (Prop->Region.dim() != Service.registry().network(*Net).inputSize() ||
+        Req->Label >= Service.registry().network(*Net).outputSize()) {
+      std::fprintf(stderr, "error: line %d: query does not match network\n",
+                   LineNo);
+      ++BadLines;
+      continue;
+    }
+    JobRequest Job;
+    Job.Net = *Net;
+    Job.Prop = std::move(*Prop);
+    Job.Config.TimeLimitSeconds = Req->BudgetSeconds;
+    Job.Config.Delta = Req->Delta;
+    Job.Priority = Req->Priority;
+    Jobs.push_back(std::move(Job));
+    Requests.push_back(std::move(*Req));
+  }
+
+  BatchReport Report = Service.runBatch(Jobs);
+
+  for (size_t I = 0; I < Report.Outcomes.size(); ++I) {
+    const JobOutcome &Out = Report.Outcomes[I];
+    ServiceResponse Resp;
+    Resp.Name = Jobs[I].Prop.Name;
+    Resp.Network = Requests[I].Network;
+    Resp.Result = Out.Result.Result;
+    Resp.CacheHit = Out.CacheHit;
+    Resp.Cancelled = Out.Cancelled;
+    Resp.Seconds = Out.RunSeconds;
+    if (Out.Result.Result == Outcome::Falsified)
+      Resp.Counterexample = Out.Result.Counterexample;
+    std::printf("%s\n", formatResponseLine(Resp).c_str());
+  }
+
+  if (!Quiet) {
+    CacheStats CS = Service.cache().stats();
+    std::fprintf(stderr,
+                 "%zu jobs in %.3fs (%.1f jobs/s, %u workers): "
+                 "%d verified, %d falsified, %d timeout; "
+                 "cache %ld hits (%ld exact, %ld subsumed), %ld misses\n",
+                 Report.Outcomes.size(), Report.WallSeconds,
+                 Report.jobsPerSecond(), Service.workers(), Report.Verified,
+                 Report.Falsified, Report.Timeout, CS.hits(), CS.ExactHits,
+                 CS.SubsumptionHits, CS.Misses);
+  }
+  return BadLines ? 2 : (Report.Timeout ? 1 : 0);
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification line: configure, build, and run the full test suite.
+# Usage: scripts/check.sh [--sanitize]
+#   --sanitize   build with -DCHARON_SANITIZE=ON (ASan + UBSan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+  BUILD_DIR=build-sanitize
+  CMAKE_ARGS+=(-DCHARON_SANITIZE=ON)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR" && ctest --output-on-failure -j

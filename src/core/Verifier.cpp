@@ -127,7 +127,8 @@ VerifyResult Verifier::verify(const RobustnessProperty &Prop) const {
   Work.emplace_back(Prop.Region, 0);
 
   while (!Work.empty()) {
-    if (Budget.expired()) {
+    if (Budget.expired() ||
+        (Config.CancelRequested && Config.CancelRequested())) {
       Result.Result = Outcome::Timeout;
       Result.Stats.Seconds = Watch.seconds();
       return Result;
@@ -188,7 +189,8 @@ VerifyResult Verifier::verifyParallel(const RobustnessProperty &Prop,
   std::function<void(Box, int)> Process = [&](Box Region, int Depth) {
     if (State.Resolved.load(std::memory_order_relaxed))
       return;
-    if (Budget.expired()) {
+    if (Budget.expired() ||
+        (Config.CancelRequested && Config.CancelRequested())) {
       State.TimedOut.store(true);
       return;
     }

@@ -82,6 +82,12 @@ struct VerifierConfig {
   /// RNG seed for PGD restarts.
   uint64_t Seed = 7;
 
+  /// Optional cooperative cancellation hook, polled at the same recursion
+  /// points as the deadline. When it returns true the run stops with
+  /// Outcome::Timeout (sound: no verdict is fabricated). The service layer
+  /// wires per-job cancel flags through this.
+  std::function<bool()> CancelRequested;
+
   /// Optional complete decision procedure used as a "perfectly precise
   /// abstract domain" (the Sec. 9 future-work idea of mixing solvers with
   /// numerical domains). When set, subregions whose diameter falls below

@@ -65,6 +65,14 @@ bool Box::contains(const Vector &X, double Tol) const {
   return true;
 }
 
+bool Box::contains(const Box &Inner, double Tol) const {
+  assert(Inner.dim() == dim() && "dimension mismatch");
+  for (size_t I = 0, E = dim(); I < E; ++I)
+    if (Inner.Lo[I] < Lo[I] - Tol || Inner.Hi[I] > Hi[I] + Tol)
+      return false;
+  return true;
+}
+
 Vector Box::project(const Vector &X) const {
   return clamp(X, Lo, Hi);
 }

@@ -58,6 +58,11 @@ public:
   /// True when \p X lies inside the box (inclusive).
   bool contains(const Vector &X, double Tol = 0.0) const;
 
+  /// True when \p Inner is entirely inside this box (inclusive). Drives the
+  /// result cache's subsumption rule: robustness proved on a region holds
+  /// on every subregion.
+  bool contains(const Box &Inner, double Tol = 0.0) const;
+
   /// Projects \p X onto the box (componentwise clamp) — the projection step
   /// of projected gradient descent.
   Vector project(const Vector &X) const;

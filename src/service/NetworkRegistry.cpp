@@ -1,0 +1,58 @@
+//===- NetworkRegistry.cpp - Shared network store with dedup ------------------===//
+
+#include "service/NetworkRegistry.h"
+
+#include "core/Digest.h"
+#include "nn/Io.h"
+#include <cassert>
+
+using namespace charon;
+
+NetworkId NetworkRegistry::add(Network Net) {
+  // Fingerprinting walks every layer's affineForm(), which also forces the
+  // lazily built conv lowerings — so a registered network is read-only and
+  // safe to share across verifier threads without further warm-up.
+  uint64_t Fp = fingerprintNetwork(Net);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = ByFingerprint.find(Fp);
+  if (It != ByFingerprint.end())
+    return It->second;
+  NetworkId Id = static_cast<NetworkId>(Entries.size());
+  Entries.push_back({std::make_unique<Network>(std::move(Net)), Fp});
+  ByFingerprint.emplace(Fp, Id);
+  return Id;
+}
+
+std::optional<NetworkId>
+NetworkRegistry::addFromFile(const std::string &Path) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = ByPath.find(Path);
+    if (It != ByPath.end())
+      return It->second;
+  }
+  std::optional<Network> Net = loadNetworkFile(Path);
+  if (!Net)
+    return std::nullopt;
+  NetworkId Id = add(std::move(*Net));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ByPath.emplace(Path, Id);
+  return Id;
+}
+
+const Network &NetworkRegistry::network(NetworkId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(Id < Entries.size() && "unknown network id");
+  return *Entries[Id].Net;
+}
+
+uint64_t NetworkRegistry::fingerprint(NetworkId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(Id < Entries.size() && "unknown network id");
+  return Entries[Id].Fingerprint;
+}
+
+size_t NetworkRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}

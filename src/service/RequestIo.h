@@ -1,0 +1,91 @@
+//===- RequestIo.h - JSON-lines batch request/response protocol ---*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire format of the verification service: one JSON object per line,
+/// requests in, responses out, so whole suites are driven from files or
+/// pipes instead of hardcoded benches.
+///
+/// Request line (flat object; center+epsilon and lower/upper are the two
+/// ways to give the region, exactly one required):
+/// \code
+///   {"network":"acas.net","name":"p3","label":0,"epsilon":0.05,
+///    "center":[0.5,0.5,0.5,0.5,0.5],"budget":10,"delta":1e-6,"priority":1}
+///   {"network":"acas.net","label":2,"lower":[0,0,0,0,0],"upper":[1,1,1,1,1]}
+/// \endcode
+///
+/// Response line:
+/// \code
+///   {"name":"p3","network":"acas.net","outcome":"verified","seconds":0.41,
+///    "cache_hit":false,"cancelled":false,"counterexample":[]}
+/// \endcode
+///
+/// The parser accepts only this subset of JSON (flat objects of strings,
+/// numbers, booleans, and arrays of numbers) and rejects everything else
+/// with a diagnostic; unknown keys are an error so typos fail loudly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_SERVICE_REQUESTIO_H
+#define CHARON_SERVICE_REQUESTIO_H
+
+#include "core/Property.h"
+#include "core/Verifier.h"
+
+#include <optional>
+#include <string>
+
+namespace charon {
+
+/// One parsed request line.
+struct ServiceRequest {
+  std::string Network;      ///< path of the serialized network
+  std::string Name;         ///< optional job name echoed in the response
+  size_t Label = 0;         ///< target class K
+  double Epsilon = -1.0;    ///< L-inf radius (with Center); < 0 when unset
+  Vector Center;            ///< ball center (with Epsilon)
+  Vector Lower, Upper;      ///< explicit box bounds (alternative form)
+  double BudgetSeconds = 10.0;
+  double Delta = 1e-6;
+  int Priority = 0;
+};
+
+/// One response line.
+struct ServiceResponse {
+  std::string Name;
+  std::string Network;
+  Outcome Result = Outcome::Timeout;
+  bool CacheHit = false;
+  bool Cancelled = false;
+  double Seconds = 0.0;
+  Vector Counterexample; ///< empty unless Falsified
+};
+
+/// Parses one request line. On failure returns nullopt and, when \p Error
+/// is non-null, stores a human-readable reason.
+std::optional<ServiceRequest> parseRequestLine(const std::string &Line,
+                                               std::string *Error = nullptr);
+
+/// Serializes a request to one JSON line (no trailing newline).
+std::string formatRequestLine(const ServiceRequest &Req);
+
+/// Builds the robustness property a request describes: the explicit box,
+/// or the epsilon-ball around the center clipped to [0,1]. Returns nullopt
+/// when the region specification is missing or inconsistent.
+std::optional<RobustnessProperty> requestProperty(const ServiceRequest &Req);
+
+/// Serializes a response to one JSON line (no trailing newline). Doubles
+/// are printed with round-trip precision so counterexamples survive
+/// re-parsing bit-exactly.
+std::string formatResponseLine(const ServiceResponse &Resp);
+
+/// Parses one response line (the inverse of formatResponseLine).
+std::optional<ServiceResponse> parseResponseLine(const std::string &Line,
+                                                 std::string *Error = nullptr);
+
+} // namespace charon
+
+#endif // CHARON_SERVICE_REQUESTIO_H

@@ -1,0 +1,93 @@
+//===- ResultCache.cpp - LRU verification-result cache ------------------------===//
+
+#include "service/ResultCache.h"
+
+#include <algorithm>
+
+using namespace charon;
+
+ResultCache::ResultCache(size_t Capacity) : Cap(std::max<size_t>(1, Capacity)) {}
+
+void ResultCache::touch(EntryList::iterator It) {
+  Entries.splice(Entries.begin(), Entries, It);
+}
+
+std::optional<VerifyResult> ResultCache::lookup(const CacheKey &Key,
+                                                const Box &Region,
+                                                size_t TargetClass) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    touch(It->second);
+    ++Counters.ExactHits;
+    return It->second->Result;
+  }
+
+  // Subsumption scan: any Verified entry for the same network/config whose
+  // region contains the query answers Verified for the subregion. Linear in
+  // the cache size, but each entry check is a cheap bounds comparison and
+  // the scan only runs on exact misses.
+  for (auto EIt = Entries.begin(); EIt != Entries.end(); ++EIt) {
+    if (EIt->Result.Result != Outcome::Verified)
+      continue;
+    if (EIt->Key.NetworkFingerprint != Key.NetworkFingerprint ||
+        EIt->Key.ConfigDigest != Key.ConfigDigest)
+      continue;
+    if (EIt->TargetClass != TargetClass ||
+        EIt->Region.dim() != Region.dim() || !EIt->Region.contains(Region))
+      continue;
+    touch(EIt);
+    ++Counters.SubsumptionHits;
+    // Report the covering proof's verdict without its counters: this query
+    // cost nothing, and the covering region's stats would misattribute
+    // work to it.
+    VerifyResult R;
+    R.Result = Outcome::Verified;
+    return R;
+  }
+
+  ++Counters.Misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const CacheKey &Key, const Box &Region,
+                         size_t TargetClass, const VerifyResult &Result) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+
+  auto It = Index.find(Key);
+  if (It != Index.end()) {
+    It->second->Region = Region;
+    It->second->TargetClass = TargetClass;
+    It->second->Result = Result;
+    touch(It->second);
+    ++Counters.Inserts;
+    return;
+  }
+
+  Entries.push_front({Key, Region, TargetClass, Result});
+  Index.emplace(Key, Entries.begin());
+  ++Counters.Inserts;
+
+  while (Entries.size() > Cap) {
+    Index.erase(Entries.back().Key);
+    Entries.pop_back();
+    ++Counters.Evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+  Index.clear();
+}

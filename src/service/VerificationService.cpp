@@ -1,0 +1,217 @@
+//===- VerificationService.cpp - Multi-tenant verification front-end ----------===//
+
+#include "service/VerificationService.h"
+
+#include "core/Digest.h"
+#include "support/Timer.h"
+
+#include <cassert>
+
+using namespace charon;
+
+//===----------------------------------------------------------------------===//
+// Job state
+//===----------------------------------------------------------------------===//
+
+namespace charon {
+namespace detail {
+
+struct JobState {
+  JobRequest Request;
+  int Priority = 0;
+  uint64_t Sequence = 0; ///< FIFO tiebreak within a priority level
+
+  std::atomic<bool> CancelFlag{false};
+  Stopwatch SinceSubmit;
+
+  mutable std::mutex Mutex;
+  mutable std::condition_variable Finished;
+  bool Done = false;
+  JobOutcome Out;
+
+  void finish(JobOutcome Outcome) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Out = std::move(Outcome);
+      Done = true;
+    }
+    Finished.notify_all();
+  }
+};
+
+} // namespace detail
+} // namespace charon
+
+//===----------------------------------------------------------------------===//
+// JobHandle
+//===----------------------------------------------------------------------===//
+
+bool JobHandle::done() const {
+  assert(State && "empty job handle");
+  std::lock_guard<std::mutex> Lock(State->Mutex);
+  return State->Done;
+}
+
+void JobHandle::wait() const {
+  assert(State && "empty job handle");
+  std::unique_lock<std::mutex> Lock(State->Mutex);
+  State->Finished.wait(Lock, [&] { return State->Done; });
+}
+
+JobOutcome JobHandle::outcome() const {
+  wait();
+  std::lock_guard<std::mutex> Lock(State->Mutex);
+  return State->Out;
+}
+
+void JobHandle::cancel() {
+  assert(State && "empty job handle");
+  State->CancelFlag.store(true, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// VerificationService
+//===----------------------------------------------------------------------===//
+
+bool VerificationService::QueueOrder::operator()(
+    const std::shared_ptr<detail::JobState> &A,
+    const std::shared_ptr<detail::JobState> &B) const {
+  // priority_queue pops the *largest* element: higher priority wins, then
+  // lower sequence (earlier submission).
+  if (A->Priority != B->Priority)
+    return A->Priority < B->Priority;
+  return A->Sequence > B->Sequence;
+}
+
+VerificationService::VerificationService(VerificationPolicy P, ServiceConfig C)
+    : Policy(std::move(P)), Config(C), Cache(C.CacheCapacity),
+      Pool(C.Workers) {}
+
+VerificationService::~VerificationService() { shutdown(); }
+
+JobHandle VerificationService::submit(JobRequest Request) {
+  assert(Accepting.load() && "submit after shutdown");
+  auto State = std::make_shared<detail::JobState>();
+  State->Priority = Request.Priority;
+  State->Request = std::move(Request);
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    State->Sequence = NextSequence++;
+    Pending.push(State);
+  }
+  // One pool task per job: each task pops whatever is the most urgent
+  // pending job at the moment it runs, which is what gives priorities
+  // effect over the FIFO ThreadPool underneath.
+  Pool.submit([this] { runOne(); });
+  return JobHandle(State);
+}
+
+void VerificationService::runOne() {
+  std::shared_ptr<detail::JobState> Job;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    if (Pending.empty())
+      return; // every pending job was already claimed
+    Job = Pending.top();
+    Pending.pop();
+  }
+  execute(*Job);
+}
+
+void VerificationService::execute(detail::JobState &Job) {
+  JobOutcome Out;
+  Out.QueueSeconds = Job.SinceSubmit.seconds();
+
+  if (Job.CancelFlag.load(std::memory_order_relaxed)) {
+    Out.Cancelled = true;
+    Job.finish(std::move(Out));
+    return;
+  }
+
+  const JobRequest &Req = Job.Request;
+  const Network &Net = Registry.network(Req.Net);
+
+  CacheKey Key;
+  Key.NetworkFingerprint = Registry.fingerprint(Req.Net);
+  Key.PropertyDigest = digestProperty(Req.Prop);
+  Key.ConfigDigest = digestVerifierConfig(Req.Config);
+
+  if (Config.EnableCache) {
+    if (auto Hit = Cache.lookup(Key, Req.Prop.Region, Req.Prop.TargetClass)) {
+      Out.Result = std::move(*Hit);
+      Out.CacheHit = true;
+      Job.finish(std::move(Out));
+      return;
+    }
+  }
+
+  Stopwatch RunWatch;
+  VerifierConfig VC = Req.Config;
+  // Compose the job's cancel flag with any caller-supplied hook instead of
+  // replacing it.
+  VC.CancelRequested = [&Job, UserHook = std::move(VC.CancelRequested)] {
+    return Job.CancelFlag.load(std::memory_order_relaxed) ||
+           (UserHook && UserHook());
+  };
+  Verifier V(Net, Policy, VC);
+  Out.Result = V.verify(Req.Prop);
+  Out.RunSeconds = RunWatch.seconds();
+
+  if (Job.CancelFlag.load(std::memory_order_relaxed)) {
+    // The cancel hook forced an early Timeout; report it as a cancel and
+    // keep the cache clean of aborted runs.
+    Out.Cancelled = true;
+  } else if (Config.EnableCache &&
+             (Config.CacheTimeouts ||
+              Out.Result.Result != Outcome::Timeout)) {
+    Cache.insert(Key, Req.Prop.Region, Req.Prop.TargetClass, Out.Result);
+  }
+  Job.finish(std::move(Out));
+}
+
+BatchReport VerificationService::runBatch(
+    const std::vector<JobRequest> &Requests) {
+  Stopwatch Watch;
+  std::vector<JobHandle> Handles;
+  Handles.reserve(Requests.size());
+  for (const JobRequest &Req : Requests)
+    Handles.push_back(submit(Req));
+
+  BatchReport Report;
+  Report.Outcomes.reserve(Handles.size());
+  for (JobHandle &H : Handles) {
+    const JobOutcome &Out = H.outcome();
+    Report.Outcomes.push_back(Out);
+    switch (Out.Result.Result) {
+    case Outcome::Verified:
+      ++Report.Verified;
+      break;
+    case Outcome::Falsified:
+      ++Report.Falsified;
+      break;
+    case Outcome::Timeout:
+      ++Report.Timeout;
+      break;
+    }
+    if (Out.CacheHit)
+      ++Report.CacheHits;
+    const VerifyStats &S = Out.Result.Stats;
+    Report.Aggregate.PgdCalls += S.PgdCalls;
+    Report.Aggregate.AnalyzeCalls += S.AnalyzeCalls;
+    Report.Aggregate.Splits += S.Splits;
+    Report.Aggregate.MaxDepth = std::max(Report.Aggregate.MaxDepth, S.MaxDepth);
+    Report.Aggregate.IntervalChoices += S.IntervalChoices;
+    Report.Aggregate.ZonotopeChoices += S.ZonotopeChoices;
+    Report.Aggregate.DisjunctSum += S.DisjunctSum;
+    Report.Aggregate.Seconds += S.Seconds;
+  }
+  Report.WallSeconds = Watch.seconds();
+  return Report;
+}
+
+void VerificationService::shutdown() {
+  Accepting.store(false);
+  // Every submitted job has exactly one pool task; draining the pool
+  // drains the queue (cancelled jobs finish immediately inside execute()).
+  Pool.wait();
+}

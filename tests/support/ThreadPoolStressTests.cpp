@@ -1,0 +1,106 @@
+//===- ThreadPoolStressTests.cpp - ThreadPool invariants under contention -----===//
+//
+// The verification service schedules every job through ThreadPool, so the
+// pool's contract — all submitted tasks run exactly once, wait() really
+// drains, and the pool is reusable after wait() — is load-bearing. These
+// tests hammer those invariants from many producers at once.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace charon;
+
+TEST(ThreadPoolStressTest, ManyProducersEveryTaskRunsOnce) {
+  ThreadPool Pool(4);
+  constexpr int Producers = 8;
+  constexpr int TasksPerProducer = 250;
+  std::atomic<int> Executed{0};
+
+  std::vector<std::thread> Threads;
+  for (int P = 0; P < Producers; ++P)
+    Threads.emplace_back([&Pool, &Executed] {
+      for (int I = 0; I < TasksPerProducer; ++I)
+        Pool.submit([&Executed] {
+          Executed.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Pool.wait();
+  EXPECT_EQ(Executed.load(), Producers * TasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, WaitUnderContentionSeesAllPriorWork) {
+  // wait() must block until everything submitted *before* the call has
+  // finished, even while tasks are still being pumped in from the side.
+  ThreadPool Pool(4);
+  std::atomic<int> Executed{0};
+  for (int Round = 0; Round < 20; ++Round) {
+    int Target = (Round + 1) * 50;
+    for (int I = 0; I < 50; ++I)
+      Pool.submit([&Executed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        Executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    Pool.wait();
+    EXPECT_GE(Executed.load(), Target) << "wait() returned with work pending";
+  }
+}
+
+TEST(ThreadPoolStressTest, SubmitAfterWaitReusesPool) {
+  ThreadPool Pool(2);
+  std::atomic<int> Executed{0};
+  for (int Round = 0; Round < 50; ++Round) {
+    for (int I = 0; I < 10; ++I)
+      Pool.submit([&Executed] { Executed.fetch_add(1); });
+    Pool.wait();
+  }
+  EXPECT_EQ(Executed.load(), 500);
+}
+
+TEST(ThreadPoolStressTest, TasksThatSubmitMoreTasksDrain) {
+  // The parallel verifier's subregion tasks enqueue their own children;
+  // wait() must count those grandchildren too.
+  ThreadPool Pool(4);
+  std::atomic<int> Executed{0};
+  std::function<void(int)> Spawn = [&](int Depth) {
+    Executed.fetch_add(1, std::memory_order_relaxed);
+    if (Depth > 0) {
+      Pool.submit([&Spawn, Depth] { Spawn(Depth - 1); });
+      Pool.submit([&Spawn, Depth] { Spawn(Depth - 1); });
+    }
+  };
+  Pool.submit([&Spawn] { Spawn(6); });
+  Pool.wait();
+  // A complete binary recursion of depth 6: 2^7 - 1 tasks.
+  EXPECT_EQ(Executed.load(), 127);
+}
+
+TEST(ThreadPoolStressTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool Pool(4);
+  constexpr int N = 2000;
+  std::vector<std::atomic<int>> Counts(N);
+  Pool.parallelFor(N, [&Counts](int I) {
+    Counts[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int I = 0; I < N; ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolStressTest, ZeroThreadRequestStillWorks) {
+  ThreadPool Pool(0); // 0 = hardware concurrency, at least 1
+  EXPECT_GE(Pool.size(), 1u);
+  std::atomic<int> Executed{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.submit([&Executed] { Executed.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Executed.load(), 100);
+}
