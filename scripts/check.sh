@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification line: configure, build, and run the full test suite.
+# The suite includes fuzz_smoke, a 60-second soundness-fuzzing campaign
+# (examples/charon_fuzz) that fails on any oracle violation; under
+# --sanitize the same campaign runs with ASan + UBSan instrumentation.
 # Usage: scripts/check.sh [--sanitize]
 #   --sanitize   build with -DCHARON_SANITIZE=ON (ASan + UBSan)
 set -euo pipefail

@@ -13,12 +13,15 @@ PowersetElement::PowersetElement(std::unique_ptr<AbstractElement> Initial,
     : Budget(MaxDisjuncts) {
   assert(Initial && "null initial element");
   assert(MaxDisjuncts >= 1 && "powerset needs at least one disjunct");
+  Base = Initial->clone();
   Elems.push_back(std::move(Initial));
 }
 
 PowersetElement::PowersetElement(
-    std::vector<std::unique_ptr<AbstractElement>> Elements, int MaxDisjuncts)
-    : Elems(std::move(Elements)), Budget(MaxDisjuncts) {
+    std::vector<std::unique_ptr<AbstractElement>> Elements, int MaxDisjuncts,
+    std::unique_ptr<AbstractElement> Baseline)
+    : Elems(std::move(Elements)), Budget(MaxDisjuncts),
+      Base(std::move(Baseline)) {
   assert(!Elems.empty() && "powerset must be nonempty");
 }
 
@@ -27,7 +30,8 @@ std::unique_ptr<AbstractElement> PowersetElement::clone() const {
   Copy.reserve(Elems.size());
   for (const auto &E : Elems)
     Copy.push_back(E->clone());
-  return std::make_unique<PowersetElement>(std::move(Copy), Budget);
+  return std::make_unique<PowersetElement>(std::move(Copy), Budget,
+                                           Base ? Base->clone() : nullptr);
 }
 
 size_t PowersetElement::dim() const { return Elems.front()->dim(); }
@@ -35,6 +39,8 @@ size_t PowersetElement::dim() const { return Elems.front()->dim(); }
 void PowersetElement::applyAffine(const Matrix &W, const Vector &B) {
   for (auto &E : Elems)
     E->applyAffine(W, B);
+  if (Base)
+    Base->applyAffine(W, B);
 }
 
 void PowersetElement::applyRelu() {
@@ -92,17 +98,23 @@ void PowersetElement::applyRelu() {
 
   for (auto &E : Elems)
     E->applyRelu();
+  if (Base)
+    Base->applyRelu();
 }
 
 void PowersetElement::applyMaxPool(const PoolSpec &Spec) {
   for (auto &E : Elems)
     E->applyMaxPool(Spec);
+  if (Base)
+    Base->applyMaxPool(Spec);
 }
 
 double PowersetElement::lowerBound(size_t I) const {
   double Best = std::numeric_limits<double>::infinity();
   for (const auto &E : Elems)
     Best = std::min(Best, E->lowerBound(I));
+  if (Base)
+    Best = std::max(Best, Base->lowerBound(I));
   return Best;
 }
 
@@ -110,6 +122,8 @@ double PowersetElement::upperBound(size_t I) const {
   double Best = -std::numeric_limits<double>::infinity();
   for (const auto &E : Elems)
     Best = std::max(Best, E->upperBound(I));
+  if (Base)
+    Best = std::min(Best, Base->upperBound(I));
   return Best;
 }
 
@@ -118,16 +132,26 @@ double PowersetElement::lowerBoundDiff(size_t K, size_t J) const {
   double Best = std::numeric_limits<double>::infinity();
   for (const auto &E : Elems)
     Best = std::min(Best, E->lowerBoundDiff(K, J));
+  if (Base)
+    Best = std::max(Best, Base->lowerBoundDiff(K, J));
   return Best;
 }
 
 std::unique_ptr<AbstractElement>
 PowersetElement::meetHalfspaceAtZero(size_t D, bool NonNegative) const {
+  // A sound emptiness proof from the baseline trumps the disjunct meets.
+  std::unique_ptr<AbstractElement> MetBase;
+  if (Base) {
+    MetBase = Base->meetHalfspaceAtZero(D, NonNegative);
+    if (!MetBase)
+      return nullptr;
+  }
   std::vector<std::unique_ptr<AbstractElement>> Met;
   for (const auto &E : Elems)
     if (auto M = E->meetHalfspaceAtZero(D, NonNegative))
       Met.push_back(std::move(M));
   if (Met.empty())
     return nullptr;
-  return std::make_unique<PowersetElement>(std::move(Met), Budget);
+  return std::make_unique<PowersetElement>(std::move(Met), Budget,
+                                           std::move(MetBase));
 }

@@ -23,14 +23,27 @@
 namespace charon {
 
 /// Disjunction of at most MaxDisjuncts base elements.
+///
+/// Alongside the disjuncts, the element propagates one *baseline* copy of
+/// the base domain that is never case-split, and answers every bound query
+/// with the tighter of the disjunct union and the baseline. The ReLU
+/// relaxations of numeric domains are not monotone under inclusion, so a
+/// case split can occasionally loosen a downstream bound (found by the
+/// soundness fuzzer's precision oracle); the baseline makes the powerset
+/// at-least-as-precise-as-base contract hold by construction. Both bounds
+/// are sound overapproximations of the same concrete set, so combining
+/// them is sound.
 class PowersetElement : public AbstractElement {
 public:
   /// Wraps \p Initial as a single-disjunct powerset with budget
   /// \p MaxDisjuncts (>= 1).
   PowersetElement(std::unique_ptr<AbstractElement> Initial, int MaxDisjuncts);
 
+  /// Assembles a powerset from existing disjuncts. \p Baseline may be null
+  /// (bound queries then use the disjunct union alone).
   PowersetElement(std::vector<std::unique_ptr<AbstractElement>> Elems,
-                  int MaxDisjuncts);
+                  int MaxDisjuncts,
+                  std::unique_ptr<AbstractElement> Baseline = nullptr);
 
   std::unique_ptr<AbstractElement> clone() const override;
   size_t dim() const override;
@@ -58,6 +71,9 @@ public:
 private:
   std::vector<std::unique_ptr<AbstractElement>> Elems;
   int Budget;
+  /// Unsplit copy of the base element, propagated in parallel and used to
+  /// tighten every bound query. Null when assembled from raw disjuncts.
+  std::unique_ptr<AbstractElement> Base;
 };
 
 } // namespace charon

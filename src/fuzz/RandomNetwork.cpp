@@ -1,0 +1,181 @@
+//===- RandomNetwork.cpp - Seeded random networks and properties --------------===//
+
+#include "fuzz/RandomNetwork.h"
+
+#include "nn/Conv2D.h"
+#include "nn/Dense.h"
+#include "nn/MaxPool2D.h"
+#include "nn/Relu.h"
+#include "support/Random.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace charon;
+
+bool NetworkSpec::operator==(const NetworkSpec &O) const {
+  if (Arch != O.Arch || WeightSeed != O.WeightSeed)
+    return false;
+  if (Arch == FuzzArch::Mlp)
+    return Inputs == O.Inputs && Outputs == O.Outputs && Hidden == O.Hidden;
+  return Channels == O.Channels && Height == O.Height && Width == O.Width &&
+         ConvChannels == O.ConvChannels && Kernel == O.Kernel &&
+         Stride == O.Stride && Pad == O.Pad && WithPool == O.WithPool &&
+         Outputs == O.Outputs;
+}
+
+NetworkSpec charon::generateNetworkSpec(Rng &R,
+                                        const GeneratorConfig &Config) {
+  NetworkSpec Spec;
+  Spec.WeightSeed = R.next();
+  Spec.Outputs =
+      Config.MinOutputs + R.uniformInt(Config.MaxOutputs - Config.MinOutputs + 1);
+
+  if (R.uniform() < Config.ConvProbability) {
+    Spec.Arch = FuzzArch::Conv;
+    // Small tensors keep even powerset/polyhedra analyses fast while still
+    // exercising the lowered-affine conv transformer and pooling windows.
+    Spec.Channels = 1 + static_cast<int>(R.uniformInt(2));
+    Spec.Height = 4 + static_cast<int>(R.uniformInt(3));
+    Spec.Width = 4 + static_cast<int>(R.uniformInt(3));
+    Spec.ConvChannels = 1 + static_cast<int>(R.uniformInt(3));
+    Spec.Kernel = 2 + static_cast<int>(R.uniformInt(2));
+    Spec.Stride = 1;
+    Spec.Pad = static_cast<int>(R.uniformInt(2));
+    Spec.WithPool = R.uniform() < Config.PoolProbability;
+    return Spec;
+  }
+
+  Spec.Arch = FuzzArch::Mlp;
+  Spec.Inputs =
+      Config.MinInputs + R.uniformInt(Config.MaxInputs - Config.MinInputs + 1);
+  int Layers = Config.MinHiddenLayers +
+               static_cast<int>(R.uniformInt(
+                   Config.MaxHiddenLayers - Config.MinHiddenLayers + 1));
+  for (int I = 0; I < Layers; ++I)
+    Spec.Hidden.push_back(
+        Config.MinWidth + R.uniformInt(Config.MaxWidth - Config.MinWidth + 1));
+  return Spec;
+}
+
+Network charon::buildNetwork(const NetworkSpec &Spec) {
+  Rng R(Spec.WeightSeed);
+  Network Net;
+
+  if (Spec.Arch == FuzzArch::Mlp) {
+    size_t Prev = Spec.Inputs;
+    for (size_t H : Spec.Hidden) {
+      auto D = std::make_unique<DenseLayer>(Prev, H);
+      D->initHe(R);
+      Net.addLayer(std::move(D));
+      Net.addLayer(std::make_unique<ReluLayer>(H));
+      Prev = H;
+    }
+    auto Out = std::make_unique<DenseLayer>(Prev, Spec.Outputs);
+    Out->initHe(R);
+    Net.addLayer(std::move(Out));
+    Net.setName("fuzz-mlp");
+    return Net;
+  }
+
+  TensorShape In{Spec.Channels, Spec.Height, Spec.Width};
+  auto Conv = std::make_unique<Conv2DLayer>(In, Spec.ConvChannels, Spec.Kernel,
+                                            Spec.Kernel, Spec.Stride, Spec.Pad);
+  Conv->initHe(R);
+  TensorShape Shape = Conv->outputShape();
+  Net.addLayer(std::move(Conv));
+  Net.addLayer(std::make_unique<ReluLayer>(Shape.size()));
+  if (Spec.WithPool) {
+    auto Pool = std::make_unique<MaxPool2DLayer>(Shape, 2, 2, 2);
+    Shape = Pool->outputShape();
+    Net.addLayer(std::move(Pool));
+  }
+  auto Head = std::make_unique<DenseLayer>(Shape.size(), Spec.Outputs);
+  Head->initHe(R);
+  Net.addLayer(std::move(Head));
+  Net.setName("fuzz-conv");
+  return Net;
+}
+
+size_t charon::specInputSize(const NetworkSpec &Spec) {
+  if (Spec.Arch == FuzzArch::Mlp)
+    return Spec.Inputs;
+  return static_cast<size_t>(Spec.Channels) * Spec.Height * Spec.Width;
+}
+
+size_t charon::specOutputSize(const NetworkSpec &Spec) { return Spec.Outputs; }
+
+RobustnessProperty charon::generateProperty(Rng &R, const Network &Net,
+                                            const GeneratorConfig &Config) {
+  Vector Center(Net.inputSize());
+  for (size_t I = 0; I < Center.size(); ++I)
+    Center[I] = R.uniform();
+  double HalfWidth = R.uniform(Config.MinHalfWidth, Config.MaxHalfWidth);
+
+  RobustnessProperty Prop;
+  Prop.Region = Box::linfBall(Center, HalfWidth, 0.0, 1.0);
+  if (R.uniform() < Config.CenterClassProbability)
+    Prop.TargetClass = Net.classify(Prop.Region.center());
+  else
+    Prop.TargetClass = R.uniformInt(Net.outputSize());
+  Prop.Name = "fuzz";
+  return Prop;
+}
+
+void charon::writeNetworkSpec(const NetworkSpec &Spec, std::ostream &Os) {
+  if (Spec.Arch == FuzzArch::Mlp) {
+    Os << "mlp " << Spec.WeightSeed << " " << Spec.Inputs << " "
+       << Spec.Outputs << " " << Spec.Hidden.size();
+    for (size_t H : Spec.Hidden)
+      Os << " " << H;
+    Os << "\n";
+    return;
+  }
+  Os << "conv " << Spec.WeightSeed << " " << Spec.Channels << " "
+     << Spec.Height << " " << Spec.Width << " " << Spec.ConvChannels << " "
+     << Spec.Kernel << " " << Spec.Stride << " " << Spec.Pad << " "
+     << (Spec.WithPool ? 1 : 0) << " " << Spec.Outputs << "\n";
+}
+
+bool charon::readNetworkSpec(std::istream &Is, NetworkSpec &Spec) {
+  std::string Kind;
+  if (!(Is >> Kind))
+    return false;
+  if (Kind == "mlp") {
+    Spec = NetworkSpec();
+    Spec.Arch = FuzzArch::Mlp;
+    size_t NumHidden = 0;
+    if (!(Is >> Spec.WeightSeed >> Spec.Inputs >> Spec.Outputs >> NumHidden))
+      return false;
+    if (Spec.Inputs == 0 || Spec.Outputs == 0 || NumHidden > 64)
+      return false;
+    Spec.Hidden.resize(NumHidden);
+    for (size_t I = 0; I < NumHidden; ++I)
+      if (!(Is >> Spec.Hidden[I]) || Spec.Hidden[I] == 0)
+        return false;
+    return true;
+  }
+  if (Kind == "conv") {
+    Spec = NetworkSpec();
+    Spec.Arch = FuzzArch::Conv;
+    int Pool = 0;
+    if (!(Is >> Spec.WeightSeed >> Spec.Channels >> Spec.Height >>
+          Spec.Width >> Spec.ConvChannels >> Spec.Kernel >> Spec.Stride >>
+          Spec.Pad >> Pool >> Spec.Outputs))
+      return false;
+    if (Spec.Channels <= 0 || Spec.Height <= 0 || Spec.Width <= 0 ||
+        Spec.ConvChannels <= 0 || Spec.Kernel <= 0 || Spec.Stride <= 0 ||
+        Spec.Pad < 0 || Spec.Outputs == 0)
+      return false;
+    // The conv output must be non-degenerate (and poolable when requested).
+    int OutH = (Spec.Height + 2 * Spec.Pad - Spec.Kernel) / Spec.Stride + 1;
+    int OutW = (Spec.Width + 2 * Spec.Pad - Spec.Kernel) / Spec.Stride + 1;
+    if (OutH < 1 || OutW < 1)
+      return false;
+    Spec.WithPool = Pool != 0;
+    if (Spec.WithPool && (OutH < 2 || OutW < 2))
+      return false;
+    return true;
+  }
+  return false;
+}

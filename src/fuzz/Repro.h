@@ -1,0 +1,95 @@
+//===- Repro.h - Self-contained replayable fuzz repro files ------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// When a campaign case trips an oracle, the fuzzer persists everything
+/// needed to re-run that exact case: the campaign seed and case index (which
+/// determine every random draw the oracles make), the network spec (which
+/// rebuilds bit-identical weights), the property, and the oracle knobs.
+/// Replaying a repro is then fully deterministic — no timing, no global
+/// state, no dependence on the rest of the campaign.
+///
+/// Text format (line-oriented, whitespace-separated; `message` consumes the
+/// rest of its line):
+/// \code
+///   charon-fuzz-repro 1
+///   campaign-seed <u64>
+///   case <index>
+///   expect violation|clean
+///   oracle <token>
+///   message <free text>
+///   samples <n>  subregions <n>  tolerance <d>  delta <d>
+///   budget <d>  verifier-seed <u64>  inject <d>
+///   domains <n> <name> <disjuncts> ...
+///   network mlp|conv <numbers...>
+///   charon-property 1 ...            (PropertyIo block)
+/// \endcode
+///
+/// `expect` records the replay expectation: `violation` for a finding that
+/// must reproduce (fresh findings, and injected-fault entries that prove
+/// the oracles stay able to catch bugs), `clean` for a regression entry — a
+/// case that once failed, whose fix must keep it passing. The checked-in
+/// corpus under tests/fuzz/corpus/ holds both kinds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_FUZZ_REPRO_H
+#define CHARON_FUZZ_REPRO_H
+
+#include "abstract/Analyzer.h"
+#include "fuzz/Oracles.h"
+#include "fuzz/RandomNetwork.h"
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace charon {
+
+/// A self-contained fuzz case: everything a replay needs.
+struct FuzzRepro {
+  uint64_t CampaignSeed = 0;
+  long CaseIndex = 0;
+  /// Replay expectation: true = the violation must reproduce (fresh
+  /// finding), false = the case must stay clean (regression corpus).
+  bool ExpectViolation = true;
+  std::string Oracle;  ///< oracle that fired at discovery time
+  std::string Message; ///< detail captured at discovery time
+  OracleConfig Cfg;
+  std::vector<DomainSpec> Domains;
+  NetworkSpec Net;
+  RobustnessProperty Prop;
+};
+
+/// Writes \p Repro in the documented text format.
+void saveRepro(const FuzzRepro &Repro, std::ostream &Os);
+
+/// Parses a repro; nullopt on malformed input (bad magic, bad shapes,
+/// truncated data, property/network dimension mismatch).
+std::optional<FuzzRepro> loadRepro(std::istream &Is);
+
+/// File-path convenience wrappers.
+bool saveReproFile(const FuzzRepro &Repro, const std::string &Path);
+std::optional<FuzzRepro> loadReproFile(const std::string &Path);
+
+/// Outcome of re-running a repro's case.
+struct ReplayResult {
+  /// True when some oracle fired during the replay.
+  bool ViolationReproduced = false;
+  /// True when the replay matched the repro's expectation (`violation`
+  /// entries reproduced, `clean` entries stayed clean).
+  bool MatchesExpectation = false;
+  std::vector<OracleViolation> Violations;
+};
+
+/// Deterministically re-runs the case described by \p Repro through the
+/// full oracle set and reports what fired.
+ReplayResult replayRepro(const FuzzRepro &Repro);
+
+} // namespace charon
+
+#endif // CHARON_FUZZ_REPRO_H

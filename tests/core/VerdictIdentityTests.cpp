@@ -1,0 +1,154 @@
+//===- VerdictIdentityTests.cpp - verify/verifyParallel/service identity ------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// The three execution paths — Verifier::verify, Verifier::verifyParallel,
+// and the VerificationService — must never contradict each other, and the
+// service path (which runs the sequential verifier per job) must be
+// bit-identical to a direct verify() call when no deadline poll perturbed
+// either run. Checked over the seeded ACAS suite so the run is
+// deterministic. Delta-completeness makes Verified-vs-Falsified legitimate
+// on borderline regions (a counterexample with objective in (0, Delta]),
+// so a contradiction requires the falsifying side to hold a true
+// counterexample (objective <= 0).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Verifier.h"
+#include "data/Benchmarks.h"
+#include "service/VerificationService.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+// Hard wall-clock budget per path: ACAS properties mostly decide in
+// milliseconds, and the few refinement-heavy ones come back Timeout, which
+// the assertions below treat as "no verdict" rather than failing.
+constexpr double BudgetSeconds = 3.0;
+
+bool sameStatsIgnoringTime(const VerifyStats &A, const VerifyStats &B) {
+  return A.PgdCalls == B.PgdCalls && A.AnalyzeCalls == B.AnalyzeCalls &&
+         A.Splits == B.Splits && A.MaxDepth == B.MaxDepth &&
+         A.IntervalChoices == B.IntervalChoices &&
+         A.ZonotopeChoices == B.ZonotopeChoices &&
+         A.DisjunctSum == B.DisjunctSum;
+}
+
+bool sameVector(const Vector &A, const Vector &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
+}
+
+// True when the pair of verdicts is a genuine contradiction: one side
+// proved robustness, the other holds a *true* counterexample.
+bool contradicts(const Network &Net, const RobustnessProperty &Prop,
+                 const VerifyResult &Verified, const VerifyResult &Other) {
+  return Verified.Result == Outcome::Verified &&
+         Other.Result == Outcome::Falsified &&
+         Net.objective(Other.Counterexample, Prop.TargetClass) <= 0.0;
+}
+
+void expectValidCex(const Network &Net, const RobustnessProperty &Prop,
+                    const VerifyResult &R, double Delta) {
+  if (R.Result != Outcome::Falsified)
+    return;
+  EXPECT_TRUE(Prop.Region.contains(R.Counterexample, 1e-12));
+  EXPECT_LE(Net.objective(R.Counterexample, Prop.TargetClass), Delta);
+}
+
+TEST(VerdictIdentityTest, AcasSuiteAgreesAcrossAllThreePaths) {
+  BenchmarkSuite Suite = makeAcasSuite(8, 321, "/tmp/charon-test-networks");
+  ASSERT_FALSE(Suite.Properties.empty());
+
+  VerifierConfig Config;
+  Config.Seed = 7;
+  Config.TimeLimitSeconds = BudgetSeconds;
+
+  VerificationPolicy Policy;
+  Verifier V(Suite.Net, Policy, Config);
+  ThreadPool Pool(4);
+
+  ServiceConfig SC;
+  SC.Workers = 2;
+  SC.EnableCache = false; // Force execution; identity, not caching.
+  VerificationService Service(Policy, SC);
+  NetworkId Id = Service.registry().add(Suite.Net.clone());
+
+  int Decided = 0;
+  for (const RobustnessProperty &Prop : Suite.Properties) {
+    SCOPED_TRACE(Prop.Name);
+
+    VerifyResult Seq = V.verify(Prop);
+    VerifyResult Par = V.verifyParallel(Prop, Pool);
+
+    JobRequest Req;
+    Req.Net = Id;
+    Req.Prop = Prop;
+    Req.Config = Config;
+    JobOutcome Job = Service.submit(Req).outcome();
+    EXPECT_FALSE(Job.CacheHit);
+    EXPECT_FALSE(Job.Cancelled);
+
+    // Every Falsified verdict must carry a valid delta-counterexample.
+    expectValidCex(Suite.Net, Prop, Seq, Config.Delta);
+    expectValidCex(Suite.Net, Prop, Par, Config.Delta);
+    expectValidCex(Suite.Net, Prop, Job.Result, Config.Delta);
+
+    // No pair of paths may genuinely contradict (Verified on one side, a
+    // true counterexample on the other).
+    const VerifyResult *Results[] = {&Seq, &Par, &Job.Result};
+    for (const VerifyResult *A : Results)
+      for (const VerifyResult *B : Results)
+        EXPECT_FALSE(contradicts(Suite.Net, Prop, *A, *B))
+            << "F(cex) = "
+            << Suite.Net.objective(B->Counterexample, Prop.TargetClass);
+
+    // The service runs the sequential verifier with the same seed and is
+    // bit-identical to verify() unless a deadline poll fired mid-run;
+    // finishing well under the budget rules that out on both sides.
+    bool TimingClean = Seq.Result != Outcome::Timeout &&
+                       Job.Result.Result != Outcome::Timeout &&
+                       Seq.Stats.Seconds < 0.5 * BudgetSeconds &&
+                       Job.Result.Stats.Seconds < 0.5 * BudgetSeconds;
+    if (TimingClean) {
+      ++Decided;
+      EXPECT_EQ(Seq.Result, Job.Result.Result);
+      EXPECT_EQ(Seq.ObjectiveAtCex, Job.Result.ObjectiveAtCex);
+      EXPECT_TRUE(sameVector(Seq.Counterexample, Job.Result.Counterexample));
+      EXPECT_TRUE(sameStatsIgnoringTime(Seq.Stats, Job.Result.Stats));
+      // verifyParallel guarantees the same verdict, not the same cex.
+      EXPECT_EQ(Seq.Result, Par.Result);
+    }
+  }
+  // The suite must actually exercise the identity comparison: a timeout on
+  // every property would silently assert nothing.
+  EXPECT_GE(Decided, 4) << "too few properties decided within budget";
+}
+
+TEST(VerdictIdentityTest, RepeatedRunsAreDeterministic) {
+  BenchmarkSuite Suite = makeAcasSuite(3, 321, "/tmp/charon-test-networks");
+  VerifierConfig Config;
+  Config.Seed = 7;
+  Config.TimeLimitSeconds = BudgetSeconds;
+  Verifier V(Suite.Net, VerificationPolicy(), Config);
+  for (const RobustnessProperty &Prop : Suite.Properties) {
+    VerifyResult A = V.verify(Prop);
+    VerifyResult B = V.verify(Prop);
+    if (A.Result == Outcome::Timeout || B.Result == Outcome::Timeout)
+      continue; // Deadline polls are wall-clock; only compare clean runs.
+    EXPECT_EQ(A.Result, B.Result);
+    EXPECT_EQ(A.ObjectiveAtCex, B.ObjectiveAtCex);
+    EXPECT_TRUE(sameVector(A.Counterexample, B.Counterexample));
+    EXPECT_TRUE(sameStatsIgnoringTime(A.Stats, B.Stats));
+  }
+}
+
+} // namespace

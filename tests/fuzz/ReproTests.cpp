@@ -1,0 +1,78 @@
+//===- ReproTests.cpp - Replay the checked-in fuzz repro corpus ---------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Replays every .repro file under tests/fuzz/corpus/. `expect clean`
+// entries are regression cases: they once tripped an oracle and the fix
+// must keep them clean. `expect violation` entries carry fault injection
+// and must keep reproducing, proving the oracles still catch unsound
+// transformers. See corpus/README.md.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <vector>
+
+using namespace charon;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(CHARON_FUZZ_CORPUS_DIR))
+    if (Entry.path().extension() == ".repro")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+TEST(ReproCorpusTest, CorpusIsNonEmpty) {
+  EXPECT_FALSE(corpusFiles().empty())
+      << "no .repro files under " << CHARON_FUZZ_CORPUS_DIR;
+}
+
+TEST(ReproCorpusTest, EveryEntryMatchesItsExpectation) {
+  for (const std::string &Path : corpusFiles()) {
+    SCOPED_TRACE(Path);
+    std::optional<FuzzRepro> Repro = loadReproFile(Path);
+    ASSERT_TRUE(Repro.has_value()) << "corpus entry failed to parse";
+
+    ReplayResult Result = replayRepro(*Repro);
+    for (const OracleViolation &V : Result.Violations)
+      if (!Repro->ExpectViolation)
+        ADD_FAILURE() << "regression entry fired " << V.Oracle << ": "
+                      << V.Message;
+    EXPECT_TRUE(Result.MatchesExpectation)
+        << (Repro->ExpectViolation
+                ? "expected the recorded violation to reproduce"
+                : "expected the regression entry to stay clean");
+  }
+}
+
+TEST(ReproCorpusTest, InjectedEntriesReproduceTheRecordedOracle) {
+  for (const std::string &Path : corpusFiles()) {
+    std::optional<FuzzRepro> Repro = loadReproFile(Path);
+    ASSERT_TRUE(Repro.has_value());
+    if (!Repro->ExpectViolation)
+      continue;
+    SCOPED_TRACE(Path);
+    EXPECT_GT(Repro->Cfg.InjectTighten, 0.0)
+        << "violation entries in the corpus must use fault injection; a "
+           "real unfixed finding should not be checked in";
+    ReplayResult Result = replayRepro(*Repro);
+    ASSERT_TRUE(Result.ViolationReproduced);
+    bool SawRecorded = false;
+    for (const OracleViolation &V : Result.Violations)
+      SawRecorded |= V.Oracle == Repro->Oracle;
+    EXPECT_TRUE(SawRecorded)
+        << "recorded oracle " << Repro->Oracle << " did not fire";
+  }
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- ResultCacheEdgeTests.cpp - Subsumption edge cases ----------------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// The subsumption rule (a cached Verified on I answers any I' subseteq I)
+// is only sound for Verified verdicts and only for true containment. These
+// tests pin down the boundary behavior: regions sharing faces, degenerate
+// zero-width boxes, and the verdicts that must never subsume.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+using namespace charon;
+
+namespace {
+
+CacheKey key(uint64_t Net, uint64_t Prop, uint64_t Config) {
+  CacheKey K;
+  K.NetworkFingerprint = Net;
+  K.PropertyDigest = Prop;
+  K.ConfigDigest = Config;
+  return K;
+}
+
+VerifyResult verdict(Outcome O) {
+  VerifyResult R;
+  R.Result = O;
+  if (O == Outcome::Falsified) {
+    R.Counterexample = Vector{0.5, 0.5};
+    R.ObjectiveAtCex = -0.25;
+  }
+  return R;
+}
+
+TEST(ResultCacheEdgeTest, ExactBoundarySubregionIsSubsumed) {
+  ResultCache Cache(8);
+  Box Outer(Vector{0.0, 0.0}, Vector{1.0, 1.0});
+  Cache.insert(key(1, 10, 100), Outer, 0, verdict(Outcome::Verified));
+
+  // Shares the lower-left corner and two full faces with the cached region:
+  // containment is inclusive, so this must hit.
+  Box SharedFaces(Vector{0.0, 0.0}, Vector{0.5, 1.0});
+  auto Hit = Cache.lookup(key(1, 11, 100), SharedFaces, 0);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Result, Outcome::Verified);
+
+  // The cached region itself, under a different property digest (e.g. a
+  // renamed property): still contained, still Verified.
+  auto Same = Cache.lookup(key(1, 12, 100), Outer, 0);
+  ASSERT_TRUE(Same.has_value());
+  EXPECT_EQ(Same->Result, Outcome::Verified);
+
+  // Sticking out by any amount on any face must miss.
+  Box Outside(Vector{0.0, 0.0}, Vector{1.0 + 1e-12, 1.0});
+  EXPECT_FALSE(Cache.lookup(key(1, 13, 100), Outside, 0).has_value());
+
+  EXPECT_EQ(Cache.stats().SubsumptionHits, 2);
+  EXPECT_EQ(Cache.stats().Misses, 1);
+}
+
+TEST(ResultCacheEdgeTest, ZeroWidthBoxesSubsumeAndAreSubsumed) {
+  ResultCache Cache(8);
+  Box Outer(Vector{0.0, 0.0}, Vector{1.0, 1.0});
+  Cache.insert(key(1, 10, 100), Outer, 0, verdict(Outcome::Verified));
+
+  // A single point on the cached region's boundary is a valid (degenerate)
+  // subregion.
+  Box CornerPoint(Vector{1.0, 1.0}, Vector{1.0, 1.0});
+  auto Hit = Cache.lookup(key(1, 20, 100), CornerPoint, 0);
+  ASSERT_TRUE(Hit.has_value());
+  EXPECT_EQ(Hit->Result, Outcome::Verified);
+
+  // A cached zero-width box subsumes exactly itself and nothing else.
+  ResultCache PointCache(8);
+  Box Point(Vector{0.25, 0.75}, Vector{0.25, 0.75});
+  PointCache.insert(key(2, 30, 100), Point, 1, verdict(Outcome::Verified));
+  auto Self = PointCache.lookup(key(2, 31, 100), Point, 1);
+  ASSERT_TRUE(Self.has_value());
+  EXPECT_EQ(Self->Result, Outcome::Verified);
+  Box Nearby(Vector{0.25, 0.75}, Vector{0.25 + 1e-9, 0.75});
+  EXPECT_FALSE(PointCache.lookup(key(2, 32, 100), Nearby, 1).has_value());
+}
+
+TEST(ResultCacheEdgeTest, FalsifiedNeverSubsumes) {
+  ResultCache Cache(8);
+  Box Outer(Vector{0.0, 0.0}, Vector{1.0, 1.0});
+  Cache.insert(key(1, 10, 100), Outer, 0, verdict(Outcome::Falsified));
+
+  // A counterexample for the outer region says nothing about an arbitrary
+  // subregion (the cex may lie outside it), so subsumption must not fire —
+  // not even for the subregion that contains the cached counterexample.
+  Box AroundCex(Vector{0.4, 0.4}, Vector{0.6, 0.6});
+  EXPECT_FALSE(Cache.lookup(key(1, 11, 100), AroundCex, 0).has_value());
+
+  // The exact key still replays the stored verdict.
+  auto Exact = Cache.lookup(key(1, 10, 100), Outer, 0);
+  ASSERT_TRUE(Exact.has_value());
+  EXPECT_EQ(Exact->Result, Outcome::Falsified);
+  EXPECT_EQ(Cache.stats().ExactHits, 1);
+  EXPECT_EQ(Cache.stats().SubsumptionHits, 0);
+}
+
+TEST(ResultCacheEdgeTest, TimeoutNeverSubsumes) {
+  ResultCache Cache(8);
+  Box Outer(Vector{0.0, 0.0}, Vector{1.0, 1.0});
+  Cache.insert(key(1, 10, 100), Outer, 0, verdict(Outcome::Timeout));
+
+  Box Inner(Vector{0.25, 0.25}, Vector{0.75, 0.75});
+  EXPECT_FALSE(Cache.lookup(key(1, 11, 100), Inner, 0).has_value());
+
+  // Exact replay is allowed: the config digest includes the budget, so the
+  // same query would time out again.
+  EXPECT_TRUE(Cache.lookup(key(1, 10, 100), Outer, 0).has_value());
+}
+
+TEST(ResultCacheEdgeTest, SubsumptionRequiresMatchingClassConfigAndNetwork) {
+  ResultCache Cache(8);
+  Box Outer(Vector{0.0, 0.0}, Vector{1.0, 1.0});
+  Cache.insert(key(1, 10, 100), Outer, /*TargetClass=*/0,
+               verdict(Outcome::Verified));
+
+  Box Inner(Vector{0.25, 0.25}, Vector{0.75, 0.75});
+  // Contained region, but the query differs in one key component each time.
+  EXPECT_FALSE(Cache.lookup(key(1, 11, 100), Inner, 1).has_value());  // class
+  EXPECT_FALSE(Cache.lookup(key(1, 11, 999), Inner, 0).has_value());  // config
+  EXPECT_FALSE(Cache.lookup(key(2, 11, 100), Inner, 0).has_value());  // network
+  EXPECT_TRUE(Cache.lookup(key(1, 11, 100), Inner, 0).has_value());
+}
+
+TEST(ResultCacheEdgeTest, OverlapWithoutContainmentMisses) {
+  ResultCache Cache(8);
+  Cache.insert(key(1, 10, 100), Box(Vector{0.0, 0.0}, Vector{0.6, 0.6}), 0,
+               verdict(Outcome::Verified));
+  // Overlaps the cached region but is not contained in it.
+  Box Straddling(Vector{0.5, 0.5}, Vector{0.7, 0.7});
+  EXPECT_FALSE(Cache.lookup(key(1, 11, 100), Straddling, 0).has_value());
+}
+
+} // namespace
