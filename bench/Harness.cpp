@@ -2,15 +2,23 @@
 
 #include "Harness.h"
 
+#include "abstract/PowersetElement.h"
+#include "abstract/ZonotopeElement.h"
 #include "baselines/Ai2.h"
 #include "baselines/ReluVal.h"
 #include "baselines/Reluplex.h"
 #include "core/PolicyIo.h"
+#include "nn/Builder.h"
 #include "support/Check.h"
+#include "support/Random.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
 
 using namespace charon;
 using namespace charon::bench;
@@ -205,6 +213,133 @@ void charon::bench::printSummaryRow(const char *Label, const Summary &S) {
               Label, 100.0 * S.Verified / N, 100.0 * S.Falsified / N,
               100.0 * S.Timeout / N, 100.0 * S.Unknown / N, S.solved(),
               S.total(), S.TotalSeconds);
+}
+
+//===----------------------------------------------------------------------===//
+// Micro-domain benchmark cases
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Seeded fixture shared by every micro case at a given width: weights and
+/// region depend only on (Width, HiddenLayers), so timings are comparable
+/// across domains and across runs.
+struct MicroFixture {
+  Network Net;
+  Box Region;
+
+  MicroFixture(size_t Width, int HiddenLayers) {
+    Rng R(17);
+    Net = makeMlp(Width, std::vector<size_t>(HiddenLayers, Width), 10, R);
+    Vector Center(Width);
+    for (size_t I = 0; I < Width; ++I)
+      Center[I] = R.uniform(0.3, 0.7);
+    Region = Box::linfBall(Center, 0.05, 0.0, 1.0);
+  }
+};
+
+size_t countGenerators(const AbstractElement &Elem) {
+  if (const auto *Z = dynamic_cast<const ZonotopeElement *>(&Elem))
+    return Z->numGenerators();
+  if (const auto *P = dynamic_cast<const PowersetElement *>(&Elem)) {
+    size_t Sum = 0;
+    for (size_t I = 0, E = P->numDisjuncts(); I < E; ++I)
+      Sum += countGenerators(P->disjunct(I));
+    return Sum;
+  }
+  return 0;
+}
+
+void appendJsonDouble(std::ostringstream &Os, double X) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", X);
+  Os << Buf;
+}
+
+} // namespace
+
+std::vector<MicroDomainCase> charon::bench::defaultMicroDomainCases() {
+  std::vector<MicroDomainCase> Cases;
+  auto Add = [&Cases](const char *Name, size_t Width, BaseDomainKind Base,
+                      int Disjuncts) {
+    MicroDomainCase C;
+    C.Name = Name;
+    C.Width = Width;
+    C.HiddenLayers = 3;
+    C.Spec = DomainSpec{Base, Disjuncts};
+    Cases.push_back(std::move(C));
+  };
+  Add("interval_dense_relu_w256", 256, BaseDomainKind::Interval, 1);
+  Add("zonotope_dense_relu_w64", 64, BaseDomainKind::Zonotope, 1);
+  Add("zonotope_dense_relu_w128", 128, BaseDomainKind::Zonotope, 1);
+  Add("zonotope_dense_relu_w256", 256, BaseDomainKind::Zonotope, 1);
+  Add("zonotope_dense_relu_w512", 512, BaseDomainKind::Zonotope, 1);
+  Add("zonotope_powerset4_w64", 64, BaseDomainKind::Zonotope, 4);
+  return Cases;
+}
+
+MicroDomainResult charon::bench::runMicroDomainCase(const MicroDomainCase &Case,
+                                                    int Repeats) {
+  MicroFixture F(Case.Width, Case.HiddenLayers);
+  MicroDomainResult Result;
+  Result.Case = Case;
+  Result.InputDim = F.Net.inputSize();
+  Result.OutputDim = F.Net.outputSize();
+  Result.Repeats = std::max(1, Repeats);
+
+  // One untimed run collects the shape/margin metadata (and warms caches).
+  {
+    std::unique_ptr<AbstractElement> Elem = makeElement(F.Region, Case.Spec);
+    propagate(F.Net, *Elem);
+    Result.Generators = countGenerators(*Elem);
+    double Margin = std::numeric_limits<double>::infinity();
+    for (size_t J = 0, E = F.Net.outputSize(); J < E; ++J)
+      if (J != 0)
+        Margin = std::min(Margin, Elem->lowerBoundDiff(0, J));
+    Result.Margin = Margin;
+  }
+
+  Result.Seconds = std::numeric_limits<double>::infinity();
+  for (int R = 0; R < Result.Repeats; ++R) {
+    Stopwatch Watch;
+    AnalysisResult A = analyzeRobustness(F.Net, F.Region, 0, Case.Spec);
+    double Elapsed = Watch.seconds();
+    if (A.Margin != Result.Margin)
+      reportFatalError("micro-domain case is nondeterministic");
+    Result.Seconds = std::min(Result.Seconds, Elapsed);
+  }
+  return Result;
+}
+
+std::string
+charon::bench::microDomainJson(const std::vector<MicroDomainResult> &Results) {
+  std::ostringstream Os;
+  Os << "{\n  \"schema\": \"charon-bench-micro-domains/1\",\n  \"cases\": [";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const MicroDomainResult &R = Results[I];
+    Os << (I == 0 ? "\n" : ",\n");
+    Os << "    {\"name\": \"" << R.Case.Name << "\", \"domain\": \""
+       << toString(R.Case.Spec) << "\", \"width\": " << R.Case.Width
+       << ", \"hidden_layers\": " << R.Case.HiddenLayers
+       << ", \"input_dim\": " << R.InputDim
+       << ", \"output_dim\": " << R.OutputDim
+       << ", \"generators\": " << R.Generators << ", \"margin\": ";
+    appendJsonDouble(Os, R.Margin);
+    Os << ", \"seconds\": ";
+    appendJsonDouble(Os, R.Seconds);
+    Os << ", \"repeats\": " << R.Repeats << "}";
+  }
+  Os << "\n  ]\n}\n";
+  return Os.str();
+}
+
+bool charon::bench::writeMicroDomainJsonFile(
+    const std::string &Path, const std::vector<MicroDomainResult> &Results) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << microDomainJson(Results);
+  return static_cast<bool>(Out);
 }
 
 void charon::bench::printCactus(const char *Label,

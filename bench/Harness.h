@@ -111,6 +111,52 @@ void printSummaryRow(const char *Label, const Summary &S);
 /// time order, "n-th solved, cumulative seconds" pairs.
 void printCactus(const char *Label, const std::vector<RunRecord> &Records);
 
+//===----------------------------------------------------------------------===//
+// Micro-domain benchmark cases (machine-readable perf trajectory)
+//===----------------------------------------------------------------------===//
+
+/// One micro-domain propagation case: a seeded random Dense+ReLU stack of
+/// the given width pushed through one abstract domain. The case set is the
+/// perf trajectory tracked in BENCH_micro_domains.json from PR 3 onward.
+struct MicroDomainCase {
+  std::string Name;  ///< stable identifier, e.g. "zonotope_dense_relu_w256"
+  size_t Width = 25; ///< input and hidden width of the MLP
+  int HiddenLayers = 3;
+  DomainSpec Spec;
+};
+
+/// Measurement of one micro-domain case.
+struct MicroDomainResult {
+  MicroDomainCase Case;
+  size_t InputDim = 0;
+  size_t OutputDim = 0;
+  /// Noise symbols tracked by the final abstract element (zonotope-family
+  /// domains; 0 for domains without generators). For powersets this is the
+  /// sum over disjuncts.
+  size_t Generators = 0;
+  double Margin = 0.0;
+  /// Best-of-repeats wall time of one full abstract propagation + margin
+  /// computation, in seconds.
+  double Seconds = 0.0;
+  int Repeats = 0;
+};
+
+/// The default tracked case set: zonotope / interval / powerset propagation
+/// through Dense+ReLU stacks at widths from ACAS-scale up to 512 units.
+std::vector<MicroDomainCase> defaultMicroDomainCases();
+
+/// Runs one case: builds the seeded network, times \p Repeats propagations
+/// (keeping the fastest), and collects dims / generator counts / margin.
+MicroDomainResult runMicroDomainCase(const MicroDomainCase &Case, int Repeats);
+
+/// Serializes results as the BENCH_micro_domains.json document
+/// (schema "charon-bench-micro-domains/1").
+std::string microDomainJson(const std::vector<MicroDomainResult> &Results);
+
+/// Writes microDomainJson to \p Path; returns false on I/O failure.
+bool writeMicroDomainJsonFile(const std::string &Path,
+                              const std::vector<MicroDomainResult> &Results);
+
 } // namespace bench
 } // namespace charon
 

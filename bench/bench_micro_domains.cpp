@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "Harness.h"
+
 #include "abstract/Analyzer.h"
 #include "lp/Simplex.h"
 #include "nn/Builder.h"
@@ -16,6 +18,10 @@
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace charon;
 
@@ -121,4 +127,63 @@ BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(30)->Arg(60);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: always runs the tracked micro-domain case set and writes the
+// machine-readable BENCH_micro_domains.json perf trajectory; google-benchmark
+// registrations above additionally run when --gbench is passed (any other
+// arguments are forwarded to the benchmark library).
+//
+//   --micro-filter=SUBSTR   only run cases whose name contains SUBSTR
+//   --micro-out=PATH        output JSON path (default BENCH_micro_domains.json)
+//   --micro-repeats=N       timed repetitions per case, fastest kept (def. 3)
+//   --gbench                also run the google-benchmark microbenchmarks
+int main(int argc, char **argv) {
+  using namespace charon::bench;
+
+  std::string Filter;
+  std::string OutPath = "BENCH_micro_domains.json";
+  int Repeats = 3;
+  bool RunGbench = false;
+
+  std::vector<char *> Forwarded{argv[0]};
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--micro-filter=", 15) == 0)
+      Filter = Arg + 15;
+    else if (std::strncmp(Arg, "--micro-out=", 12) == 0)
+      OutPath = Arg + 12;
+    else if (std::strncmp(Arg, "--micro-repeats=", 16) == 0)
+      Repeats = std::max(1, std::atoi(Arg + 16));
+    else if (std::strcmp(Arg, "--gbench") == 0)
+      RunGbench = true;
+    else
+      Forwarded.push_back(argv[I]);
+  }
+
+  std::vector<MicroDomainResult> Results;
+  for (const MicroDomainCase &Case : defaultMicroDomainCases()) {
+    if (!Filter.empty() && Case.Name.find(Filter) == std::string::npos)
+      continue;
+    MicroDomainResult R = runMicroDomainCase(Case, Repeats);
+    std::printf("%-28s %8.4f s  gens=%-5zu margin=%.6g\n", R.Case.Name.c_str(),
+                R.Seconds, R.Generators, R.Margin);
+    Results.push_back(std::move(R));
+  }
+  if (Results.empty()) {
+    std::fprintf(stderr, "no micro-domain case matches filter '%s'\n",
+                 Filter.c_str());
+    return 1;
+  }
+  if (!writeMicroDomainJsonFile(OutPath, Results)) {
+    std::fprintf(stderr, "failed to write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cases)\n", OutPath.c_str(), Results.size());
+
+  if (RunGbench) {
+    int FwdArgc = static_cast<int>(Forwarded.size());
+    benchmark::Initialize(&FwdArgc, Forwarded.data());
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -2,7 +2,13 @@
 # Tier-1 verification line: configure, build, and run the full test suite.
 # The suite includes fuzz_smoke, a 60-second soundness-fuzzing campaign
 # (examples/charon_fuzz) that fails on any oracle violation; under
-# --sanitize the same campaign runs with ASan + UBSan instrumentation.
+# --sanitize the same campaign runs with ASan + UBSan instrumentation AND
+# with CHARON_KERNEL_THRESHOLD=1, which forces every linalg kernel onto the
+# thread pool so the threaded paths are exercised under the sanitizers even
+# on fuzz-scale networks.
+# After the suite, a bench smoke runs one micro-domain case and checks that
+# the emitted BENCH_micro_domains.json is valid (full parse when python3 is
+# available, structural grep otherwise).
 # Usage: scripts/check.sh [--sanitize]
 #   --sanitize   build with -DCHARON_SANITIZE=ON (ASan + UBSan)
 set -euo pipefail
@@ -11,11 +17,41 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 CMAKE_ARGS=()
+SANITIZE=0
 if [[ "${1:-}" == "--sanitize" ]]; then
   BUILD_DIR=build-sanitize
   CMAKE_ARGS+=(-DCHARON_SANITIZE=ON)
+  SANITIZE=1
 fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
-cd "$BUILD_DIR" && ctest --output-on-failure -j
+if [[ "$SANITIZE" == 1 ]]; then
+  (cd "$BUILD_DIR" && CHARON_KERNEL_THRESHOLD=1 ctest --output-on-failure -j)
+else
+  (cd "$BUILD_DIR" && ctest --output-on-failure -j)
+fi
+
+# Bench smoke: one micro-domain case must run and emit valid JSON.
+SMOKE_JSON="$BUILD_DIR/bench-smoke.json"
+"$BUILD_DIR/bench/bench_micro_domains" \
+  --micro-filter=zonotope_dense_relu_w64 --micro-repeats=1 \
+  --micro-out="$SMOKE_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$SMOKE_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "charon-bench-micro-domains/1", doc["schema"]
+assert len(doc["cases"]) == 1, doc["cases"]
+case = doc["cases"][0]
+for field in ("name", "domain", "width", "hidden_layers", "input_dim",
+              "output_dim", "generators", "margin", "seconds", "repeats"):
+    assert field in case, field
+assert case["seconds"] > 0, case["seconds"]
+print("bench smoke: JSON OK")
+EOF
+else
+  grep -q '"schema": "charon-bench-micro-domains/1"' "$SMOKE_JSON"
+  grep -q '"name": "zonotope_dense_relu_w64"' "$SMOKE_JSON"
+  echo "bench smoke: JSON OK (grep)"
+fi

@@ -68,6 +68,9 @@ public:
   size_t numDisjuncts() const { return Elems.size(); }
   int maxDisjuncts() const { return Budget; }
 
+  /// Read access to disjunct \p I (for diagnostics and benches).
+  const AbstractElement &disjunct(size_t I) const { return *Elems[I]; }
+
 private:
   std::vector<std::unique_ptr<AbstractElement>> Elems;
   int Budget;

@@ -1,6 +1,15 @@
 //===- ZonotopeElement.cpp - Zonotope abstract domain ------------------------===//
+//
+// Batched generator-matrix implementation. Every transformer is phrased as a
+// kernel over the dense G x N generator block (linalg/Kernels.h) plus a cheap
+// pass over the sparse one-hot tail. The accumulation order of every
+// reduction matches the historical vector-of-generators code (dense rows
+// oldest-first, sparse tail afterwards), which is what the layout-equivalence
+// suite pins down.
 
 #include "abstract/ZonotopeElement.h"
+
+#include "linalg/Kernels.h"
 
 #include <algorithm>
 #include <cassert>
@@ -8,53 +17,101 @@
 
 using namespace charon;
 
-ZonotopeElement::ZonotopeElement(const Box &Region) : Center(Region.center()) {
+ZonotopeElement::ZonotopeElement(const Box &Region)
+    : Center(Region.center()), Dense(0, Region.dim()) {
   for (size_t I = 0, E = Region.dim(); I < E; ++I) {
     double HalfWidth = 0.5 * Region.width(I);
     if (HalfWidth == 0.0)
       continue;
-    Vector G(Region.dim());
-    G[I] = HalfWidth;
-    Generators.push_back(std::move(G));
+    Sparse.push_back({I, HalfWidth});
   }
 }
 
-ZonotopeElement::ZonotopeElement(Vector C, std::vector<Vector> Gens)
-    : Center(std::move(C)), Generators(std::move(Gens)) {
+ZonotopeElement::ZonotopeElement(Vector C, Matrix DenseGens,
+                                 std::vector<SparseGenerator> SparseGens)
+    : Center(std::move(C)), Dense(std::move(DenseGens)),
+      Sparse(std::move(SparseGens)) {
+  if (Dense.rows() == 0 && Dense.cols() != Center.size())
+    Dense = Matrix(0, Center.size());
+  assert(Dense.cols() == Center.size() && "generator dimension mismatch");
 #ifndef NDEBUG
-  for (const Vector &G : Generators)
-    assert(G.size() == Center.size() && "generator dimension mismatch");
+  for (const SparseGenerator &S : Sparse)
+    assert(S.Coord < Center.size() && "sparse generator out of range");
 #endif
 }
 
 std::unique_ptr<AbstractElement> ZonotopeElement::clone() const {
-  return std::make_unique<ZonotopeElement>(Center, Generators);
+  return std::make_unique<ZonotopeElement>(Center, Dense, Sparse);
 }
 
-double ZonotopeElement::radius(size_t I) const {
-  double Sum = 0.0;
-  for (const Vector &G : Generators)
-    Sum += std::fabs(G[I]);
-  return Sum;
+const Vector &ZonotopeElement::radii() const {
+  if (!RadiiValid) {
+    RadiiCache = kernels::absColumnSums(Dense);
+    for (const SparseGenerator &S : Sparse)
+      RadiiCache[S.Coord] += std::fabs(S.Mag);
+    RadiiValid = true;
+  }
+  return RadiiCache;
+}
+
+Vector ZonotopeElement::generatorRow(size_t E) const {
+  assert(E < numGenerators() && "generator index out of range");
+  Vector Row(dim());
+  if (E < Dense.rows()) {
+    const double *Src = Dense.row(E);
+    for (size_t I = 0, N = dim(); I < N; ++I)
+      Row[I] = Src[I];
+  } else {
+    const SparseGenerator &S = Sparse[E - Dense.rows()];
+    Row[S.Coord] = S.Mag;
+  }
+  return Row;
+}
+
+void ZonotopeElement::materializeSparse() {
+  if (Sparse.empty())
+    return;
+  size_t Gd = Dense.rows();
+  Dense.resizeRows(Gd + Sparse.size());
+  for (size_t S = 0, E = Sparse.size(); S < E; ++S)
+    Dense(Gd + S, Sparse[S].Coord) = Sparse[S].Mag;
+  Sparse.clear();
 }
 
 void ZonotopeElement::applyAffine(const Matrix &W, const Vector &B) {
   assert(W.cols() == dim() && "affine shape mismatch");
+  size_t M = W.rows();
+  size_t Gd = Dense.rows();
+
+  // All dense generators go through one blocked W * G^T product; each sparse
+  // one-hot mu * e_c densifies to the scaled column mu * W(:, c).
+  Matrix NewDense(Gd + Sparse.size(), M);
+  kernels::matMulTransposedInto(Dense, W, NewDense, 0);
+  for (size_t S = 0, E = Sparse.size(); S < E; ++S) {
+    double *Row = NewDense.row(Gd + S);
+    size_t C = Sparse[S].Coord;
+    double Mag = Sparse[S].Mag;
+    for (size_t R = 0; R < M; ++R)
+      Row[R] = Mag * W(R, C);
+  }
+  Dense = std::move(NewDense);
+  Sparse.clear();
+
   Center = matVec(W, Center);
   Center += B;
-  for (Vector &G : Generators)
-    G = matVec(W, G);
+  invalidateRadii();
 }
 
 void ZonotopeElement::applyRelu() {
   size_t N = dim();
-  // Precompute per-coordinate radii in one pass over the generators.
-  Vector Radius(N);
-  for (const Vector &G : Generators)
-    for (size_t I = 0; I < N; ++I)
-      Radius[I] += std::fabs(G[I]);
+  const Vector &Radius = radii();
 
-  std::vector<std::pair<size_t, double>> FreshGenerators;
+  // Decide every neuron first, building a per-coordinate rescale vector
+  // (1 = stable active, 0 = stable inactive, lambda = crossing), then apply
+  // it to the whole generator block in one fused sweep.
+  Vector Scale(N, 1.0);
+  bool AnyChange = false;
+  std::vector<SparseGenerator> Fresh;
   for (size_t I = 0; I < N; ++I) {
     double L = Center[I] - Radius[I];
     double U = Center[I] + Radius[I];
@@ -63,8 +120,8 @@ void ZonotopeElement::applyRelu() {
     if (U <= 0.0) {
       // Stable inactive: output is exactly zero.
       Center[I] = 0.0;
-      for (Vector &G : Generators)
-        G[I] = 0.0;
+      Scale[I] = 0.0;
+      AnyChange = true;
       continue;
     }
     // Crossing neuron: minimal-area relaxation. ReLU(x) lies between
@@ -73,29 +130,36 @@ void ZonotopeElement::applyRelu() {
     double Lambda = U / (U - L);
     double Mu = -Lambda * L * 0.5;
     Center[I] = Lambda * Center[I] + Mu;
-    for (Vector &G : Generators)
-      G[I] *= Lambda;
-    FreshGenerators.emplace_back(I, Mu);
+    Scale[I] = Lambda;
+    AnyChange = true;
+    Fresh.push_back({I, Mu});
   }
-  for (const auto &[I, Mu] : FreshGenerators) {
-    Vector G(N);
-    G[I] = Mu;
-    Generators.push_back(std::move(G));
+
+  if (AnyChange) {
+    kernels::scaleColumns(Dense, Scale);
+    for (SparseGenerator &S : Sparse)
+      S.Mag *= Scale[S.Coord];
+    invalidateRadii();
+  }
+  if (!Fresh.empty()) {
+    Sparse.insert(Sparse.end(), Fresh.begin(), Fresh.end());
+    invalidateRadii();
   }
 }
 
 void ZonotopeElement::applyMaxPool(const PoolSpec &Spec) {
-  size_t OutDim = Spec.PoolIndices.size();
-  size_t N = dim();
+  // A sparse one-hot can feed several (overlapping) windows, so densify
+  // first; the gather below then handles every generator uniformly.
+  materializeSparse();
 
-  Vector Radius(N);
-  for (const Vector &G : Generators)
-    for (size_t I = 0; I < N; ++I)
-      Radius[I] += std::fabs(G[I]);
+  size_t OutDim = Spec.PoolIndices.size();
+  const Vector &Radius = radii();
 
   Vector NewCenter(OutDim);
-  std::vector<Vector> NewGens(Generators.size(), Vector(OutDim));
-  std::vector<std::pair<size_t, double>> FreshGenerators;
+  // Per output: index of the window entry to copy, or -1 for the
+  // interval-hull fallback (generator column starts at zero).
+  std::vector<int> SrcCol(OutDim, -1);
+  std::vector<SparseGenerator> Fresh;
 
   for (size_t O = 0; O < OutDim; ++O) {
     const std::vector<int> &Pool = Spec.PoolIndices[O];
@@ -121,8 +185,7 @@ void ZonotopeElement::applyMaxPool(const PoolSpec &Spec) {
     }
     if (Dominant >= 0) {
       NewCenter[O] = Center[Dominant];
-      for (size_t E = 0; E < Generators.size(); ++E)
-        NewGens[E][O] = Generators[E][Dominant];
+      SrcCol[O] = Dominant;
       continue;
     }
     // Otherwise fall back to the interval hull of the window (sound but
@@ -134,34 +197,42 @@ void ZonotopeElement::applyMaxPool(const PoolSpec &Spec) {
       U = std::max(U, Center[Pool[I]] + Radius[Pool[I]]);
     }
     NewCenter[O] = 0.5 * (L + U);
-    FreshGenerators.emplace_back(O, 0.5 * (U - L));
+    double HalfWidth = 0.5 * (U - L);
+    if (HalfWidth != 0.0)
+      Fresh.push_back({O, HalfWidth});
   }
 
+  Matrix NewDense(Dense.rows(), OutDim);
+  kernels::gatherColumns(Dense, SrcCol, NewDense);
   Center = std::move(NewCenter);
-  Generators = std::move(NewGens);
-  for (const auto &[O, HalfWidth] : FreshGenerators) {
-    if (HalfWidth == 0.0)
-      continue;
-    Vector G(OutDim);
-    G[O] = HalfWidth;
-    Generators.push_back(std::move(G));
-  }
+  Dense = std::move(NewDense);
+  Sparse = std::move(Fresh);
+  invalidateRadii();
 }
 
 double ZonotopeElement::lowerBound(size_t I) const {
-  return Center[I] - radius(I);
+  return Center[I] - radii()[I];
 }
 
 double ZonotopeElement::upperBound(size_t I) const {
-  return Center[I] + radius(I);
+  return Center[I] + radii()[I];
 }
 
 double ZonotopeElement::lowerBoundDiff(size_t K, size_t J) const {
   // min over eps of (x_K - x_J) = (c_K - c_J) - sum_e |g_K - g_J|: exact for
   // the linear functional, capturing shared noise symbols.
   double Diff = Center[K] - Center[J];
-  for (const Vector &G : Generators)
-    Diff -= std::fabs(G[K] - G[J]);
+  for (size_t E = 0, G = Dense.rows(); E < G; ++E) {
+    const double *Row = Dense.row(E);
+    Diff -= std::fabs(Row[K] - Row[J]);
+  }
+  for (const SparseGenerator &S : Sparse) {
+    if (S.Coord != K && S.Coord != J)
+      continue;
+    double GK = S.Coord == K ? S.Mag : 0.0;
+    double GJ = S.Coord == J ? S.Mag : 0.0;
+    Diff -= std::fabs(GK - GJ);
+  }
   return Diff;
 }
 
@@ -172,12 +243,17 @@ ZonotopeElement::meetHalfspaceAtZero(size_t D, bool NonNegative) const {
   // x_D <= 0) becomes a . eps <= e with a_j = sgn * g_j[D], e = sgn * -c[D],
   // where sgn = -1 for x_D >= 0 and +1 for x_D <= 0.
   double Sign = NonNegative ? -1.0 : 1.0;
-  size_t M = Generators.size();
+  size_t Gd = Dense.rows();
+  size_t M = Gd + Sparse.size();
   std::vector<double> A(M);
   double TotalMag = 0.0;
-  for (size_t J = 0; J < M; ++J) {
-    A[J] = Sign * Generators[J][D];
+  for (size_t J = 0; J < Gd; ++J) {
+    A[J] = Sign * Dense(J, D);
     TotalMag += std::fabs(A[J]);
+  }
+  for (size_t S = 0, E = Sparse.size(); S < E; ++S) {
+    A[Gd + S] = Sparse[S].Coord == D ? Sign * Sparse[S].Mag : 0.0;
+    TotalMag += std::fabs(A[Gd + S]);
   }
   double E = -Sign * Center[D];
 
@@ -188,19 +264,20 @@ ZonotopeElement::meetHalfspaceAtZero(size_t D, bool NonNegative) const {
 
   // Girard-style tightening: interval-propagate the constraint onto each
   // noise symbol, then renormalize symbols back into [-1, 1]. Two passes
-  // sharpen the bounds noticeably at negligible cost.
+  // sharpen the bounds noticeably at negligible cost. MinSum carries
+  // sum_K min(A_K * Lo_K, A_K * Hi_K) incrementally, so each pass is O(M)
+  // instead of the O(M^2) rescan the per-J recomputation used to do.
   std::vector<double> LoEps(M, -1.0), HiEps(M, 1.0);
+  double MinSum = 0.0;
+  for (size_t K = 0; K < M; ++K)
+    MinSum += std::min(A[K] * LoEps[K], A[K] * HiEps[K]);
   for (int Pass = 0; Pass < 2; ++Pass) {
     for (size_t J = 0; J < M; ++J) {
       if (A[J] == 0.0)
         continue;
       // a_J * eps_J <= e - min_{k != J} sum a_k eps_k.
-      double OthersMin = 0.0;
-      for (size_t K = 0; K < M; ++K) {
-        if (K == J)
-          continue;
-        OthersMin += std::min(A[K] * LoEps[K], A[K] * HiEps[K]);
-      }
+      double OwnMin = std::min(A[J] * LoEps[J], A[J] * HiEps[J]);
+      double OthersMin = MinSum - OwnMin;
       double Rhs = E - OthersMin;
       if (A[J] > 0.0)
         HiEps[J] = std::min(HiEps[J], Rhs / A[J]);
@@ -208,53 +285,102 @@ ZonotopeElement::meetHalfspaceAtZero(size_t D, bool NonNegative) const {
         LoEps[J] = std::max(LoEps[J], Rhs / A[J]);
       if (LoEps[J] > HiEps[J])
         return nullptr; // Tightening proved emptiness.
+      MinSum = OthersMin + std::min(A[J] * LoEps[J], A[J] * HiEps[J]);
     }
   }
 
   // Renormalize eps_J in [LoEps, HiEps] to Mid + Rad * eps'_J.
   Vector NewCenter = Center;
-  std::vector<Vector> NewGens;
-  NewGens.reserve(M);
-  for (size_t J = 0; J < M; ++J) {
+  size_t N = dim();
+  std::vector<size_t> KeptRows;
+  std::vector<double> KeptRads;
+  KeptRows.reserve(Gd);
+  for (size_t J = 0; J < Gd; ++J) {
+    double Mid = 0.5 * (LoEps[J] + HiEps[J]);
+    double Rad = 0.5 * (HiEps[J] - LoEps[J]);
+    if (Mid != 0.0) {
+      const double *Row = Dense.row(J);
+      for (size_t I = 0; I < N; ++I)
+        NewCenter[I] += Mid * Row[I];
+    }
+    if (Rad == 0.0)
+      continue;
+    KeptRows.push_back(J);
+    KeptRads.push_back(Rad);
+  }
+  Matrix NewDense(KeptRows.size(), N);
+  for (size_t R = 0, E2 = KeptRows.size(); R < E2; ++R) {
+    const double *Src = Dense.row(KeptRows[R]);
+    double *Dst = NewDense.row(R);
+    double Rad = KeptRads[R];
+    if (Rad == 1.0) {
+      for (size_t I = 0; I < N; ++I)
+        Dst[I] = Src[I];
+    } else {
+      for (size_t I = 0; I < N; ++I)
+        Dst[I] = Rad * Src[I];
+    }
+  }
+  std::vector<SparseGenerator> NewSparse;
+  NewSparse.reserve(Sparse.size());
+  for (size_t S = 0, E2 = Sparse.size(); S < E2; ++S) {
+    size_t J = Gd + S;
     double Mid = 0.5 * (LoEps[J] + HiEps[J]);
     double Rad = 0.5 * (HiEps[J] - LoEps[J]);
     if (Mid != 0.0)
-      axpy(Mid, Generators[J], NewCenter);
+      NewCenter[Sparse[S].Coord] += Mid * Sparse[S].Mag;
     if (Rad == 0.0)
       continue;
-    Vector G = Generators[J];
-    if (Rad != 1.0)
-      G *= Rad;
-    NewGens.push_back(std::move(G));
+    NewSparse.push_back(
+        {Sparse[S].Coord, Rad == 1.0 ? Sparse[S].Mag : Rad * Sparse[S].Mag});
   }
-  return std::make_unique<ZonotopeElement>(std::move(NewCenter),
-                                           std::move(NewGens));
+  return std::make_unique<ZonotopeElement>(
+      std::move(NewCenter), std::move(NewDense), std::move(NewSparse));
 }
 
 void ZonotopeElement::compact(double Tol) {
   size_t N = dim();
+  size_t Gd = Dense.rows();
   Vector Folded(N);
-  std::vector<Vector> Kept;
-  Kept.reserve(Generators.size());
-  for (Vector &G : Generators) {
-    double Mag = 0.0;
-    for (size_t I = 0; I < N; ++I)
-      Mag += std::fabs(G[I]);
-    if (Mag <= Tol) {
+
+  Vector Mags = kernels::absRowSums(Dense);
+  std::vector<size_t> KeptRows;
+  KeptRows.reserve(Gd);
+  for (size_t J = 0; J < Gd; ++J) {
+    if (Mags[J] <= Tol) {
       // Fold the small generator into an axis-aligned envelope (sound:
       // componentwise interval hull of its contribution).
+      const double *Row = Dense.row(J);
       for (size_t I = 0; I < N; ++I)
-        Folded[I] += std::fabs(G[I]);
+        Folded[I] += std::fabs(Row[I]);
     } else {
-      Kept.push_back(std::move(G));
+      KeptRows.push_back(J);
     }
   }
-  Generators = std::move(Kept);
+  std::vector<SparseGenerator> KeptSparse;
+  KeptSparse.reserve(Sparse.size());
+  for (const SparseGenerator &S : Sparse) {
+    if (std::fabs(S.Mag) <= Tol)
+      Folded[S.Coord] += std::fabs(S.Mag);
+    else
+      KeptSparse.push_back(S);
+  }
+
+  if (KeptRows.size() != Gd) {
+    Matrix NewDense(KeptRows.size(), N);
+    for (size_t R = 0, E = KeptRows.size(); R < E; ++R) {
+      const double *Src = Dense.row(KeptRows[R]);
+      double *Dst = NewDense.row(R);
+      for (size_t I = 0; I < N; ++I)
+        Dst[I] = Src[I];
+    }
+    Dense = std::move(NewDense);
+  }
+  Sparse = std::move(KeptSparse);
   for (size_t I = 0; I < N; ++I) {
     if (Folded[I] == 0.0)
       continue;
-    Vector G(N);
-    G[I] = Folded[I];
-    Generators.push_back(std::move(G));
+    Sparse.push_back({I, Folded[I]});
   }
+  invalidateRadii();
 }

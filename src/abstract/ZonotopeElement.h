@@ -9,12 +9,28 @@
 /// CAV'09), the second base domain the paper's policy can select. A zonotope
 /// is the affine image of a unit hypercube of noise symbols:
 ///
-///   gamma(Z) = { Center + sum_e eps_e * Generators[e] : eps in [-1,1]^m }.
+///   gamma(Z) = { Center + sum_e eps_e * G_e : eps in [-1,1]^m }.
 ///
 /// Affine maps are exact; ReLU on a crossing neuron uses the minimal-area
 /// linear relaxation (slope u/(u-l)) plus one fresh noise symbol; the
 /// halfspace meet used by powerset case splits tightens noise-symbol bounds
 /// (Girard's method) and renormalizes.
+///
+/// Storage is a contiguous row-major G x N *generator matrix* (one row per
+/// noise symbol) plus a tail of *sparse one-hot generators* — the fresh
+/// symbols ReLU and max-pool introduce are mu * e_i, so they are kept as
+/// (coordinate, magnitude) pairs until the next affine layer densifies them.
+/// All transformers are batched kernels over this layout (linalg/Kernels.h):
+/// applyAffine is one blocked G x N x M product, applyRelu one fused
+/// column-rescale sweep, applyMaxPool one column gather. Per-coordinate
+/// deviation radii are cached and invalidated on mutation, making repeated
+/// bound queries (the powerset split search is quadratic in them) O(1) after
+/// the first.
+///
+/// Generator ordering contract: dense rows precede sparse entries, oldest
+/// first — the exact order the historical vector-of-generators layout
+/// produced, which keeps accumulation orders (and therefore every bound, to
+/// the last bit on serial paths) identical to that layout.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,14 +43,25 @@
 
 namespace charon {
 
-/// Zonotope abstract element: Center + span of Generators over [-1,1]^m.
+/// Zonotope abstract element: Center + span of generator rows over [-1,1]^m.
 class ZonotopeElement : public AbstractElement {
 public:
+  /// A one-hot generator Mag * e_Coord, kept sparse until densified.
+  struct SparseGenerator {
+    size_t Coord;
+    double Mag;
+  };
+
   /// Abstraction of the box \p Region: one generator per nonzero-width
-  /// dimension (exact).
+  /// dimension (exact). All initial generators are one-hot and stay sparse
+  /// until the first affine layer.
   explicit ZonotopeElement(const Box &Region);
 
-  ZonotopeElement(Vector C, std::vector<Vector> Gens);
+  /// Assembles an element from an explicit layout. \p DenseGens is G x N
+  /// (may have zero rows); \p SparseGens are appended after the dense rows
+  /// in order.
+  ZonotopeElement(Vector C, Matrix DenseGens,
+                  std::vector<SparseGenerator> SparseGens = {});
 
   std::unique_ptr<AbstractElement> clone() const override;
   size_t dim() const override { return Center.size(); }
@@ -50,11 +77,22 @@ public:
   std::unique_ptr<AbstractElement>
   meetHalfspaceAtZero(size_t D, bool NonNegative) const override;
 
-  /// Number of noise symbols currently tracked.
-  size_t numGenerators() const { return Generators.size(); }
+  /// Number of noise symbols currently tracked (dense rows + sparse tail).
+  size_t numGenerators() const { return Dense.rows() + Sparse.size(); }
 
   const Vector &center() const { return Center; }
-  const std::vector<Vector> &generators() const { return Generators; }
+
+  /// The dense generator block: one row per (densified) noise symbol.
+  const Matrix &denseGenerators() const { return Dense; }
+
+  /// The sparse one-hot tail, in creation order (newer than every dense row).
+  const std::vector<SparseGenerator> &sparseGenerators() const {
+    return Sparse;
+  }
+
+  /// Materialized copy of generator \p E (dense rows first, then the sparse
+  /// tail) — for tests and diagnostics, not hot paths.
+  Vector generatorRow(size_t E) const;
 
   /// Drops generators whose total magnitude is below \p Tol, folding their
   /// mass into per-dimension "box" generators. Keeps ReLU-heavy analyses
@@ -62,11 +100,23 @@ public:
   void compact(double Tol);
 
 private:
-  /// Sum of |g_I| over generators: the deviation radius of coordinate I.
-  double radius(size_t I) const;
+  /// Per-coordinate deviation radii (sum of |g_I| over generators), cached
+  /// until the next mutation.
+  const Vector &radii() const;
+  void invalidateRadii() { RadiiValid = false; }
+
+  /// Appends every sparse generator as a dense row (preserving order) and
+  /// clears the sparse tail.
+  void materializeSparse();
 
   Vector Center;
-  std::vector<Vector> Generators;
+  /// G x N generator matrix: row e is noise symbol e's coefficient vector.
+  Matrix Dense;
+  /// Fresh one-hot symbols, logically appended after the dense rows.
+  std::vector<SparseGenerator> Sparse;
+
+  mutable Vector RadiiCache;
+  mutable bool RadiiValid = false;
 };
 
 } // namespace charon

@@ -1,0 +1,230 @@
+//===- Kernels.cpp - Blocked/threaded dense kernels ------------------------===//
+
+#include "linalg/Kernels.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+using namespace charon;
+
+namespace {
+
+size_t envSize(const char *Name, size_t Default) {
+  if (const char *Value = std::getenv(Name)) {
+    char *End = nullptr;
+    unsigned long long Parsed = std::strtoull(Value, &End, 10);
+    if (End && End != Value)
+      return static_cast<size_t>(Parsed);
+  }
+  return Default;
+}
+
+/// Default threshold: ~2 Mflop. ACAS-scale products (tens of dimensions,
+/// at most a few hundred generators) stay well below it and run serial;
+/// a 256-wide Dense layer over a 256-generator matrix is ~34 Mflop and
+/// shards across the pool.
+std::atomic<size_t> Threshold{envSize("CHARON_KERNEL_THRESHOLD", size_t{1}
+                                                                     << 21)};
+
+ThreadPool &kernelPool() {
+  static ThreadPool Pool(kernels::kernelThreads());
+  return Pool;
+}
+
+} // namespace
+
+size_t kernels::parallelThreshold() {
+  return Threshold.load(std::memory_order_relaxed);
+}
+
+void kernels::setParallelThreshold(size_t Flops) {
+  Threshold.store(Flops, std::memory_order_relaxed);
+}
+
+unsigned kernels::kernelThreads() {
+  static unsigned Count = [] {
+    unsigned N = static_cast<unsigned>(envSize("CHARON_KERNEL_THREADS", 0));
+    if (N == 0)
+      N = std::thread::hardware_concurrency();
+    return N == 0 ? 1u : N;
+  }();
+  return Count;
+}
+
+void kernels::parallelFor(size_t N, size_t CostPerItem,
+                          const std::function<void(size_t, size_t)> &Body) {
+  if (N == 0)
+    return;
+  unsigned Threads = kernelThreads();
+  size_t Cost = N * std::max<size_t>(1, CostPerItem);
+  if (Threads <= 1 || Cost < parallelThreshold()) {
+    Body(0, N);
+    return;
+  }
+  size_t Shards = std::min<size_t>(Threads, N);
+  kernelPool().parallelShards(Shards, [&Body, N, Shards](size_t S) {
+    size_t Begin = N * S / Shards;
+    size_t End = N * (S + 1) / Shards;
+    if (Begin < End)
+      Body(Begin, End);
+  });
+}
+
+namespace {
+
+/// Row block [Begin, End) of C(RowOffset + i, j) = dot(A.row(i), B.row(j)).
+/// The j-loop is unrolled by four with independent accumulators: four rows of
+/// B stream against one resident row of A, and each dot still accumulates in
+/// ascending-k order (bit-identical to matVec per row).
+void mmtRows(const Matrix &A, const Matrix &B, Matrix &C, size_t RowOffset,
+             size_t Begin, size_t End) {
+  const size_t K = A.cols();
+  const size_t N = B.rows();
+  for (size_t I = Begin; I < End; ++I) {
+    const double *ARow = A.row(I);
+    double *CRow = C.row(RowOffset + I);
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4) {
+      const double *B0 = B.row(J);
+      const double *B1 = B.row(J + 1);
+      const double *B2 = B.row(J + 2);
+      const double *B3 = B.row(J + 3);
+      double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+      for (size_t Kk = 0; Kk < K; ++Kk) {
+        double Av = ARow[Kk];
+        S0 += Av * B0[Kk];
+        S1 += Av * B1[Kk];
+        S2 += Av * B2[Kk];
+        S3 += Av * B3[Kk];
+      }
+      CRow[J] = S0;
+      CRow[J + 1] = S1;
+      CRow[J + 2] = S2;
+      CRow[J + 3] = S3;
+    }
+    for (; J < N; ++J) {
+      const double *BRow = B.row(J);
+      double Sum = 0.0;
+      for (size_t Kk = 0; Kk < K; ++Kk)
+        Sum += ARow[Kk] * BRow[Kk];
+      CRow[J] = Sum;
+    }
+  }
+}
+
+} // namespace
+
+void kernels::matMulTransposedInto(const Matrix &A, const Matrix &B, Matrix &C,
+                                   size_t RowOffset) {
+  assert(A.cols() == B.cols() && "matMulTransposed shape mismatch");
+  assert(C.cols() == B.rows() && RowOffset + A.rows() <= C.rows() &&
+         "matMulTransposed destination too small");
+  parallelFor(A.rows(), 2 * A.cols() * B.rows(),
+              [&A, &B, &C, RowOffset](size_t Begin, size_t End) {
+                mmtRows(A, B, C, RowOffset, Begin, End);
+              });
+}
+
+Matrix kernels::matMulTransposed(const Matrix &A, const Matrix &B) {
+  Matrix C(A.rows(), B.rows());
+  matMulTransposedInto(A, B, C, 0);
+  return C;
+}
+
+Vector kernels::absRowSums(const Matrix &A) {
+  Vector Out(A.rows());
+  for (size_t I = 0, NR = A.rows(); I < NR; ++I) {
+    const double *Row = A.row(I);
+    double Sum = 0.0;
+    for (size_t J = 0, NC = A.cols(); J < NC; ++J)
+      Sum += std::fabs(Row[J]);
+    Out[I] = Sum;
+  }
+  return Out;
+}
+
+Vector kernels::absColumnSums(const Matrix &A) {
+  Vector Out(A.cols());
+  double *OutData = Out.data();
+  for (size_t I = 0, NR = A.rows(); I < NR; ++I) {
+    const double *Row = A.row(I);
+    for (size_t J = 0, NC = A.cols(); J < NC; ++J)
+      OutData[J] += std::fabs(Row[J]);
+  }
+  return Out;
+}
+
+void kernels::scaleColumns(Matrix &A, const Vector &Scale) {
+  assert(A.cols() == Scale.size() && "scaleColumns shape mismatch");
+  parallelFor(A.rows(), A.cols(), [&A, &Scale](size_t Begin, size_t End) {
+    const double *S = Scale.data();
+    for (size_t I = Begin; I < End; ++I) {
+      double *Row = A.row(I);
+      for (size_t J = 0, NC = A.cols(); J < NC; ++J)
+        Row[J] *= S[J];
+    }
+  });
+}
+
+void kernels::gatherColumns(const Matrix &A, const std::vector<int> &SrcCol,
+                            Matrix &Out) {
+  assert(Out.rows() == A.rows() && Out.cols() == SrcCol.size() &&
+         "gatherColumns shape mismatch");
+  parallelFor(A.rows(), SrcCol.size(),
+              [&A, &SrcCol, &Out](size_t Begin, size_t End) {
+                for (size_t I = Begin; I < End; ++I) {
+                  const double *Row = A.row(I);
+                  double *OutRow = Out.row(I);
+                  for (size_t O = 0, NO = SrcCol.size(); O < NO; ++O)
+                    OutRow[O] = SrcCol[O] < 0 ? 0.0 : Row[SrcCol[O]];
+                }
+              });
+}
+
+//===----------------------------------------------------------------------===//
+// matMul (declared in Matrix.h): blocked + threaded version
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rows [Begin, End) of C = A * B in i-k-j order with column panels: the
+/// inner j-loop stays contiguous in both B and C, and panelling bounds the
+/// active B working set. Per-element accumulation remains ascending in k.
+void matMulRows(const Matrix &A, const Matrix &B, Matrix &C, size_t Begin,
+                size_t End) {
+  const size_t NK = A.cols();
+  const size_t NJ = B.cols();
+  constexpr size_t PanelCols = 256;
+  for (size_t JB = 0; JB < NJ; JB += PanelCols) {
+    size_t JE = std::min(NJ, JB + PanelCols);
+    for (size_t I = Begin; I < End; ++I) {
+      double *CRow = C.row(I);
+      const double *ARow = A.row(I);
+      for (size_t K = 0; K < NK; ++K) {
+        double Aik = ARow[K];
+        if (Aik == 0.0)
+          continue;
+        const double *BRow = B.row(K);
+        for (size_t J = JB; J < JE; ++J)
+          CRow[J] += Aik * BRow[J];
+      }
+    }
+  }
+}
+
+} // namespace
+
+Matrix charon::matMul(const Matrix &A, const Matrix &B) {
+  assert(A.cols() == B.rows() && "matMul shape mismatch");
+  Matrix C(A.rows(), B.cols());
+  kernels::parallelFor(A.rows(), 2 * A.cols() * B.cols(),
+                       [&A, &B, &C](size_t Begin, size_t End) {
+                         matMulRows(A, B, C, Begin, End);
+                       });
+  return C;
+}

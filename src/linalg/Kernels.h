@@ -1,0 +1,94 @@
+//===- Kernels.h - Blocked/threaded dense kernels ---------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batched linear-algebra kernels behind the abstract transformers: a
+/// generator-matrix zonotope pushes all noise symbols through an affine layer
+/// with one cache-blocked matrix product instead of one matVec per symbol.
+///
+/// Every kernel preserves the per-element accumulation order of its naive
+/// reference (ascending k for products, ascending row for column sums), so
+/// results are bit-identical to the unblocked single-threaded loops and
+/// deterministic across thread counts. Threading shards output *rows*; no two
+/// shards touch the same output element.
+///
+/// Threshold model: a kernel runs single-threaded when its approximate flop
+/// count is below parallelThreshold(), so ACAS-scale analyses (tens of
+/// dimensions) never pay pool latency; large Dense+ReLU stacks shard across
+/// the process-wide kernel ThreadPool. Both knobs have env overrides
+/// (CHARON_KERNEL_THRESHOLD, CHARON_KERNEL_THREADS) so the sanitizer build
+/// can force the threaded paths on small fuzz networks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_LINALG_KERNELS_H
+#define CHARON_LINALG_KERNELS_H
+
+#include "linalg/Matrix.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace charon {
+namespace kernels {
+
+/// Flop threshold below which kernels stay single-threaded. Initialized from
+/// CHARON_KERNEL_THRESHOLD when set (values <= 1 force threading everywhere).
+size_t parallelThreshold();
+
+/// Overrides the threshold at runtime; 0 forces every kernel parallel.
+void setParallelThreshold(size_t Flops);
+
+/// Worker count of the kernel pool: CHARON_KERNEL_THREADS, else hardware
+/// concurrency. 1 disables threading entirely.
+unsigned kernelThreads();
+
+/// Runs Body(Begin, End) over a partition of [0, N). Single-threaded when
+/// N * CostPerItem < parallelThreshold(); otherwise shards contiguously
+/// across the kernel pool (the shard layout depends only on N and the pool
+/// size, keeping runs deterministic).
+void parallelFor(size_t N, size_t CostPerItem,
+                 const std::function<void(size_t, size_t)> &Body);
+
+/// C = A * B^T without materializing the transpose: A is M x K, B is N x K,
+/// C is M x N with C(i,j) = dot(A.row(i), B.row(j)). This is the zonotope
+/// generator update NewG = G * W^T — both operands are traversed row-major.
+Matrix matMulTransposed(const Matrix &A, const Matrix &B);
+
+/// Writes A * B^T into rows [RowOffset, RowOffset + A.rows()) of \p C, which
+/// must already have B.rows() columns. Lets callers compute into a larger
+/// preallocated block (e.g. dense generators above a materialized sparse
+/// tail) without a copy.
+void matMulTransposedInto(const Matrix &A, const Matrix &B, Matrix &C,
+                          size_t RowOffset);
+
+/// Per-row L1 norms: Out[i] = sum_j |A(i, j)|. For a generator matrix this
+/// is each noise symbol's total magnitude (the compaction criterion).
+Vector absRowSums(const Matrix &A);
+
+/// Per-column L1 norms: Out[j] = sum_i |A(i, j)|, accumulated row-major in
+/// one fused pass. For a generator matrix this is the per-coordinate
+/// deviation radius. Kept single-threaded: it is memory-bound and the
+/// row-major accumulation order is part of the layout-equivalence contract.
+Vector absColumnSums(const Matrix &A);
+
+/// A(i, j) *= Scale[j] for every row — the batched ReLU rescaling (Scale
+/// holds 1, 0, or lambda per coordinate). One contiguous sweep, sharded by
+/// rows.
+void scaleColumns(Matrix &A, const Vector &Scale);
+
+/// Out(i, o) = SrcCol[o] < 0 ? 0 : A(i, SrcCol[o]) for every row. The
+/// batched max-pool gather: each output coordinate copies its dominant input
+/// column or starts at zero for interval-hull fallback windows. \p Out must
+/// be pre-sized to A.rows() x SrcCol.size().
+void gatherColumns(const Matrix &A, const std::vector<int> &SrcCol,
+                   Matrix &Out);
+
+} // namespace kernels
+} // namespace charon
+
+#endif // CHARON_LINALG_KERNELS_H

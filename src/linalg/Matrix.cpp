@@ -64,23 +64,8 @@ Vector charon::matTVec(const Matrix &A, const Vector &X) {
   return Y;
 }
 
-Matrix charon::matMul(const Matrix &A, const Matrix &B) {
-  assert(A.cols() == B.rows() && "matMul shape mismatch");
-  Matrix C(A.rows(), B.cols());
-  // i-k-j loop order keeps the inner loop contiguous in both B and C.
-  for (size_t I = 0, NI = A.rows(); I < NI; ++I) {
-    double *CRow = C.row(I);
-    for (size_t K = 0, NK = A.cols(); K < NK; ++K) {
-      double Aik = A(I, K);
-      if (Aik == 0.0)
-        continue;
-      const double *BRow = B.row(K);
-      for (size_t J = 0, NJ = B.cols(); J < NJ; ++J)
-        CRow[J] += Aik * BRow[J];
-    }
-  }
-  return C;
-}
+// matMul lives in Kernels.cpp: it shares the blocked/threaded row sharding
+// with the generator-matrix kernels.
 
 bool charon::approxEqual(const Matrix &A, const Matrix &B, double Tol) {
   if (A.rows() != B.rows() || A.cols() != B.cols())

@@ -66,6 +66,14 @@ public:
   /// In-place scaling.
   Matrix &operator*=(double Scale);
 
+  /// Grows or shrinks the row count in place, zero-filling new rows. Row-major
+  /// storage keeps existing rows intact; used to append generator rows to a
+  /// zonotope's generator matrix without reallocating through a copy.
+  void resizeRows(size_t Rows) {
+    NumRows = Rows;
+    Data.resize(Rows * NumCols, 0.0);
+  }
+
 private:
   size_t NumRows = 0;
   size_t NumCols = 0;
@@ -78,7 +86,9 @@ Vector matVec(const Matrix &A, const Vector &X);
 /// y = A^T * x (without materializing the transpose).
 Vector matTVec(const Matrix &A, const Vector &X);
 
-/// C = A * B. Requires A.cols() == B.rows().
+/// C = A * B. Requires A.cols() == B.rows(). Blocked and threaded above the
+/// kernel threshold (see linalg/Kernels.h); per-element accumulation order
+/// matches the naive i-k-j loop, so results are deterministic.
 Matrix matMul(const Matrix &A, const Matrix &B);
 
 /// True when matrices have equal shape and entries within \p Tol.

@@ -2,6 +2,7 @@
 
 #include "nn/Conv2D.h"
 
+#include "linalg/Kernels.h"
 #include "support/Random.h"
 
 #include <cmath>
@@ -118,28 +119,33 @@ void Conv2DLayer::buildLowered() const {
   auto Form = std::make_unique<LoweredForm>();
   Form->W = Matrix(OutShape.size(), InShape.size());
   Form->Bias = Vector(OutShape.size());
-  for (int Oc = 0; Oc < OutShape.Channels; ++Oc) {
-    for (int Oy = 0; Oy < OutShape.Height; ++Oy) {
-      for (int Ox = 0; Ox < OutShape.Width; ++Ox) {
-        int Row = OutShape.index(Oc, Oy, Ox);
-        Form->Bias[Row] = B[Oc];
-        for (int Ic = 0; Ic < InShape.Channels; ++Ic) {
-          for (int Ky = 0; Ky < KH; ++Ky) {
-            int Iy = Oy * S + Ky - P;
-            if (Iy < 0 || Iy >= InShape.Height)
-              continue;
-            for (int Kx = 0; Kx < KW; ++Kx) {
-              int Ix = Ox * S + Kx - P;
-              if (Ix < 0 || Ix >= InShape.Width)
+  // Each output coordinate owns exactly one W row, so the scatter shards
+  // cleanly across rows. Row index decomposes as ((Oc*H)+Oy)*W+Ox.
+  size_t RowCost = static_cast<size_t>(InShape.Channels) * KH * KW;
+  kernels::parallelFor(
+      static_cast<size_t>(OutShape.size()), RowCost,
+      [&](size_t Begin, size_t End) {
+        for (size_t Row = Begin; Row < End; ++Row) {
+          int Ox = static_cast<int>(Row) % OutShape.Width;
+          int Oy = (static_cast<int>(Row) / OutShape.Width) % OutShape.Height;
+          int Oc = static_cast<int>(Row) / (OutShape.Width * OutShape.Height);
+          Form->Bias[Row] = B[Oc];
+          for (int Ic = 0; Ic < InShape.Channels; ++Ic) {
+            for (int Ky = 0; Ky < KH; ++Ky) {
+              int Iy = Oy * S + Ky - P;
+              if (Iy < 0 || Iy >= InShape.Height)
                 continue;
-              Form->W(Row, InShape.index(Ic, Iy, Ix)) =
-                  Kernels[kernelIndex(Oc, Ic, Ky, Kx)];
+              for (int Kx = 0; Kx < KW; ++Kx) {
+                int Ix = Ox * S + Kx - P;
+                if (Ix < 0 || Ix >= InShape.Width)
+                  continue;
+                Form->W(Row, InShape.index(Ic, Iy, Ix)) =
+                    Kernels[kernelIndex(Oc, Ic, Ky, Kx)];
+              }
             }
           }
         }
-      }
-    }
-  }
+      });
   Lowered = std::move(Form);
 }
 

@@ -44,6 +44,35 @@ void ThreadPool::parallelFor(int N, const std::function<void(int)> &Fn) {
   wait();
 }
 
+void ThreadPool::parallelShards(size_t NumShards,
+                                const std::function<void(size_t)> &Fn) {
+  if (NumShards == 0)
+    return;
+  if (NumShards == 1) {
+    Fn(0);
+    return;
+  }
+  // Per-call completion latch: the caller blocks until its own shards are
+  // done, independent of any other work queued on the pool. Stack state is
+  // safe because the caller cannot return before Remaining hits zero.
+  struct Latch {
+    std::mutex M;
+    std::condition_variable Cv;
+    size_t Remaining = 0;
+  } L;
+  L.Remaining = NumShards - 1;
+  for (size_t S = 1; S < NumShards; ++S)
+    submit([&Fn, &L, S] {
+      Fn(S);
+      std::lock_guard<std::mutex> Lock(L.M);
+      if (--L.Remaining == 0)
+        L.Cv.notify_all();
+    });
+  Fn(0);
+  std::unique_lock<std::mutex> Lock(L.M);
+  L.Cv.wait(Lock, [&L] { return L.Remaining == 0; });
+}
+
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;

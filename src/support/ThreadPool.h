@@ -48,6 +48,14 @@ public:
   /// Runs \p Fn(I) for I in [0, N) across the pool and waits for completion.
   void parallelFor(int N, const std::function<void(int)> &Fn);
 
+  /// Runs \p Fn(S) for S in [0, NumShards) and blocks until all shards
+  /// finish. Unlike submit()+wait(), completion is tracked per call, so
+  /// concurrent callers (e.g. several verifier threads issuing kernel work)
+  /// do not wait on each other's tasks. The caller executes shard 0 itself,
+  /// keeping one shard latency-free and the pool never oversubscribed by
+  /// blocked callers. \p Fn must not block on this pool.
+  void parallelShards(size_t NumShards, const std::function<void(size_t)> &Fn);
+
 private:
   void workerLoop();
 

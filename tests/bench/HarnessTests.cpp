@@ -114,3 +114,52 @@ TEST(HarnessTest, EnvOverridesParseSanely) {
   EXPECT_GE(Config.PropertiesPerSuite, 1);
   EXPECT_GT(Config.BudgetSeconds, 0.0);
 }
+
+TEST(HarnessTest, MicroDomainCaseIsDeterministicAndMeasured) {
+  MicroDomainCase Case;
+  Case.Name = "test_zonotope_w8";
+  Case.Width = 8;
+  Case.HiddenLayers = 1;
+  Case.Spec.Base = BaseDomainKind::Zonotope;
+
+  MicroDomainResult A = runMicroDomainCase(Case, 2);
+  MicroDomainResult B = runMicroDomainCase(Case, 2);
+  EXPECT_EQ(A.InputDim, 8u);
+  EXPECT_EQ(A.OutputDim, 10u);
+  EXPECT_GT(A.Generators, 0u);
+  EXPECT_GT(A.Seconds, 0.0);
+  EXPECT_EQ(A.Repeats, 2);
+  // The seeded case must be run-to-run deterministic to the bit.
+  EXPECT_EQ(A.Margin, B.Margin);
+  EXPECT_EQ(A.Generators, B.Generators);
+}
+
+TEST(HarnessTest, MicroDomainJsonHasTrackedFields) {
+  MicroDomainCase Case;
+  Case.Name = "test_interval_w8";
+  Case.Width = 8;
+  Case.HiddenLayers = 1;
+  Case.Spec.Base = BaseDomainKind::Interval;
+
+  std::vector<MicroDomainResult> Results;
+  Results.push_back(runMicroDomainCase(Case, 1));
+  std::string Json = microDomainJson(Results);
+  // Structural smoke checks; scripts/check.sh additionally runs a full JSON
+  // parse over the real benchmark output when python3 is available.
+  EXPECT_NE(Json.find("\"schema\": \"charon-bench-micro-domains/1\""),
+            std::string::npos);
+  for (const char *Field :
+       {"\"name\"", "\"domain\"", "\"width\"", "\"hidden_layers\"",
+        "\"input_dim\"", "\"output_dim\"", "\"generators\"", "\"margin\"",
+        "\"seconds\"", "\"repeats\""})
+    EXPECT_NE(Json.find(Field), std::string::npos) << Field;
+  EXPECT_NE(Json.find("test_interval_w8"), std::string::npos);
+  EXPECT_EQ(Json.back(), '\n');
+}
+
+TEST(HarnessTest, DefaultMicroDomainCasesAreDistinctlyNamed) {
+  std::set<std::string> Names;
+  for (const MicroDomainCase &Case : defaultMicroDomainCases())
+    EXPECT_TRUE(Names.insert(Case.Name).second) << Case.Name;
+  EXPECT_GE(Names.size(), 5u);
+}

@@ -1,0 +1,245 @@
+//===- KernelTests.cpp - Blocked/threaded kernels vs naive references --------===//
+//
+// Every kernel in linalg/Kernels.h promises results bit-identical to its
+// naive single-threaded reference loop, at any threshold setting. These tests
+// pin that contract on randomized shapes — including empty, single-row, and
+// strongly non-square matrices — running each case both below and above the
+// parallel threshold (setParallelThreshold(0) forces every kernel onto the
+// thread pool).
+
+#include "linalg/Kernels.h"
+#include "linalg/Matrix.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+using namespace charon;
+
+namespace {
+
+Matrix randomMatrix(size_t Rows, size_t Cols, Rng &R, double ZeroFrac = 0.0) {
+  Matrix M(Rows, Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      M(I, J) = R.uniform() < ZeroFrac ? 0.0 : R.uniform(-2.0, 2.0);
+  return M;
+}
+
+Matrix naiveMatMul(const Matrix &A, const Matrix &B) {
+  Matrix C(A.rows(), B.cols());
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < B.cols(); ++J) {
+      double Sum = 0.0;
+      for (size_t K = 0; K < A.cols(); ++K)
+        Sum += A(I, K) * B(K, J);
+      C(I, J) = Sum;
+    }
+  return C;
+}
+
+Matrix naiveMatMulTransposed(const Matrix &A, const Matrix &B) {
+  Matrix C(A.rows(), B.rows());
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < B.rows(); ++J) {
+      double Sum = 0.0;
+      for (size_t K = 0; K < A.cols(); ++K)
+        Sum += A(I, K) * B(J, K);
+      C(I, J) = Sum;
+    }
+  return C;
+}
+
+Vector naiveAbsRowSums(const Matrix &A) {
+  Vector Out(A.rows());
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < A.cols(); ++J)
+      Out[I] += std::fabs(A(I, J));
+  return Out;
+}
+
+Vector naiveAbsColumnSums(const Matrix &A) {
+  Vector Out(A.cols());
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < A.cols(); ++J)
+      Out[J] += std::fabs(A(I, J));
+  return Out;
+}
+
+// == on doubles treats -0.0 == 0.0 as equal, which is exactly the contract:
+// values bit-identical up to zero sign.
+void expectValueEqual(const Matrix &Got, const Matrix &Want) {
+  ASSERT_EQ(Got.rows(), Want.rows());
+  ASSERT_EQ(Got.cols(), Want.cols());
+  for (size_t I = 0; I < Got.rows(); ++I)
+    for (size_t J = 0; J < Got.cols(); ++J)
+      ASSERT_EQ(Got(I, J), Want(I, J)) << "at (" << I << ", " << J << ")";
+}
+
+void expectValueEqual(const Vector &Got, const Vector &Want) {
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Got.size(); ++I)
+    ASSERT_EQ(Got[I], Want[I]) << "at " << I;
+}
+
+/// Restores the parallel threshold when a test scope ends.
+class ThresholdGuard {
+public:
+  ThresholdGuard() : Saved(kernels::parallelThreshold()) {}
+  ~ThresholdGuard() { kernels::setParallelThreshold(Saved); }
+
+private:
+  size_t Saved;
+};
+
+// The shapes every product/sweep test runs over: empty operands, single
+// rows/columns, strongly rectangular, and a large-enough square that blocked
+// panels actually wrap around.
+struct Shape {
+  size_t M, K, N;
+};
+const Shape ProductShapes[] = {
+    {0, 0, 0}, {0, 7, 3},  {3, 7, 0},   {1, 1, 1},    {1, 17, 5},
+    {5, 1, 9}, {9, 33, 1}, {13, 7, 61}, {40, 90, 17}, {70, 70, 70},
+};
+
+} // namespace
+
+TEST(KernelTest, MatMulMatchesNaiveSerialAndParallel) {
+  Rng R(101);
+  for (const Shape &S : ProductShapes) {
+    Matrix A = randomMatrix(S.M, S.K, R, 0.3); // Zeros exercise the skip path.
+    Matrix B = randomMatrix(S.K, S.N, R);
+    Matrix Want = naiveMatMul(A, B);
+    {
+      ThresholdGuard G;
+      kernels::setParallelThreshold(size_t(1) << 40); // Always serial.
+      expectValueEqual(matMul(A, B), Want);
+      kernels::setParallelThreshold(0); // Always threaded.
+      expectValueEqual(matMul(A, B), Want);
+    }
+  }
+}
+
+TEST(KernelTest, MatMulTransposedMatchesNaiveSerialAndParallel) {
+  Rng R(202);
+  for (const Shape &S : ProductShapes) {
+    Matrix A = randomMatrix(S.M, S.K, R);
+    Matrix B = randomMatrix(S.N, S.K, R); // B is N x K; product is M x N.
+    Matrix Want = naiveMatMulTransposed(A, B);
+    {
+      ThresholdGuard G;
+      kernels::setParallelThreshold(size_t(1) << 40);
+      expectValueEqual(kernels::matMulTransposed(A, B), Want);
+      kernels::setParallelThreshold(0);
+      expectValueEqual(kernels::matMulTransposed(A, B), Want);
+    }
+  }
+}
+
+TEST(KernelTest, MatMulTransposedIntoWritesOffsetBlock) {
+  Rng R(303);
+  Matrix A = randomMatrix(6, 11, R);
+  Matrix B = randomMatrix(4, 11, R);
+  Matrix Want = naiveMatMulTransposed(A, B);
+
+  Matrix C(9, 4);
+  for (size_t I = 0; I < C.rows(); ++I)
+    for (size_t J = 0; J < C.cols(); ++J)
+      C(I, J) = -7.0; // Sentinel: rows outside the block must survive.
+  kernels::matMulTransposedInto(A, B, C, 2);
+  for (size_t I = 0; I < C.rows(); ++I)
+    for (size_t J = 0; J < C.cols(); ++J) {
+      if (I >= 2 && I < 8)
+        ASSERT_EQ(C(I, J), Want(I - 2, J));
+      else
+        ASSERT_EQ(C(I, J), -7.0);
+    }
+}
+
+TEST(KernelTest, AbsSumsMatchNaive) {
+  Rng R(404);
+  const Shape Shapes[] = {{0, 0, 0}, {0, 5, 0}, {1, 9, 0},
+                          {9, 1, 0}, {23, 57, 0}};
+  for (const Shape &S : Shapes) {
+    Matrix A = randomMatrix(S.M, S.K, R, 0.2);
+    expectValueEqual(kernels::absRowSums(A), naiveAbsRowSums(A));
+    expectValueEqual(kernels::absColumnSums(A), naiveAbsColumnSums(A));
+  }
+}
+
+TEST(KernelTest, ScaleColumnsMatchesNaiveSerialAndParallel) {
+  Rng R(505);
+  const Shape Shapes[] = {{0, 4, 0}, {1, 6, 0}, {17, 1, 0}, {31, 44, 0}};
+  for (const Shape &S : Shapes) {
+    Matrix A = randomMatrix(S.M, S.K, R);
+    Vector Scale(S.K);
+    for (size_t J = 0; J < S.K; ++J)
+      Scale[J] = J % 3 == 0 ? 0.0 : R.uniform(0.0, 1.0); // ReLU-like scales.
+
+    Matrix Want = A;
+    for (size_t I = 0; I < S.M; ++I)
+      for (size_t J = 0; J < S.K; ++J)
+        Want(I, J) *= Scale[J];
+
+    Matrix Serial = A, Threaded = A;
+    ThresholdGuard G;
+    kernels::setParallelThreshold(size_t(1) << 40);
+    kernels::scaleColumns(Serial, Scale);
+    kernels::setParallelThreshold(0);
+    kernels::scaleColumns(Threaded, Scale);
+    expectValueEqual(Serial, Want);
+    expectValueEqual(Threaded, Want);
+  }
+}
+
+TEST(KernelTest, GatherColumnsMatchesNaiveSerialAndParallel) {
+  Rng R(606);
+  const Shape Shapes[] = {{0, 6, 3}, {1, 6, 4}, {25, 9, 13}};
+  for (const Shape &S : Shapes) {
+    Matrix A = randomMatrix(S.M, S.K, R);
+    std::vector<int> SrcCol(S.N);
+    for (size_t O = 0; O < S.N; ++O)
+      SrcCol[O] = O % 4 == 0 ? -1 : int(R.uniformInt(S.K));
+
+    Matrix Want(S.M, S.N);
+    for (size_t I = 0; I < S.M; ++I)
+      for (size_t O = 0; O < S.N; ++O)
+        Want(I, O) = SrcCol[O] < 0 ? 0.0 : A(I, SrcCol[O]);
+
+    Matrix Serial(S.M, S.N), Threaded(S.M, S.N);
+    ThresholdGuard G;
+    kernels::setParallelThreshold(size_t(1) << 40);
+    kernels::gatherColumns(A, SrcCol, Serial);
+    kernels::setParallelThreshold(0);
+    kernels::gatherColumns(A, SrcCol, Threaded);
+    expectValueEqual(Serial, Want);
+    expectValueEqual(Threaded, Want);
+  }
+}
+
+TEST(KernelTest, ParallelForPartitionsExactly) {
+  ThresholdGuard G;
+  kernels::setParallelThreshold(0);
+  for (size_t N : {size_t(0), size_t(1), size_t(7), size_t(1000)}) {
+    std::vector<std::atomic<int>> Hits(N);
+    kernels::parallelFor(N, 1, [&](size_t Begin, size_t End) {
+      ASSERT_LE(Begin, End);
+      ASSERT_LE(End, N);
+      for (size_t I = Begin; I < End; ++I)
+        Hits[I].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t I = 0; I < N; ++I)
+      ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+  }
+}
+
+TEST(KernelTest, ThresholdRoundTrips) {
+  ThresholdGuard G;
+  kernels::setParallelThreshold(12345);
+  EXPECT_EQ(kernels::parallelThreshold(), 12345u);
+  EXPECT_GE(kernels::kernelThreads(), 1u);
+}
