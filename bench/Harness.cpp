@@ -122,6 +122,7 @@ RunRecord charon::bench::runTool(ToolKind Tool, const BenchmarkSuite &Suite,
   case ToolKind::CharonNoCex: {
     VerifierConfig VC;
     VC.TimeLimitSeconds = Config.BudgetSeconds;
+    VC.Pgd = Config.Pgd;
     VC.UseCounterexampleSearch = Tool == ToolKind::Charon;
     Verifier V(Suite.Net, Policy, VC);
     VerifyResult R = V.verify(Prop);
@@ -339,6 +340,167 @@ bool charon::bench::writeMicroDomainJsonFile(
   if (!Out)
     return false;
   Out << microDomainJson(Results);
+  return static_cast<bool>(Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Counterexample-search benchmark cases
+//===----------------------------------------------------------------------===//
+
+std::vector<CexSearchCase> charon::bench::defaultCexSearchCases() {
+  std::vector<CexSearchCase> Cases;
+  auto Add = [&Cases](const char *Name, size_t Width) {
+    CexSearchCase C;
+    C.Name = Name;
+    C.Width = Width;
+    Cases.push_back(std::move(C));
+  };
+  Add("pgd_w64_multistart", 64);
+  Add("pgd_w128_multistart", 128);
+  Add("pgd_w256_multistart", 256);
+  return Cases;
+}
+
+CexSearchResult charon::bench::runCexSearchCase(const CexSearchCase &Case,
+                                                int Repeats) {
+  MicroFixture F(Case.Width, Case.HiddenLayers);
+  CexSearchResult Result;
+  Result.Case = Case;
+  Result.Repeats = std::max(1, Repeats);
+
+  PgdConfig Config;
+  Config.Restarts = Case.Restarts;
+  Config.Steps = Case.Steps;
+  // Time the full search, as it behaves on robust regions where the
+  // refutation bound never trips; with the default bound the seeded random
+  // fixture falsifies on the very first evaluation and the measurement
+  // degenerates to a single forward pass.
+  Config.EarlyStopObjective = -std::numeric_limits<double>::infinity();
+
+  auto Run = [&](PgdEngine Engine) {
+    Config.Engine = Engine;
+    Rng R(23);
+    return pgdMinimize(F.Net, F.Region, 0, Config, R);
+  };
+
+  // One untimed pass per engine warms caches and pins the equivalence
+  // contract: both engines must return the exact same search result.
+  PgdResult Scalar = Run(PgdEngine::Scalar);
+  PgdResult Batched = Run(PgdEngine::Batched);
+  if (Scalar.Objective != Batched.Objective ||
+      !approxEqual(Scalar.X, Batched.X, 0.0))
+    reportFatalError(("cex-search engines disagree on " + Case.Name).c_str());
+  Result.Objective = Batched.Objective;
+
+  Result.ScalarSeconds = std::numeric_limits<double>::infinity();
+  Result.BatchedSeconds = std::numeric_limits<double>::infinity();
+  for (int R = 0; R < Result.Repeats; ++R) {
+    Stopwatch SW;
+    PgdResult P = Run(PgdEngine::Scalar);
+    Result.ScalarSeconds = std::min(Result.ScalarSeconds, SW.seconds());
+    if (P.Objective != Result.Objective)
+      reportFatalError("scalar cex search is nondeterministic");
+    Stopwatch BW;
+    P = Run(PgdEngine::Batched);
+    Result.BatchedSeconds = std::min(Result.BatchedSeconds, BW.seconds());
+    if (P.Objective != Result.Objective)
+      reportFatalError("batched cex search is nondeterministic");
+  }
+  return Result;
+}
+
+namespace {
+
+/// One "    {"name": ...}" case line of the cex-search document.
+std::string cexSearchCaseLine(const CexSearchResult &R) {
+  std::ostringstream Os;
+  Os << "    {\"name\": \"" << R.Case.Name << "\", \"kind\": \"" << R.Case.Kind
+     << "\", \"width\": " << R.Case.Width
+     << ", \"hidden_layers\": " << R.Case.HiddenLayers
+     << ", \"restarts\": " << R.Case.Restarts
+     << ", \"steps\": " << R.Case.Steps << ", \"objective\": ";
+  appendJsonDouble(Os, R.Objective);
+  Os << ", \"scalar_seconds\": ";
+  appendJsonDouble(Os, R.ScalarSeconds);
+  Os << ", \"batched_seconds\": ";
+  appendJsonDouble(Os, R.BatchedSeconds);
+  Os << ", \"speedup\": ";
+  appendJsonDouble(Os, R.BatchedSeconds > 0.0
+                           ? R.ScalarSeconds / R.BatchedSeconds
+                           : 0.0);
+  Os << ", \"repeats\": " << R.Repeats
+     << ", \"falsified_scalar\": " << R.FalsifiedScalar
+     << ", \"falsified_batched\": " << R.FalsifiedBatched << "}";
+  return Os.str();
+}
+
+std::string cexSearchDocument(const std::vector<std::string> &CaseLines) {
+  std::ostringstream Os;
+  Os << "{\n  \"schema\": \"charon-bench-cex-search/1\",\n  \"cases\": [";
+  for (size_t I = 0; I < CaseLines.size(); ++I)
+    Os << (I == 0 ? "\n" : ",\n") << CaseLines[I];
+  Os << "\n  ]\n}\n";
+  return Os.str();
+}
+
+/// Extracts the case name from a cexSearchCaseLine-shaped line, or "".
+std::string caseLineName(const std::string &Line) {
+  const std::string Prefix = "    {\"name\": \"";
+  if (Line.compare(0, Prefix.size(), Prefix) != 0)
+    return "";
+  size_t End = Line.find('"', Prefix.size());
+  return End == std::string::npos ? "" : Line.substr(Prefix.size(),
+                                                     End - Prefix.size());
+}
+
+} // namespace
+
+std::string
+charon::bench::cexSearchJson(const std::vector<CexSearchResult> &Results) {
+  std::vector<std::string> Lines;
+  Lines.reserve(Results.size());
+  for (const CexSearchResult &R : Results)
+    Lines.push_back(cexSearchCaseLine(R));
+  return cexSearchDocument(Lines);
+}
+
+bool charon::bench::updateCexSearchJsonFile(
+    const std::string &Path, const std::vector<CexSearchResult> &Results) {
+  // The document is line-structured (one case per line), so the merge is a
+  // line-level replace-or-append over the existing file.
+  std::vector<std::string> Names;
+  std::vector<std::string> Lines;
+  {
+    std::ifstream In(Path);
+    std::string Line;
+    bool SchemaOk = false;
+    while (In && std::getline(In, Line)) {
+      if (Line.find("\"schema\": \"charon-bench-cex-search/1\"") !=
+          std::string::npos)
+        SchemaOk = true;
+      std::string Name = caseLineName(Line);
+      if (SchemaOk && !Name.empty()) {
+        if (!Line.empty() && Line.back() == ',')
+          Line.pop_back();
+        Names.push_back(std::move(Name));
+        Lines.push_back(std::move(Line));
+      }
+    }
+  }
+  for (const CexSearchResult &R : Results) {
+    std::string Line = cexSearchCaseLine(R);
+    auto It = std::find(Names.begin(), Names.end(), R.Case.Name);
+    if (It != Names.end()) {
+      Lines[static_cast<size_t>(It - Names.begin())] = std::move(Line);
+    } else {
+      Names.push_back(R.Case.Name);
+      Lines.push_back(std::move(Line));
+    }
+  }
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << cexSearchDocument(Lines);
   return static_cast<bool>(Out);
 }
 

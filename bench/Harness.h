@@ -62,6 +62,9 @@ struct HarnessConfig {
   int PropertiesPerSuite = 9;
   double BudgetSeconds = 2.0;
   std::string PolicyPath = "networks/policy.txt";
+  /// PGD settings handed to the Charon tools (the RQ2 bench flips the
+  /// engine here to time the scalar-vs-batched end-to-end ablation).
+  PgdConfig Pgd;
 };
 
 /// Reads CHARON_BENCH_PROPS / CHARON_BENCH_BUDGET overrides.
@@ -156,6 +159,57 @@ std::string microDomainJson(const std::vector<MicroDomainResult> &Results);
 /// Writes microDomainJson to \p Path; returns false on I/O failure.
 bool writeMicroDomainJsonFile(const std::string &Path,
                               const std::vector<MicroDomainResult> &Results);
+
+//===----------------------------------------------------------------------===//
+// Counterexample-search benchmark cases (BENCH_cex_search.json)
+//===----------------------------------------------------------------------===//
+
+/// One tracked counterexample-search case. "pgd_micro" cases time one
+/// multi-restart pgdMinimize call per engine on a seeded random MLP (the
+/// same fixture family as the micro-domain cases); "falsification_e2e"
+/// entries come from bench_rq2_falsification and time whole Charon runs.
+struct CexSearchCase {
+  std::string Name;               ///< stable id, e.g. "pgd_w256_multistart"
+  std::string Kind = "pgd_micro"; ///< "pgd_micro" or "falsification_e2e"
+  size_t Width = 64;              ///< input and hidden width of the MLP
+  int HiddenLayers = 3;
+  int Restarts = 8;
+  int Steps = 25;
+};
+
+/// Measurement of one case: the same search timed under both PGD engines.
+struct CexSearchResult {
+  CexSearchCase Case;
+  /// Best objective found (identical across engines by construction; the
+  /// runner aborts if they disagree). 0 for end-to-end entries.
+  double Objective = 0.0;
+  double ScalarSeconds = 0.0;  ///< best-of-repeats, Engine = Scalar
+  double BatchedSeconds = 0.0; ///< best-of-repeats, Engine = Batched
+  int Repeats = 0;
+  /// End-to-end entries only: properties falsified under each engine (the
+  /// counts can differ under a wall-clock budget because the slower engine
+  /// times out more). -1 for micro cases.
+  long FalsifiedScalar = -1;
+  long FalsifiedBatched = -1;
+};
+
+/// The tracked case set: multi-restart PGD at widths 64/128/256.
+std::vector<CexSearchCase> defaultCexSearchCases();
+
+/// Runs one micro case: times \p Repeats searches per engine (keeping the
+/// fastest), checks the engines return bit-identical objectives.
+CexSearchResult runCexSearchCase(const CexSearchCase &Case, int Repeats);
+
+/// Serializes results as the BENCH_cex_search.json document
+/// (schema "charon-bench-cex-search/1").
+std::string cexSearchJson(const std::vector<CexSearchResult> &Results);
+
+/// Merges \p Results into the document at \p Path: cases with matching
+/// names are replaced in place, new ones appended, existing others kept —
+/// so bench_ablation_cex_search and bench_rq2_falsification can share one
+/// tracked file. Returns false on I/O failure.
+bool updateCexSearchJsonFile(const std::string &Path,
+                             const std::vector<CexSearchResult> &Results);
 
 } // namespace bench
 } // namespace charon

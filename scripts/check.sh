@@ -6,9 +6,13 @@
 # with CHARON_KERNEL_THRESHOLD=1, which forces every linalg kernel onto the
 # thread pool so the threaded paths are exercised under the sanitizers even
 # on fuzz-scale networks.
-# After the suite, a bench smoke runs one micro-domain case and checks that
-# the emitted BENCH_micro_domains.json is valid (full parse when python3 is
-# available, structural grep otherwise).
+# After the suite, two bench smokes run: one micro-domain case and one
+# scalar-vs-batched PGD case, each checking that the emitted JSON document
+# is valid (full parse when python3 is available, structural grep
+# otherwise). The PGD smoke doubles as a live engine-equivalence check (the
+# bench aborts if the engines' objectives differ) and runs on the sanitize
+# leg with CHARON_KERNEL_THRESHOLD=1, driving the batched search through
+# the threaded kernels under ASan + UBSan.
 # Usage: scripts/check.sh [--sanitize]
 #   --sanitize   build with -DCHARON_SANITIZE=ON (ASan + UBSan)
 set -euo pipefail
@@ -54,4 +58,35 @@ else
   grep -q '"schema": "charon-bench-micro-domains/1"' "$SMOKE_JSON"
   grep -q '"name": "zonotope_dense_relu_w64"' "$SMOKE_JSON"
   echo "bench smoke: JSON OK (grep)"
+fi
+
+# Cex-search smoke: one scalar-vs-batched PGD case must run (aborting on
+# any engine disagreement) and emit valid JSON. On the sanitize leg the
+# forced kernel threshold pushes the batched search onto the thread pool.
+CEX_SMOKE_JSON="$BUILD_DIR/bench-cex-smoke.json"
+CEX_ENV=()
+if [[ "$SANITIZE" == 1 ]]; then
+  CEX_ENV+=(CHARON_KERNEL_THRESHOLD=1)
+fi
+env "${CEX_ENV[@]}" "$BUILD_DIR/bench/bench_ablation_cex_search" \
+  --cex-only --cex-filter=pgd_w64 --cex-repeats=1 \
+  --cex-out="$CEX_SMOKE_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$CEX_SMOKE_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "charon-bench-cex-search/1", doc["schema"]
+assert len(doc["cases"]) == 1, doc["cases"]
+case = doc["cases"][0]
+for field in ("name", "kind", "width", "hidden_layers", "restarts", "steps",
+              "objective", "scalar_seconds", "batched_seconds", "speedup",
+              "repeats", "falsified_scalar", "falsified_batched"):
+    assert field in case, field
+assert case["batched_seconds"] > 0, case["batched_seconds"]
+print("cex smoke: JSON OK")
+EOF
+else
+  grep -q '"schema": "charon-bench-cex-search/1"' "$CEX_SMOKE_JSON"
+  grep -q '"name": "pgd_w64_multistart"' "$CEX_SMOKE_JSON"
+  echo "cex smoke: JSON OK (grep)"
 fi

@@ -33,18 +33,24 @@ Verifier::Verifier(const Network &N, VerificationPolicy P, VerifierConfig C)
 }
 
 bool Verifier::step(const RobustnessProperty &Prop, const Box &Region,
-                    VerifyResult &Out, SplitChoice &Split, VerifyStats &Stats,
+                    const Vector *WarmStart, VerifyResult &Out,
+                    SplitChoice &Split, Vector &XStarOut, VerifyStats &Stats,
                     Rng &R, const Deadline *Budget) const {
   size_t K = Prop.TargetClass;
   RobustnessProperty Sub{Region, K, Prop.Name};
 
-  // Line 2: optimization-based counterexample search (Eq. 1).
+  // Line 2: optimization-based counterexample search (Eq. 1). The search
+  // stops at the Eq. 4 refutation bound rather than the default
+  // true-counterexample bound 0, and seeds its deterministic chain with the
+  // parent node's witness when refinement hands one down.
   Vector XStar;
   double FStar;
   if (Config.UseCounterexampleSearch) {
     ++Stats.PgdCalls;
+    PgdConfig Search = Config.Pgd;
+    Search.EarlyStopObjective = Config.Delta;
     PgdResult P = Config.Optimizer == CexSearchKind::Pgd
-                      ? pgdMinimize(Net, Region, K, Config.Pgd, R)
+                      ? pgdMinimize(Net, Region, K, Search, R, WarmStart)
                       : fgsmMinimize(Net, Region, K);
     XStar = std::move(P.X);
     FStar = P.Objective;
@@ -92,7 +98,8 @@ bool Verifier::step(const RobustnessProperty &Prop, const Box &Region,
       PgdConfig Intense = Config.Pgd;
       Intense.Steps = 4 * Config.Pgd.Steps;
       Intense.Restarts = 4 * Config.Pgd.Restarts;
-      PgdResult P = pgdMinimize(Net, Region, K, Intense, R);
+      Intense.EarlyStopObjective = Config.Delta;
+      PgdResult P = pgdMinimize(Net, Region, K, Intense, R, &XStar);
       if (P.Objective <= Config.Delta) {
         Out.Result = Outcome::Falsified;
         Out.Counterexample = std::move(P.X);
@@ -106,11 +113,22 @@ bool Verifier::step(const RobustnessProperty &Prop, const Box &Region,
     }
   }
 
-  // Line 8: neither refuted nor proved; ask pi_I how to split.
+  // Line 8: neither refuted nor proved; ask pi_I how to split. The node's
+  // best witness rides along so the children's searches don't rediscover
+  // the descent direction from their centers.
   Split = Policy.choosePartition(Net, Sub, XStar, FStar);
+  XStarOut = std::move(XStar);
   ++Stats.Splits;
   return false;
 }
+
+/// One entry of the refinement worklist: a subregion plus the parent node's
+/// best witness (empty at the root), which warm-starts the child's search.
+struct Verifier::WorkItem {
+  Box Region;
+  int Depth;
+  Vector Warm;
+};
 
 VerifyResult Verifier::verify(const RobustnessProperty &Prop) const {
   assert(Prop.Region.dim() == Net.inputSize() && "property/network mismatch");
@@ -123,8 +141,8 @@ VerifyResult Verifier::verify(const RobustnessProperty &Prop) const {
 
   // Depth-first worklist over subregions; the property holds iff every
   // region is eventually verified (splits preserve I = I1 u I2).
-  std::vector<std::pair<Box, int>> Work;
-  Work.emplace_back(Prop.Region, 0);
+  std::vector<WorkItem> Work;
+  Work.push_back(WorkItem{Prop.Region, 0, Vector()});
 
   while (!Work.empty()) {
     if (Budget.expired() ||
@@ -133,13 +151,15 @@ VerifyResult Verifier::verify(const RobustnessProperty &Prop) const {
       Result.Stats.Seconds = Watch.seconds();
       return Result;
     }
-    auto [Region, Depth] = std::move(Work.back());
+    WorkItem Item = std::move(Work.back());
     Work.pop_back();
-    Stats.MaxDepth = std::max(Stats.MaxDepth, static_cast<long>(Depth));
+    Stats.MaxDepth = std::max(Stats.MaxDepth, static_cast<long>(Item.Depth));
 
     VerifyResult NodeResult;
     SplitChoice Split;
-    if (step(Prop, Region, NodeResult, Split, Stats, R, &Budget)) {
+    Vector XStar;
+    if (step(Prop, Item.Region, Item.Warm.empty() ? nullptr : &Item.Warm,
+             NodeResult, Split, XStar, Stats, R, &Budget)) {
       if (NodeResult.Result == Outcome::Falsified) {
         NodeResult.Stats = Stats;
         NodeResult.Stats.Seconds = Watch.seconds();
@@ -148,15 +168,17 @@ VerifyResult Verifier::verify(const RobustnessProperty &Prop) const {
       continue; // This region verified; move to the next one.
     }
 
-    if (Depth + 1 > Config.MaxDepth) {
+    if (Item.Depth + 1 > Config.MaxDepth) {
       // Safety net beyond the theoretical bound; report as a timeout.
       Result.Result = Outcome::Timeout;
       Result.Stats.Seconds = Watch.seconds();
       return Result;
     }
-    auto [Left, Right] = Region.split(Split.Dim, Split.Cut);
-    Work.emplace_back(std::move(Left), Depth + 1);
-    Work.emplace_back(std::move(Right), Depth + 1);
+    auto [Left, Right] = Item.Region.split(Split.Dim, Split.Cut);
+    // Both children inherit the parent's witness; each side's search
+    // projects it onto its own half.
+    Work.push_back(WorkItem{std::move(Left), Item.Depth + 1, XStar});
+    Work.push_back(WorkItem{std::move(Right), Item.Depth + 1, std::move(XStar)});
   }
 
   Result.Result = Outcome::Verified;
@@ -184,9 +206,12 @@ VerifyResult Verifier::verifyParallel(const RobustnessProperty &Prop,
     std::atomic<uint64_t> SeedCounter{0};
   } State;
 
-  // Recursive task over a subregion. Children are submitted to the pool so
-  // independent abstract-interpreter calls run on different threads.
-  std::function<void(Box, int)> Process = [&](Box Region, int Depth) {
+  // Recursive task over a subregion (carrying the parent's witness as the
+  // child search's warm start, empty at the root). Children are submitted
+  // to the pool so independent abstract-interpreter calls run on different
+  // threads.
+  std::function<void(Box, int, Vector)> Process = [&](Box Region, int Depth,
+                                                      Vector Warm) {
     if (State.Resolved.load(std::memory_order_relaxed))
       return;
     if (Budget.expired() ||
@@ -197,8 +222,10 @@ VerifyResult Verifier::verifyParallel(const RobustnessProperty &Prop,
     Rng R(Config.Seed + 0x9e37 * State.SeedCounter.fetch_add(1));
     VerifyResult NodeResult;
     SplitChoice Split;
+    Vector XStar;
     VerifyStats Local;
-    bool Done = step(Prop, Region, NodeResult, Split, Local, R, &Budget);
+    bool Done = step(Prop, Region, Warm.empty() ? nullptr : &Warm, NodeResult,
+                     Split, XStar, Local, R, &Budget);
     {
       std::lock_guard<std::mutex> Lock(State.Mutex);
       State.Stats.PgdCalls += Local.PgdCalls;
@@ -221,16 +248,17 @@ VerifyResult Verifier::verifyParallel(const RobustnessProperty &Prop,
       return;
     }
     auto [Left, Right] = Region.split(Split.Dim, Split.Cut);
-    Pool.submit([&Process, L = std::move(Left), Depth]() mutable {
-      Process(std::move(L), Depth + 1);
+    Pool.submit([&Process, L = std::move(Left), Depth, W = XStar]() mutable {
+      Process(std::move(L), Depth + 1, std::move(W));
     });
-    Pool.submit([&Process, Rt = std::move(Right), Depth]() mutable {
-      Process(std::move(Rt), Depth + 1);
-    });
+    Pool.submit(
+        [&Process, Rt = std::move(Right), Depth, W = std::move(XStar)]() mutable {
+          Process(std::move(Rt), Depth + 1, std::move(W));
+        });
   };
 
   Pool.submit([&Process, Root = Prop.Region]() mutable {
-    Process(std::move(Root), 0);
+    Process(std::move(Root), 0, Vector());
   });
   Pool.wait();
 

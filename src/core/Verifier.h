@@ -122,11 +122,15 @@ private:
   struct WorkItem;
 
   /// One node of Algorithm 1 on \p Region: counterexample search, then a
-  /// proof attempt (abandoned when \p Budget expires). Returns true when
-  /// resolved (filling \p Out), false when the region must be split
-  /// (filling \p Split).
+  /// proof attempt (abandoned when \p Budget expires). \p WarmStart, when
+  /// non-null, seeds the deterministic chain-0 slot of the PGD search with
+  /// the parent node's witness (projected onto \p Region). Returns true
+  /// when resolved (filling \p Out), false when the region must be split
+  /// (filling \p Split and leaving the node's best witness in \p XStarOut
+  /// for the children to warm-start from).
   bool step(const RobustnessProperty &Prop, const Box &Region,
-            VerifyResult &Out, SplitChoice &Split, VerifyStats &Stats, Rng &R,
+            const Vector *WarmStart, VerifyResult &Out, SplitChoice &Split,
+            Vector &XStarOut, VerifyStats &Stats, Rng &R,
             const Deadline *Budget) const;
 
   const Network &Net;

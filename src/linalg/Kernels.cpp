@@ -171,6 +171,148 @@ void kernels::scaleColumns(Matrix &A, const Vector &Scale) {
   });
 }
 
+namespace {
+
+/// Row block [Begin, End) of Out(i, j) = dot(X.row(i), W.row(j)) + b_j.
+/// Same structure as mmtRows (resident X row, 4-wide j-unroll, ascending-k
+/// accumulation); the bias either seeds the accumulators (PreInit, the
+/// Conv2D order) or lands after the full dot (PostAdd, the Dense order).
+void affineRows(const Matrix &X, const Matrix &W, const double *Bias,
+                kernels::BiasMode Mode, Matrix &Out, size_t Begin,
+                size_t End) {
+  const size_t K = X.cols();
+  const size_t N = W.rows();
+  const bool Pre = Mode == kernels::BiasMode::PreInit;
+  for (size_t I = Begin; I < End; ++I) {
+    const double *XRow = X.row(I);
+    double *ORow = Out.row(I);
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4) {
+      const double *W0 = W.row(J);
+      const double *W1 = W.row(J + 1);
+      const double *W2 = W.row(J + 2);
+      const double *W3 = W.row(J + 3);
+      double S0 = Pre ? Bias[J] : 0.0;
+      double S1 = Pre ? Bias[J + 1] : 0.0;
+      double S2 = Pre ? Bias[J + 2] : 0.0;
+      double S3 = Pre ? Bias[J + 3] : 0.0;
+      for (size_t Kk = 0; Kk < K; ++Kk) {
+        double Xv = XRow[Kk];
+        S0 += Xv * W0[Kk];
+        S1 += Xv * W1[Kk];
+        S2 += Xv * W2[Kk];
+        S3 += Xv * W3[Kk];
+      }
+      ORow[J] = Pre ? S0 : S0 + Bias[J];
+      ORow[J + 1] = Pre ? S1 : S1 + Bias[J + 1];
+      ORow[J + 2] = Pre ? S2 : S2 + Bias[J + 2];
+      ORow[J + 3] = Pre ? S3 : S3 + Bias[J + 3];
+    }
+    for (; J < N; ++J) {
+      const double *WRow = W.row(J);
+      double Sum = Pre ? Bias[J] : 0.0;
+      for (size_t Kk = 0; Kk < K; ++Kk)
+        Sum += XRow[Kk] * WRow[Kk];
+      ORow[J] = Pre ? Sum : Sum + Bias[J];
+    }
+  }
+}
+
+} // namespace
+
+Matrix kernels::affineBatch(const Matrix &X, const Matrix &W,
+                            const Vector &Bias, BiasMode Mode) {
+  assert(X.cols() == W.cols() && "affineBatch shape mismatch");
+  assert(Bias.size() == W.rows() && "affineBatch bias size mismatch");
+  Matrix Out(X.rows(), W.rows());
+  const double *B = Bias.data();
+  parallelFor(X.rows(), 2 * X.cols() * W.rows(),
+              [&X, &W, B, Mode, &Out](size_t Begin, size_t End) {
+                affineRows(X, W, B, Mode, Out, Begin, End);
+              });
+  return Out;
+}
+
+Matrix kernels::reluBatch(const Matrix &X) {
+  Matrix Out(X.rows(), X.cols());
+  parallelFor(X.rows(), X.cols(), [&X, &Out](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      const double *Row = X.row(I);
+      double *ORow = Out.row(I);
+      for (size_t J = 0, NC = X.cols(); J < NC; ++J)
+        ORow[J] = Row[J] > 0.0 ? Row[J] : 0.0;
+    }
+  });
+  return Out;
+}
+
+Matrix kernels::reluBackwardBatch(const Matrix &X, const Matrix &GradOut) {
+  assert(X.rows() == GradOut.rows() && X.cols() == GradOut.cols() &&
+         "reluBackwardBatch shape mismatch");
+  Matrix Out(X.rows(), X.cols());
+  parallelFor(X.rows(), X.cols(),
+              [&X, &GradOut, &Out](size_t Begin, size_t End) {
+                for (size_t I = Begin; I < End; ++I) {
+                  const double *Row = X.row(I);
+                  const double *GRow = GradOut.row(I);
+                  double *ORow = Out.row(I);
+                  for (size_t J = 0, NC = X.cols(); J < NC; ++J)
+                    ORow[J] = Row[J] > 0.0 ? GRow[J] : 0.0;
+                }
+              });
+  return Out;
+}
+
+Matrix kernels::poolMaxBatch(const Matrix &X,
+                             const std::vector<std::vector<int>> &Pools) {
+  Matrix Out(X.rows(), Pools.size());
+  size_t Taps = 0;
+  for (const std::vector<int> &Pool : Pools)
+    Taps += Pool.size();
+  parallelFor(X.rows(), Taps, [&X, &Pools, &Out](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      const double *Row = X.row(I);
+      double *ORow = Out.row(I);
+      for (size_t O = 0, NO = Pools.size(); O < NO; ++O) {
+        const std::vector<int> &Pool = Pools[O];
+        double Best = Row[Pool.front()];
+        for (size_t P = 1, NP = Pool.size(); P < NP; ++P)
+          Best = std::max(Best, Row[Pool[P]]);
+        ORow[O] = Best;
+      }
+    }
+  });
+  return Out;
+}
+
+Matrix kernels::poolMaxBackwardBatch(const Matrix &X, const Matrix &GradOut,
+                                     const std::vector<std::vector<int>> &Pools,
+                                     size_t InputCols) {
+  assert(X.rows() == GradOut.rows() && GradOut.cols() == Pools.size() &&
+         X.cols() == InputCols && "poolMaxBackwardBatch shape mismatch");
+  Matrix Out(X.rows(), InputCols);
+  size_t Taps = 0;
+  for (const std::vector<int> &Pool : Pools)
+    Taps += Pool.size();
+  parallelFor(
+      X.rows(), Taps, [&X, &GradOut, &Pools, &Out](size_t Begin, size_t End) {
+        for (size_t I = Begin; I < End; ++I) {
+          const double *Row = X.row(I);
+          const double *GRow = GradOut.row(I);
+          double *ORow = Out.row(I);
+          for (size_t O = 0, NO = Pools.size(); O < NO; ++O) {
+            const std::vector<int> &Pool = Pools[O];
+            int BestIdx = Pool.front();
+            for (size_t P = 1, NP = Pool.size(); P < NP; ++P)
+              if (Row[Pool[P]] > Row[BestIdx])
+                BestIdx = Pool[P];
+            ORow[BestIdx] += GRow[O];
+          }
+        }
+      });
+  return Out;
+}
+
 void kernels::gatherColumns(const Matrix &A, const std::vector<int> &SrcCol,
                             Matrix &Out) {
   assert(Out.rows() == A.rows() && Out.cols() == SrcCol.size() &&

@@ -88,6 +88,50 @@ void scaleColumns(Matrix &A, const Vector &Scale);
 void gatherColumns(const Matrix &A, const std::vector<int> &SrcCol,
                    Matrix &Out);
 
+//===----------------------------------------------------------------------===//
+// Batched concrete execution (rows = batch points)
+//===----------------------------------------------------------------------===//
+
+/// Where the bias enters the per-element accumulation of affineBatch. The
+/// two concrete layer flavors sum in different orders, and bit-identity with
+/// the per-point pass requires matching each one exactly:
+///  - PostAdd: Dense computes the full dot product first, then adds the bias
+///    in a separate pass (matVec then Y += B).
+///  - PreInit: Conv2D seeds the accumulator with the bias and then adds the
+///    window taps (Sum = B[oc]; Sum += ...).
+enum class BiasMode { PostAdd, PreInit };
+
+/// Batched affine layer application: Out(i, j) = dot(X.row(i), W.row(j)) + b_j
+/// with the bias folded in per \p Mode. X is B x K (one input point per row),
+/// W is N x K, Out is B x N. Each dot accumulates in ascending-k order with
+/// the same 4-wide output unroll as matMulTransposed, so every output element
+/// is bit-identical to the per-point matVec (up to signed-zero terms that a
+/// sparsity-skipping scalar path never adds). Sharded by batch rows.
+Matrix affineBatch(const Matrix &X, const Matrix &W, const Vector &Bias,
+                   BiasMode Mode);
+
+/// Batched ReLU forward: Out(i, j) = X(i, j) > 0 ? X(i, j) : 0, replicating
+/// the scalar tie-break at exactly zero.
+Matrix reluBatch(const Matrix &X);
+
+/// Batched ReLU backward: Out(i, j) = X(i, j) > 0 ? GradOut(i, j) : 0, where
+/// \p X is the input the forward pass saw.
+Matrix reluBackwardBatch(const Matrix &X, const Matrix &GradOut);
+
+/// Batched max-pool forward over \p Pools (one flat-index list per output
+/// coordinate): Out(i, o) = max over Pools[o] of X(i, idx), initialized from
+/// the first window element and folded left with std::max in window order —
+/// the exact scalar comparison sequence.
+Matrix poolMaxBatch(const Matrix &X,
+                    const std::vector<std::vector<int>> &Pools);
+
+/// Batched max-pool backward: routes GradOut(i, o) to the *first* argmax of
+/// window \p Pools[o] in row i (strict > scan, matching the scalar layer),
+/// accumulating into a zero matrix of \p InputCols columns.
+Matrix poolMaxBackwardBatch(const Matrix &X, const Matrix &GradOut,
+                            const std::vector<std::vector<int>> &Pools,
+                            size_t InputCols);
+
 } // namespace kernels
 } // namespace charon
 

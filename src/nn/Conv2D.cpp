@@ -101,6 +101,31 @@ Vector Conv2DLayer::backward(const Vector &Input, const Vector &GradOut,
   return GradIn;
 }
 
+Matrix Conv2DLayer::forwardBatch(const Matrix &X) const {
+  assert(X.cols() == static_cast<size_t>(InShape.size()) &&
+         "conv batched input size mismatch");
+  // The lowered dense form lists each window's taps in the same ascending
+  // input-index order the nested tap loops visit, and the out-of-window
+  // columns it zero-fills contribute identity +0.0 terms, so PreInit
+  // accumulation (bias first, taps ascending) reproduces forward() bit for
+  // bit.
+  if (!Lowered)
+    buildLowered();
+  return kernels::affineBatch(X, Lowered->W, Lowered->Bias,
+                              kernels::BiasMode::PreInit);
+}
+
+Matrix Conv2DLayer::backwardBatch(const Matrix &X, const Matrix &GradOut) const {
+  assert(GradOut.cols() == static_cast<size_t>(OutShape.size()) &&
+         X.rows() == GradOut.rows() && "conv batched gradient size mismatch");
+  // matMul accumulates GradIn(i, in) ascending over output coordinates and
+  // skips zero output gradients — exactly the scalar backward()'s (Oc,Oy,Ox)
+  // visit order with its G == 0 skip.
+  if (!Lowered)
+    buildLowered();
+  return matMul(GradOut, Lowered->W);
+}
+
 void Conv2DLayer::applyGradients(double LearningRate, double BatchSize) {
   double Step = LearningRate / BatchSize;
   for (size_t I = 0, E = Kernels.size(); I < E; ++I)

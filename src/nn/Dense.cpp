@@ -2,6 +2,7 @@
 
 #include "nn/Dense.h"
 
+#include "linalg/Kernels.h"
 #include "support/Random.h"
 
 #include <cmath>
@@ -46,6 +47,21 @@ Vector DenseLayer::backward(const Vector &Input, const Vector &GradOut,
     }
   }
   return matTVec(W, GradOut);
+}
+
+Matrix DenseLayer::forwardBatch(const Matrix &X) const {
+  assert(X.cols() == W.cols() && "batched input size mismatch");
+  // PostAdd: forward() runs the full dot first and adds the bias after.
+  return kernels::affineBatch(X, W, B, kernels::BiasMode::PostAdd);
+}
+
+Matrix DenseLayer::backwardBatch(const Matrix &X, const Matrix &GradOut) const {
+  assert(GradOut.cols() == W.rows() && X.rows() == GradOut.rows() &&
+         "batched gradient size mismatch");
+  // GradIn = GradOut * W accumulates each element ascending over W's rows
+  // and skips zero gradient entries — the same order and sparsity skip as
+  // the per-point matTVec.
+  return matMul(GradOut, W);
 }
 
 void DenseLayer::applyGradients(double LearningRate, double BatchSize) {

@@ -36,6 +36,8 @@ public:
   Vector forward(const Vector &Input) const override;
   Vector backward(const Vector &Input, const Vector &GradOut,
                   bool AccumulateParams) override;
+  Matrix forwardBatch(const Matrix &X) const override;
+  Matrix backwardBatch(const Matrix &X, const Matrix &GradOut) const override;
   void applyGradients(double LearningRate, double BatchSize) override;
   void zeroGradients() override;
 

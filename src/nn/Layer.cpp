@@ -2,6 +2,8 @@
 
 #include "nn/Layer.h"
 
+#include <algorithm>
+
 using namespace charon;
 
 Layer::~Layer() = default;
@@ -9,3 +11,41 @@ Layer::~Layer() = default;
 void Layer::applyGradients(double, double) {}
 
 void Layer::zeroGradients() {}
+
+namespace {
+
+Vector rowToVector(const Matrix &M, size_t I) {
+  Vector V(M.cols());
+  const double *Row = M.row(I);
+  std::copy(Row, Row + M.cols(), V.data());
+  return V;
+}
+
+void vectorToRow(const Vector &V, Matrix &M, size_t I) {
+  assert(V.size() == M.cols() && "row size mismatch");
+  std::copy(V.data(), V.data() + V.size(), M.row(I));
+}
+
+} // namespace
+
+Matrix Layer::forwardBatch(const Matrix &X) const {
+  assert(X.cols() == inputSize() && "batched input size mismatch");
+  Matrix Out(X.rows(), outputSize());
+  for (size_t I = 0, B = X.rows(); I < B; ++I)
+    vectorToRow(forward(rowToVector(X, I)), Out, I);
+  return Out;
+}
+
+Matrix Layer::backwardBatch(const Matrix &X, const Matrix &GradOut) const {
+  assert(X.cols() == inputSize() && GradOut.cols() == outputSize() &&
+         X.rows() == GradOut.rows() && "batched gradient size mismatch");
+  Matrix Out(X.rows(), inputSize());
+  // backward() is non-const only because of the AccumulateParams=true
+  // training path; with AccumulateParams=false it mutates nothing.
+  Layer *Self = const_cast<Layer *>(this);
+  for (size_t I = 0, B = X.rows(); I < B; ++I)
+    vectorToRow(Self->backward(rowToVector(X, I), rowToVector(GradOut, I),
+                               /*AccumulateParams=*/false),
+                Out, I);
+  return Out;
+}

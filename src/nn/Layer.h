@@ -67,6 +67,18 @@ public:
   virtual Vector backward(const Vector &Input, const Vector &GradOut,
                           bool AccumulateParams) = 0;
 
+  /// Batched forward pass: row i of the result is forward(row i of \p X).
+  /// The concrete layers override this with fused kernels that preserve the
+  /// per-element accumulation order, so the batched result is bit-identical
+  /// to the per-point pass; the base implementation is the row-by-row
+  /// reference.
+  virtual Matrix forwardBatch(const Matrix &X) const;
+
+  /// Batched reverse-mode step w.r.t. the inputs only: row i of the result
+  /// is backward(X.row(i), GradOut.row(i), false). Never accumulates
+  /// parameter gradients — training stays on the per-point path.
+  virtual Matrix backwardBatch(const Matrix &X, const Matrix &GradOut) const;
+
   /// SGD step: Params -= LearningRate * AccumGrad / BatchSize. No-op for
   /// parameterless layers.
   virtual void applyGradients(double LearningRate, double BatchSize);

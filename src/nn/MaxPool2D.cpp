@@ -2,6 +2,8 @@
 
 #include "nn/MaxPool2D.h"
 
+#include "linalg/Kernels.h"
+
 using namespace charon;
 
 MaxPool2DLayer::MaxPool2DLayer(TensorShape In, int PoolH, int PoolW,
@@ -53,4 +55,18 @@ Vector MaxPool2DLayer::backward(const Vector &Input, const Vector &GradOut,
     GradIn[BestIdx] += GradOut[O];
   }
   return GradIn;
+}
+
+Matrix MaxPool2DLayer::forwardBatch(const Matrix &X) const {
+  assert(X.cols() == static_cast<size_t>(InShape.size()) &&
+         "pool batched input size mismatch");
+  return kernels::poolMaxBatch(X, Spec.PoolIndices);
+}
+
+Matrix MaxPool2DLayer::backwardBatch(const Matrix &X,
+                                     const Matrix &GradOut) const {
+  assert(GradOut.cols() == static_cast<size_t>(OutShape.size()) &&
+         X.rows() == GradOut.rows() && "pool batched gradient size mismatch");
+  return kernels::poolMaxBackwardBatch(X, GradOut, Spec.PoolIndices,
+                                       InShape.size());
 }

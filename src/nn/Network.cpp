@@ -44,6 +44,22 @@ size_t Network::classify(const Vector &Input) const {
   return argmax(evaluate(Input));
 }
 
+Matrix Network::evaluateBatch(const Matrix &X) const {
+  Matrix Y = X;
+  for (const auto &L : Layers)
+    Y = L->forwardBatch(Y);
+  return Y;
+}
+
+std::vector<Matrix> Network::evaluateBatchWithActivations(const Matrix &X) const {
+  std::vector<Matrix> Acts;
+  Acts.reserve(Layers.size() + 1);
+  Acts.push_back(X);
+  for (const auto &L : Layers)
+    Acts.push_back(L->forwardBatch(Acts.back()));
+  return Acts;
+}
+
 Vector Network::inputGradient(const Vector &Input, const Vector &Seed) const {
   std::vector<Vector> Acts = evaluateWithActivations(Input);
   Vector Grad = Seed;
@@ -76,6 +92,45 @@ Vector Network::objectiveGradient(const Vector &Input, size_t K) const {
   Seed[K] = 1.0;
   Seed[BestJ] = -1.0;
   return inputGradient(Input, Seed);
+}
+
+Vector Network::objectiveBatch(const Matrix &X, size_t K) const {
+  Matrix Y = evaluateBatch(X);
+  assert(K < Y.cols() && "target class out of range");
+  Vector F(Y.rows());
+  for (size_t I = 0, B = Y.rows(); I < B; ++I) {
+    const double *Row = Y.row(I);
+    double Best = -std::numeric_limits<double>::infinity();
+    for (size_t J = 0, E = Y.cols(); J < E; ++J)
+      if (J != K && Row[J] > Best)
+        Best = Row[J];
+    F[I] = Row[K] - Best;
+  }
+  return F;
+}
+
+Matrix Network::objectiveGradientBatch(const Matrix &X, size_t K) const {
+  std::vector<Matrix> Acts = evaluateBatchWithActivations(X);
+  const Matrix &Y = Acts.back();
+  assert(K < Y.cols() && "target class out of range");
+  // Per-row seed for d/dx [ y_K - y_{j*} ], with j* resolved by the same
+  // first-strictly-greater scan the scalar objectiveGradient uses.
+  Matrix Grad(Y.rows(), Y.cols());
+  for (size_t I = 0, B = Y.rows(); I < B; ++I) {
+    const double *Row = Y.row(I);
+    size_t BestJ = K == 0 ? 1 : 0;
+    for (size_t J = 0, E = Y.cols(); J < E; ++J)
+      if (J != K && Row[J] > Row[BestJ])
+        BestJ = J;
+    double *Seed = Grad.row(I);
+    Seed[K] = 1.0;
+    Seed[BestJ] = -1.0;
+  }
+  for (size_t Iu = Layers.size(); Iu > 0; --Iu) {
+    size_t I = Iu - 1;
+    Grad = Layers[I]->backwardBatch(Acts[I], Grad);
+  }
+  return Grad;
 }
 
 Network Network::clone() const {

@@ -45,6 +45,14 @@ public:
   /// the input and Activations[numLayers()] the output.
   std::vector<Vector> evaluateWithActivations(const Vector &Input) const;
 
+  /// Batched evaluation: row i of the result is evaluate(row i of \p X).
+  /// Bit-identical to the per-point pass (see Layer::forwardBatch).
+  Matrix evaluateBatch(const Matrix &X) const;
+
+  /// Batched evaluation keeping every intermediate activation matrix;
+  /// element 0 is the input batch and element numLayers() the output batch.
+  std::vector<Matrix> evaluateBatchWithActivations(const Matrix &X) const;
+
   /// Class with the highest score for \p Input (Sec. 2.1).
   size_t classify(const Vector &Input) const;
 
@@ -58,6 +66,15 @@ public:
 
   /// Gradient of the objective at \p Input via the active argmax branch.
   Vector objectiveGradient(const Vector &Input, size_t K) const;
+
+  /// Batched objective: element i is objective(row i of \p X, K), one
+  /// forward pass for the whole batch.
+  Vector objectiveBatch(const Matrix &X, size_t K) const;
+
+  /// Batched objective gradient: row i is objectiveGradient(row i of \p X,
+  /// K) — one forward + one backward pass for the whole batch, with the
+  /// competitor argmax resolved per row exactly as the scalar path does.
+  Matrix objectiveGradientBatch(const Matrix &X, size_t K) const;
 
   /// Deep copy.
   Network clone() const;

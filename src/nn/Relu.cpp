@@ -2,6 +2,8 @@
 
 #include "nn/Relu.h"
 
+#include "linalg/Kernels.h"
+
 using namespace charon;
 
 Vector ReluLayer::forward(const Vector &Input) const {
@@ -21,4 +23,15 @@ Vector ReluLayer::backward(const Vector &Input, const Vector &GradOut, bool) {
   for (size_t I = 0; I < Size; ++I)
     GradIn[I] = Input[I] > 0.0 ? GradOut[I] : 0.0;
   return GradIn;
+}
+
+Matrix ReluLayer::forwardBatch(const Matrix &X) const {
+  assert(X.cols() == Size && "relu batched input size mismatch");
+  return kernels::reluBatch(X);
+}
+
+Matrix ReluLayer::backwardBatch(const Matrix &X, const Matrix &GradOut) const {
+  assert(X.cols() == Size && GradOut.cols() == Size &&
+         X.rows() == GradOut.rows() && "relu batched gradient size mismatch");
+  return kernels::reluBackwardBatch(X, GradOut);
 }

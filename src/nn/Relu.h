@@ -29,6 +29,8 @@ public:
   Vector forward(const Vector &Input) const override;
   Vector backward(const Vector &Input, const Vector &GradOut,
                   bool AccumulateParams) override;
+  Matrix forwardBatch(const Matrix &X) const override;
+  Matrix backwardBatch(const Matrix &X, const Matrix &GradOut) const override;
 
   bool isRelu() const override { return true; }
 

@@ -15,6 +15,11 @@
 /// nothing — which is exactly why Algorithm 1 couples them with abstract
 /// interpretation.
 ///
+/// The search runs all restart chains in lock step as one B x N population:
+/// every step costs one batched forward + backward pair for the whole
+/// population instead of Restarts x Steps scalar passes, and the search
+/// returns as soon as any chain crosses the early-stop threshold.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHARON_OPT_PGD_H
@@ -26,13 +31,27 @@
 namespace charon {
 class Rng;
 
+/// Which execution engine evaluates the population. Both engines implement
+/// the same lock-step semantics and return bit-identical results; Scalar
+/// evaluates the population row by row through the per-point Network calls
+/// and exists as the reference oracle for the equivalence tests (and the
+/// "before" side of the cex-search benchmarks).
+enum class PgdEngine { Batched, Scalar };
+
 /// PGD hyperparameters. The defaults are deliberately light: Algorithm 1
 /// runs a search at every refinement node, so a cheap-but-decent search
 /// beats a thorough-but-slow one (splitting compensates, Sec. 3).
 struct PgdConfig {
-  int Steps = 25;         ///< gradient steps per restart
-  int Restarts = 2;       ///< random restarts (first start is the center)
+  int Steps = 25;         ///< gradient steps (all chains advance together)
+  int Restarts = 2;       ///< population size (chain 0 starts deterministic)
   double StepScale = 0.3; ///< initial step, as a fraction of region width
+  /// Stop as soon as the best objective reaches this bound. The default 0
+  /// is the true-counterexample certificate; Verifier::step raises it to
+  /// VerifierConfig::Delta so the search stops at the Eq. 4 refutation
+  /// threshold instead of polishing an already-sufficient witness.
+  double EarlyStopObjective = 0.0;
+  /// Execution engine; see PgdEngine.
+  PgdEngine Engine = PgdEngine::Batched;
 };
 
 /// Result of a counterexample search: the best point found and its
@@ -44,11 +63,17 @@ struct PgdResult {
 
 /// Minimizes the robustness objective over \p Region with projected
 /// gradient descent (steepest-descent steps scaled per dimension by the
-/// region width, projected back onto the box).
+/// region width, projected back onto the box). All restart chains advance
+/// in lock step; chain 0 starts from Region.project(*WarmStart) when a warm
+/// start is given (refinement seeds it with the parent node's witness) and
+/// from the region center otherwise, the remaining chains from uniform
+/// samples of \p R.
 PgdResult pgdMinimize(const Network &Net, const Box &Region, size_t K,
-                      const PgdConfig &Config, Rng &R);
+                      const PgdConfig &Config, Rng &R,
+                      const Vector *WarmStart = nullptr);
 
-/// Single-step fast gradient sign method from the region center.
+/// Single-step fast gradient sign method from the region center (a batch of
+/// one through the batched execution engine).
 PgdResult fgsmMinimize(const Network &Net, const Box &Region, size_t K);
 
 } // namespace charon

@@ -67,12 +67,16 @@ TEST_P(PgdSweepTest, MoreRestartsNeverHurt) {
   Few.Restarts = 1;
   PgdConfig Many;
   Many.Restarts = 6;
-  // Same seed: the first restart of "Many" is identical to "Few", so the
-  // best-over-restarts result can only improve.
+  // Same seed: chain 0 of "Many" is the deterministic start "Few" also
+  // uses, so the best-over-chains result can only improve — except when
+  // both searches trip the early-stop refutation bound, where the lock-step
+  // population may freeze at a different (still refuting) objective.
   Rng R1(9), R2(9);
   double FewBest = pgdMinimize(Net, Region, 0, Few, R1).Objective;
   double ManyBest = pgdMinimize(Net, Region, 0, Many, R2).Objective;
-  EXPECT_LE(ManyBest, FewBest + 1e-12);
+  EXPECT_TRUE(ManyBest <= FewBest + 1e-12 ||
+              (ManyBest <= 0.0 && FewBest <= 0.0))
+      << "ManyBest=" << ManyBest << " FewBest=" << FewBest;
 }
 
 INSTANTIATE_TEST_SUITE_P(
