@@ -13,10 +13,13 @@
 
 #include "Harness.h"
 
+#include "search/Trace.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
+#include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -62,26 +65,49 @@ int main() {
   std::printf("%zu refinement-heavy properties selected\n\n",
               HardProps.size());
 
-  std::printf("%-10s %-14s %s\n", "threads", "wall-seconds", "speedup");
+  std::printf("%-10s %-14s %-8s %-12s %s\n", "threads", "wall-seconds",
+              "speedup", "nodes/sec", "trace-events");
   double Baseline = 0.0;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     ThreadPool Pool(Threads);
     Stopwatch Watch;
     int Verified = 0;
+    VerifyStats Aggregate;
+    // Count every node expansion through the trace sink (the structured
+    // observability channel) and cross-check against NodesExpanded — the
+    // engine must emit exactly one event per expansion, from any thread.
+    std::atomic<long> SplitEvents{0}, AbortedEvents{0}, OtherEvents{0};
+    TraceSink Counting = [&](const TraceEvent &Event) {
+      if (!std::strcmp(Event.Outcome, "split"))
+        SplitEvents.fetch_add(1, std::memory_order_relaxed);
+      else if (!std::strcmp(Event.Outcome, "aborted"))
+        AbortedEvents.fetch_add(1, std::memory_order_relaxed);
+      else
+        OtherEvents.fetch_add(1, std::memory_order_relaxed);
+    };
     for (const HardProp &H : HardProps) {
       VerifierConfig VC;
       VC.TimeLimitSeconds = 4.0 * Config.BudgetSeconds;
+      VC.Trace = Counting;
       Verifier V(H.Suite->Net, Policy, VC);
       VerifyResult R = V.verifyParallel(*H.Prop, Pool);
       if (R.Result == Outcome::Verified)
         ++Verified;
+      Aggregate += R.Stats;
     }
     double Elapsed = Watch.seconds();
     if (Threads == 1)
       Baseline = Elapsed;
-    std::printf("%-10u %-14.3f %.2fx   (%d/%zu verified)\n", Threads, Elapsed,
-                Baseline > 0.0 ? Baseline / Elapsed : 1.0, Verified,
-                HardProps.size());
+    // Aborted events are emitted but not counted as expansions (their node
+    // stays open), so the committed-expansion identity excludes them.
+    long Committed = SplitEvents.load() + OtherEvents.load();
+    std::printf("%-10u %-14.3f %-8.2f %-12.0f %ld (%ld splits)%s   "
+                "(%d/%zu verified)\n",
+                Threads, Elapsed, Baseline > 0.0 ? Baseline / Elapsed : 1.0,
+                Elapsed > 0.0 ? Aggregate.NodesExpanded / Elapsed : 0.0,
+                Committed + AbortedEvents.load(), SplitEvents.load(),
+                Committed == Aggregate.NodesExpanded ? "" : " MISMATCH",
+                Verified, HardProps.size());
   }
   std::printf("\nVerdicts must not depend on the thread count; wall-clock "
               "time should\nshrink with threads on refinement-heavy "

@@ -1,0 +1,70 @@
+//===- acas_export.cpp - Export the ACAS suite to .net/.prop files ------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Materializes the synthetic ACAS-like benchmark (the policy-training suite
+// of Sec. 6) as serialized network and property files, so file-driven tools
+// like charon_cli can run it without linking the data library. Used by the
+// trace-smoke leg of scripts/check.sh.
+//
+//   acas_export <out-dir> [--count N] [--seed S] [--cache DIR]
+//
+// Writes <out-dir>/acas.net and <out-dir>/acas-<i>.prop for i in [0, N).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PropertyIo.h"
+#include "data/Benchmarks.h"
+#include "nn/Io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+using namespace charon;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <out-dir> [--count N] [--seed S] [--cache DIR]\n",
+                 Argv[0]);
+    return 2;
+  }
+  std::string OutDir = Argv[1];
+  int Count = 4;
+  uint64_t Seed = 321;
+  std::string CacheDir = OutDir;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--count") && I + 1 < Argc)
+      Count = std::atoi(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--seed") && I + 1 < Argc)
+      Seed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--cache") && I + 1 < Argc)
+      CacheDir = Argv[++I];
+    else {
+      std::fprintf(stderr, "unknown option %s\n", Argv[I]);
+      return 2;
+    }
+  }
+
+  std::error_code Ec;
+  std::filesystem::create_directories(OutDir, Ec);
+
+  BenchmarkSuite Suite = makeAcasSuite(Count, Seed, CacheDir);
+  std::string NetPath = OutDir + "/acas.net";
+  if (!saveNetworkFile(Suite.Net, NetPath)) {
+    std::fprintf(stderr, "error: cannot write %s\n", NetPath.c_str());
+    return 1;
+  }
+  std::printf("%s\n", NetPath.c_str());
+  for (size_t I = 0; I < Suite.Properties.size(); ++I) {
+    std::string PropPath = OutDir + "/acas-" + std::to_string(I) + ".prop";
+    if (!savePropertyFile(Suite.Properties[I], PropPath)) {
+      std::fprintf(stderr, "error: cannot write %s\n", PropPath.c_str());
+      return 1;
+    }
+    std::printf("%s\n", PropPath.c_str());
+  }
+  return 0;
+}

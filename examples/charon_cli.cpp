@@ -14,6 +14,10 @@
 //   --policy <file>         learned policy (default: built-in policy)
 //   --fgsm                  use FGSM instead of PGD (charon only)
 //   --parallel              analyze subregions on all cores (charon only)
+//   --order lifo|best-first frontier scheduling order (charon only)
+//   --trace <file.jsonl>    write one JSON line per node expansion
+//   --checkpoint <file>     on Timeout, save the open frontier here
+//   --resume <file>         continue the search from a saved checkpoint
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,10 +28,13 @@
 #include "core/PropertyIo.h"
 #include "core/Verifier.h"
 #include "nn/Io.h"
+#include "search/Checkpoint.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 
 using namespace charon;
@@ -38,7 +45,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s <network.net> <property.prop> [--tool T] "
                "[--budget S] [--delta D] [--policy F] [--fgsm] "
-               "[--parallel]\n",
+               "[--parallel] [--order lifo|best-first] [--trace F] "
+               "[--checkpoint F] [--resume F]\n",
                Argv0);
   std::exit(2);
 }
@@ -62,6 +70,8 @@ int main(int Argc, char **Argv) {
   std::string PolicyPath;
   bool UseFgsm = false;
   bool Parallel = false;
+  std::string Order = "lifo";
+  std::string TracePath, CheckpointPath, ResumePath;
   for (int I = 3; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--tool") && I + 1 < Argc)
       Tool = Argv[++I];
@@ -75,9 +85,19 @@ int main(int Argc, char **Argv) {
       UseFgsm = true;
     else if (!std::strcmp(Argv[I], "--parallel"))
       Parallel = true;
+    else if (!std::strcmp(Argv[I], "--order") && I + 1 < Argc)
+      Order = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--trace") && I + 1 < Argc)
+      TracePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--checkpoint") && I + 1 < Argc)
+      CheckpointPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--resume") && I + 1 < Argc)
+      ResumePath = Argv[++I];
     else
       usage(Argv[0]);
   }
+  if (Order != "lifo" && Order != "best-first")
+    usage(Argv[0]);
 
   auto Net = loadNetworkFile(Argv[1]);
   if (!Net) {
@@ -108,19 +128,53 @@ int main(int Argc, char **Argv) {
     VC.TimeLimitSeconds = Budget;
     VC.Delta = Delta;
     VC.Optimizer = UseFgsm ? CexSearchKind::Fgsm : CexSearchKind::Pgd;
+    VC.SearchOrder =
+        Order == "best-first" ? FrontierOrder::BestFirst : FrontierOrder::Lifo;
+
+    std::ofstream TraceOs;
+    if (!TracePath.empty()) {
+      TraceOs.open(TracePath);
+      if (!TraceOs) {
+        std::fprintf(stderr, "error: cannot open trace file %s\n",
+                     TracePath.c_str());
+        return 2;
+      }
+      VC.Trace = makeJsonlTraceSink(TraceOs);
+    }
+
+    std::optional<SearchCheckpoint> Resume;
+    if (!ResumePath.empty()) {
+      Resume = loadCheckpointFile(ResumePath);
+      if (!Resume) {
+        std::fprintf(stderr, "error: cannot load checkpoint from %s\n",
+                     ResumePath.c_str());
+        return 2;
+      }
+    }
+
     Verifier V(*Net, Policy, VC);
     VerifyResult R;
     if (Parallel) {
       ThreadPool Pool;
-      R = V.verifyParallel(*Prop, Pool);
+      R = V.verifyParallel(*Prop, Pool, Resume ? &*Resume : nullptr);
     } else {
-      R = V.verify(*Prop);
+      R = V.verify(*Prop, Resume ? &*Resume : nullptr);
     }
-    std::printf("%s: %s in %.3fs (%ld pgd, %ld analyses, %ld splits)\n",
+    std::printf("%s: %s in %.3fs (%ld pgd, %ld analyses, %ld splits, "
+                "%ld nodes)\n",
                 Prop->Name.c_str(), toString(R.Result), R.Stats.Seconds,
-                R.Stats.PgdCalls, R.Stats.AnalyzeCalls, R.Stats.Splits);
+                R.Stats.PgdCalls, R.Stats.AnalyzeCalls, R.Stats.Splits,
+                R.Stats.NodesExpanded);
     if (R.Result == Outcome::Falsified)
       printCex(*Net, R.Counterexample);
+    if (R.Result == Outcome::Timeout && !CheckpointPath.empty()) {
+      if (R.Checkpoint && saveCheckpointFile(*R.Checkpoint, CheckpointPath))
+        std::printf("checkpoint: %zu open nodes saved to %s\n",
+                    R.Checkpoint->Open.size(), CheckpointPath.c_str());
+      else
+        std::fprintf(stderr, "error: cannot save checkpoint to %s\n",
+                     CheckpointPath.c_str());
+    }
     return R.Result == Outcome::Timeout ? 1 : 0;
   }
 

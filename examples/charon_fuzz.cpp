@@ -128,10 +128,10 @@ int main(int Argc, char **Argv) {
   CampaignResult Result = runCampaign(Config);
   const CampaignStats &S = Result.Stats;
   std::printf("cases %ld in %.1fs (%.1f/s): %ld containment, %ld precision, "
-              "%ld agreement, %ld monotonicity, %ld cex checks\n",
+              "%ld agreement, %ld monotonicity, %ld cex, %ld resume checks\n",
               S.Cases, S.Seconds, S.Seconds > 0 ? S.Cases / S.Seconds : 0.0,
               S.ContainmentChecks, S.PrecisionChecks, S.AgreementChecks,
-              S.MonotonicityChecks, S.CexChecks);
+              S.MonotonicityChecks, S.CexChecks, S.ResumeChecks);
 
   if (Result.Violations.empty()) {
     std::printf("no soundness-oracle violations\n");

@@ -13,6 +13,10 @@
 # bench aborts if the engines' objectives differ) and runs on the sanitize
 # leg with CHARON_KERNEL_THRESHOLD=1, driving the batched search through
 # the threaded kernels under ASan + UBSan.
+# Finally a trace/checkpoint smoke exports the ACAS-like suite, verifies a
+# property with --trace (validating the charon-trace/1 JSONL schema), and
+# exercises the Timeout -> --checkpoint -> --resume path; the sanitize leg
+# runs it with --parallel and forced-threaded kernels.
 # Usage: scripts/check.sh [--sanitize]
 #   --sanitize   build with -DCHARON_SANITIZE=ON (ASan + UBSan)
 set -euo pipefail
@@ -89,4 +93,85 @@ else
   grep -q '"schema": "charon-bench-cex-search/1"' "$CEX_SMOKE_JSON"
   grep -q '"name": "pgd_w64_multistart"' "$CEX_SMOKE_JSON"
   echo "cex smoke: JSON OK (grep)"
+fi
+
+# Trace/checkpoint smoke: export a small ACAS-like suite, run a traced
+# verification, validate the charon-trace/1 JSONL schema, then force a
+# Timeout with a tiny budget, save its checkpoint, and resume it to
+# completion. On the sanitize leg this whole path runs under ASan + UBSan
+# with CHARON_KERNEL_THRESHOLD=1 (threaded kernels) and --parallel.
+TRACE_DIR="$BUILD_DIR/trace-smoke"
+rm -rf "$TRACE_DIR"
+TRACE_ENV=()
+TRACE_FLAGS=()
+if [[ "$SANITIZE" == 1 ]]; then
+  TRACE_ENV+=(CHARON_KERNEL_THRESHOLD=1)
+  TRACE_FLAGS+=(--parallel)
+fi
+# The export trains the seed-321 suite into its own cache dir (the
+# networks/ cache may hold a differently-seeded ACAS net from the bench
+# harness). charon_cli exits 1 on Timeout; the trace is valid either way.
+"$BUILD_DIR/examples/acas_export" "$TRACE_DIR" --count 2 \
+  --cache "$TRACE_DIR" >/dev/null
+set +e
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+  "$TRACE_DIR/acas.net" "$TRACE_DIR/acas-1.prop" \
+  --budget 10 --trace "$TRACE_DIR/trace.jsonl" "${TRACE_FLAGS[@]}"
+TRACE_RC=$?
+set -e
+if [[ "$TRACE_RC" != 0 && "$TRACE_RC" != 1 ]]; then
+  echo "trace smoke: charon_cli failed (rc=$TRACE_RC)" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE_DIR/trace.jsonl" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty trace"
+outcomes = {"falsified", "verified", "split", "aborted"}
+for line in lines:
+    event = json.loads(line)
+    for field in ("path", "depth", "diameter", "pgd_objective", "outcome",
+                  "seconds"):
+        assert field in event, field
+    assert event["outcome"] in outcomes, event["outcome"]
+    assert event["depth"] >= 0 and event["diameter"] > 0
+paths = [e["path"] for e in map(json.loads, lines)]
+assert "-" in paths, "root never expanded"
+print(f"trace smoke: {len(lines)} JSONL events OK")
+EOF
+else
+  grep -q '"path":"-"' "$TRACE_DIR/trace.jsonl"
+  grep -q '"outcome":' "$TRACE_DIR/trace.jsonl"
+  echo "trace smoke: JSONL OK (grep)"
+fi
+
+# Interrupt acas-0 (refinement-heavy under the seed-321 suite) with a
+# 20 ms budget, then resume the saved checkpoint.
+# charon_cli exits 1 on Timeout, so tolerate both codes
+# at every hop; the checkpoint file must exist after the interrupt and the
+# resumed run must accept it.
+set +e
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+  "$TRACE_DIR/acas.net" "$TRACE_DIR/acas-0.prop" \
+  --budget 0.02 --checkpoint "$TRACE_DIR/cp.txt" "${TRACE_FLAGS[@]}"
+INTERRUPT_RC=$?
+set -e
+if [[ "$INTERRUPT_RC" == 1 ]]; then
+  test -s "$TRACE_DIR/cp.txt"
+  grep -q '^charon-checkpoint 1$' "$TRACE_DIR/cp.txt"
+  set +e
+  env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+    "$TRACE_DIR/acas.net" "$TRACE_DIR/acas-0.prop" \
+    --budget 2 --resume "$TRACE_DIR/cp.txt" \
+    --checkpoint "$TRACE_DIR/cp.txt" "${TRACE_FLAGS[@]}"
+  RESUME_RC=$?
+  set -e
+  if [[ "$RESUME_RC" != 0 && "$RESUME_RC" != 1 ]]; then
+    echo "resume smoke: charon_cli failed (rc=$RESUME_RC)" >&2
+    exit 1
+  fi
+  echo "checkpoint smoke: interrupt + resume OK"
+else
+  echo "checkpoint smoke: property decided within 20ms, resume not exercised"
 fi

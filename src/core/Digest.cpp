@@ -80,18 +80,25 @@ uint64_t charon::digestProperty(const RobustnessProperty &Prop) {
   return H.digest();
 }
 
-uint64_t charon::digestVerifierConfig(const VerifierConfig &Config) {
+uint64_t charon::digestVerifierConfigSemantics(const VerifierConfig &Config) {
   Fnv1a H;
   H.f64(Config.Delta);
-  H.f64(Config.TimeLimitSeconds);
-  H.u64(static_cast<uint64_t>(Config.MaxDepth));
   H.u64(Config.Pgd.Steps);
   H.u64(Config.Pgd.Restarts);
   H.f64(Config.Pgd.StepScale);
   H.u64(static_cast<uint64_t>(Config.Optimizer));
   H.u64(Config.UseCounterexampleSearch ? 1 : 0);
   H.u64(Config.Seed);
+  H.u64(static_cast<uint64_t>(Config.SearchOrder));
   H.u64(Config.CompleteFallback ? 1 : 0);
   H.f64(Config.CompleteFallbackDiameter);
+  return H.digest();
+}
+
+uint64_t charon::digestVerifierConfig(const VerifierConfig &Config) {
+  Fnv1a H;
+  H.u64(digestVerifierConfigSemantics(Config));
+  H.f64(Config.TimeLimitSeconds);
+  H.u64(static_cast<uint64_t>(Config.MaxDepth));
   return H.digest();
 }

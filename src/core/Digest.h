@@ -65,12 +65,21 @@ uint64_t digestProperty(const RobustnessProperty &Prop);
 
 /// Digest of every VerifierConfig field that can influence the verdict or
 /// the counterexample (delta, budget, depth cap, optimizer kind and
-/// hyperparameters, seed). A config with a CompleteFallback installed is
-/// marked distinct from one without, but two different fallback callbacks
-/// are indistinguishable — callers who vary the fallback should not share
-/// a result cache across them. CancelRequested is excluded entirely: it
-/// can only truncate a run to Timeout, never change a verdict.
+/// hyperparameters, seed, frontier order). A config with a CompleteFallback
+/// installed is marked distinct from one without, but two different
+/// fallback callbacks are indistinguishable — callers who vary the fallback
+/// should not share a result cache across them. CancelRequested and the
+/// trace sink are excluded entirely: one can only truncate a run to
+/// Timeout and the other only observes it; neither changes a verdict.
 uint64_t digestVerifierConfig(const VerifierConfig &Config);
+
+/// Budget-free variant of digestVerifierConfig: every field above except
+/// the wall-clock budget (TimeLimitSeconds) and the depth cap (MaxDepth),
+/// which can only truncate a run to Timeout, never flip a completed
+/// verdict. This is the digest a SearchCheckpoint carries — resuming an
+/// interrupted search under a fresh (or larger) budget is the whole point,
+/// so budgets must not invalidate the checkpoint.
+uint64_t digestVerifierConfigSemantics(const VerifierConfig &Config);
 
 } // namespace charon
 

@@ -2,15 +2,7 @@
 
 #include "core/Verifier.h"
 
-#include "abstract/Analyzer.h"
-#include "support/Random.h"
-#include "support/ThreadPool.h"
-
-#include <algorithm>
-#include <atomic>
-#include <functional>
-#include <mutex>
-#include <vector>
+#include "search/SearchEngine.h"
 
 using namespace charon;
 
@@ -27,250 +19,15 @@ const char *charon::toString(Outcome O) {
 }
 
 Verifier::Verifier(const Network &N, VerificationPolicy P, VerifierConfig C)
-    : Net(N), Policy(std::move(P)), Config(C) {
-  assert(Config.Delta > 0.0 &&
-         "Eq. 4 requires delta > 0 for the termination guarantee");
-}
+    : Net(N), Policy(std::move(P)), Config(std::move(C)) {}
 
-bool Verifier::step(const RobustnessProperty &Prop, const Box &Region,
-                    const Vector *WarmStart, VerifyResult &Out,
-                    SplitChoice &Split, Vector &XStarOut, VerifyStats &Stats,
-                    Rng &R, const Deadline *Budget) const {
-  size_t K = Prop.TargetClass;
-  RobustnessProperty Sub{Region, K, Prop.Name};
-
-  // Line 2: optimization-based counterexample search (Eq. 1). The search
-  // stops at the Eq. 4 refutation bound rather than the default
-  // true-counterexample bound 0, and seeds its deterministic chain with the
-  // parent node's witness when refinement hands one down.
-  Vector XStar;
-  double FStar;
-  if (Config.UseCounterexampleSearch) {
-    ++Stats.PgdCalls;
-    PgdConfig Search = Config.Pgd;
-    Search.EarlyStopObjective = Config.Delta;
-    PgdResult P = Config.Optimizer == CexSearchKind::Pgd
-                      ? pgdMinimize(Net, Region, K, Search, R, WarmStart)
-                      : fgsmMinimize(Net, Region, K);
-    XStar = std::move(P.X);
-    FStar = P.Objective;
-  } else {
-    // Ablation mode: only probe the center point, so the delta-check (and
-    // thus termination) survives, but no real search happens.
-    XStar = Region.center();
-    FStar = Net.objective(XStar, K);
-  }
-
-  // Line 3 with Eq. 4: F(x*) <= delta refutes (delta-completeness).
-  if (FStar <= Config.Delta) {
-    Out.Result = Outcome::Falsified;
-    Out.Counterexample = std::move(XStar);
-    Out.ObjectiveAtCex = FStar;
-    return true;
-  }
-
-  // Lines 5-7: pick a domain with pi_alpha and attempt a proof.
-  DomainSpec Spec = Policy.chooseDomain(Net, Sub, XStar, FStar);
-  ++Stats.AnalyzeCalls;
-  if (Spec.Base == BaseDomainKind::Interval)
-    ++Stats.IntervalChoices;
-  else
-    ++Stats.ZonotopeChoices;
-  Stats.DisjunctSum += Spec.Disjuncts;
-  if (analyzeRobustness(Net, Region, K, Spec, Budget).Verified) {
-    Out.Result = Outcome::Verified;
-    return true;
-  }
-
-  // Optional Sec. 9 extension: once a subregion is small, hand it to a
-  // complete procedure (a "perfectly precise domain") instead of splitting
-  // further.
-  if (Config.CompleteFallback &&
-      Region.diameter() <= Config.CompleteFallbackDiameter) {
-    switch (Config.CompleteFallback(Net, Region, K)) {
-    case Outcome::Verified:
-      Out.Result = Outcome::Verified;
-      return true;
-    case Outcome::Falsified: {
-      // Recover a concrete witness with an intensified search so the
-      // delta-completeness contract holds; if it cannot be found, fall
-      // through to ordinary splitting (sound either way).
-      PgdConfig Intense = Config.Pgd;
-      Intense.Steps = 4 * Config.Pgd.Steps;
-      Intense.Restarts = 4 * Config.Pgd.Restarts;
-      Intense.EarlyStopObjective = Config.Delta;
-      PgdResult P = pgdMinimize(Net, Region, K, Intense, R, &XStar);
-      if (P.Objective <= Config.Delta) {
-        Out.Result = Outcome::Falsified;
-        Out.Counterexample = std::move(P.X);
-        Out.ObjectiveAtCex = P.Objective;
-        return true;
-      }
-      break;
-    }
-    case Outcome::Timeout:
-      break; // Fallback gave up; keep refining.
-    }
-  }
-
-  // Line 8: neither refuted nor proved; ask pi_I how to split. The node's
-  // best witness rides along so the children's searches don't rediscover
-  // the descent direction from their centers.
-  Split = Policy.choosePartition(Net, Sub, XStar, FStar);
-  XStarOut = std::move(XStar);
-  ++Stats.Splits;
-  return false;
-}
-
-/// One entry of the refinement worklist: a subregion plus the parent node's
-/// best witness (empty at the root), which warm-starts the child's search.
-struct Verifier::WorkItem {
-  Box Region;
-  int Depth;
-  Vector Warm;
-};
-
-VerifyResult Verifier::verify(const RobustnessProperty &Prop) const {
-  assert(Prop.Region.dim() == Net.inputSize() && "property/network mismatch");
-  Deadline Budget(Config.TimeLimitSeconds);
-  Stopwatch Watch;
-  Rng R(Config.Seed);
-
-  VerifyResult Result;
-  VerifyStats &Stats = Result.Stats;
-
-  // Depth-first worklist over subregions; the property holds iff every
-  // region is eventually verified (splits preserve I = I1 u I2).
-  std::vector<WorkItem> Work;
-  Work.push_back(WorkItem{Prop.Region, 0, Vector()});
-
-  while (!Work.empty()) {
-    if (Budget.expired() ||
-        (Config.CancelRequested && Config.CancelRequested())) {
-      Result.Result = Outcome::Timeout;
-      Result.Stats.Seconds = Watch.seconds();
-      return Result;
-    }
-    WorkItem Item = std::move(Work.back());
-    Work.pop_back();
-    Stats.MaxDepth = std::max(Stats.MaxDepth, static_cast<long>(Item.Depth));
-
-    VerifyResult NodeResult;
-    SplitChoice Split;
-    Vector XStar;
-    if (step(Prop, Item.Region, Item.Warm.empty() ? nullptr : &Item.Warm,
-             NodeResult, Split, XStar, Stats, R, &Budget)) {
-      if (NodeResult.Result == Outcome::Falsified) {
-        NodeResult.Stats = Stats;
-        NodeResult.Stats.Seconds = Watch.seconds();
-        return NodeResult;
-      }
-      continue; // This region verified; move to the next one.
-    }
-
-    if (Item.Depth + 1 > Config.MaxDepth) {
-      // Safety net beyond the theoretical bound; report as a timeout.
-      Result.Result = Outcome::Timeout;
-      Result.Stats.Seconds = Watch.seconds();
-      return Result;
-    }
-    auto [Left, Right] = Item.Region.split(Split.Dim, Split.Cut);
-    // Both children inherit the parent's witness; each side's search
-    // projects it onto its own half.
-    Work.push_back(WorkItem{std::move(Left), Item.Depth + 1, XStar});
-    Work.push_back(WorkItem{std::move(Right), Item.Depth + 1, std::move(XStar)});
-  }
-
-  Result.Result = Outcome::Verified;
-  Result.Stats.Seconds = Watch.seconds();
-  return Result;
+VerifyResult Verifier::verify(const RobustnessProperty &Prop,
+                              const SearchCheckpoint *Resume) const {
+  return SearchEngine(Net, Policy, Config).run(Prop, Resume, nullptr);
 }
 
 VerifyResult Verifier::verifyParallel(const RobustnessProperty &Prop,
-                                      ThreadPool &Pool) const {
-  assert(Prop.Region.dim() == Net.inputSize() && "property/network mismatch");
-  // Pre-warm lazily built affine lowerings (e.g. convolution caches) so the
-  // shared network is strictly read-only during the parallel phase.
-  for (size_t I = 0, E = Net.numLayers(); I < E; ++I)
-    (void)Net.layer(I).affineForm();
-
-  Deadline Budget(Config.TimeLimitSeconds);
-  Stopwatch Watch;
-
-  struct Shared {
-    std::mutex Mutex;
-    VerifyStats Stats;
-    VerifyResult Final;
-    std::atomic<bool> Resolved{false};
-    std::atomic<bool> TimedOut{false};
-    std::atomic<uint64_t> SeedCounter{0};
-  } State;
-
-  // Recursive task over a subregion (carrying the parent's witness as the
-  // child search's warm start, empty at the root). Children are submitted
-  // to the pool so independent abstract-interpreter calls run on different
-  // threads.
-  std::function<void(Box, int, Vector)> Process = [&](Box Region, int Depth,
-                                                      Vector Warm) {
-    if (State.Resolved.load(std::memory_order_relaxed))
-      return;
-    if (Budget.expired() ||
-        (Config.CancelRequested && Config.CancelRequested())) {
-      State.TimedOut.store(true);
-      return;
-    }
-    Rng R(Config.Seed + 0x9e37 * State.SeedCounter.fetch_add(1));
-    VerifyResult NodeResult;
-    SplitChoice Split;
-    Vector XStar;
-    VerifyStats Local;
-    bool Done = step(Prop, Region, Warm.empty() ? nullptr : &Warm, NodeResult,
-                     Split, XStar, Local, R, &Budget);
-    {
-      std::lock_guard<std::mutex> Lock(State.Mutex);
-      State.Stats.PgdCalls += Local.PgdCalls;
-      State.Stats.AnalyzeCalls += Local.AnalyzeCalls;
-      State.Stats.Splits += Local.Splits;
-      State.Stats.IntervalChoices += Local.IntervalChoices;
-      State.Stats.ZonotopeChoices += Local.ZonotopeChoices;
-      State.Stats.DisjunctSum += Local.DisjunctSum;
-      State.Stats.MaxDepth =
-          std::max(State.Stats.MaxDepth, static_cast<long>(Depth));
-      if (Done && NodeResult.Result == Outcome::Falsified &&
-          !State.Resolved.exchange(true)) {
-        State.Final = std::move(NodeResult);
-      }
-    }
-    if (Done)
-      return;
-    if (Depth + 1 > Config.MaxDepth) {
-      State.TimedOut.store(true);
-      return;
-    }
-    auto [Left, Right] = Region.split(Split.Dim, Split.Cut);
-    Pool.submit([&Process, L = std::move(Left), Depth, W = XStar]() mutable {
-      Process(std::move(L), Depth + 1, std::move(W));
-    });
-    Pool.submit(
-        [&Process, Rt = std::move(Right), Depth, W = std::move(XStar)]() mutable {
-          Process(std::move(Rt), Depth + 1, std::move(W));
-        });
-  };
-
-  Pool.submit([&Process, Root = Prop.Region]() mutable {
-    Process(std::move(Root), 0, Vector());
-  });
-  Pool.wait();
-
-  VerifyResult Result;
-  if (State.Resolved.load()) {
-    Result = std::move(State.Final);
-  } else if (State.TimedOut.load()) {
-    Result.Result = Outcome::Timeout;
-  } else {
-    Result.Result = Outcome::Verified;
-  }
-  Result.Stats = State.Stats;
-  Result.Stats.Seconds = Watch.seconds();
-  return Result;
+                                      ThreadPool &Pool,
+                                      const SearchCheckpoint *Resume) const {
+  return SearchEngine(Net, Policy, Config).run(Prop, Resume, &Pool);
 }

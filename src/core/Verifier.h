@@ -12,6 +12,13 @@
 /// for truly robust regions, and every non-Verified answer within budget
 /// carries a delta-counterexample (Definition 5.3).
 ///
+/// Both drivers — the sequential verify() and the ThreadPool-backed
+/// verifyParallel() — are thin wrappers over the explicit proof-search
+/// engine in src/search/: one shared node-expansion path, path-derived
+/// per-node RNG seeds (so serial and parallel runs return bit-identical
+/// verdicts, counterexamples, and objectives), a pluggable frontier order,
+/// resumable checkpoints on Timeout, and structured per-node trace events.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHARON_CORE_VERIFIER_H
@@ -21,12 +28,16 @@
 #include "core/Property.h"
 #include "nn/Network.h"
 #include "opt/Pgd.h"
+#include "search/Frontier.h"
+#include "search/Trace.h"
 #include "support/Timer.h"
 
 #include <functional>
+#include <memory>
 
 namespace charon {
 class ThreadPool;
+struct SearchCheckpoint;
 
 /// Verdict of a verification run.
 enum class Outcome { Verified, Falsified, Timeout };
@@ -43,17 +54,38 @@ struct VerifyStats {
   long IntervalChoices = 0;
   long ZonotopeChoices = 0;
   long DisjunctSum = 0; ///< sum of chosen disjunct budgets over Analyze calls
+  long NodesExpanded = 0; ///< proof-tree nodes whose expansion completed
   double Seconds = 0.0;
+
+  /// Merges another run's (or node's) counters: counts and Seconds add,
+  /// MaxDepth takes the max. Used by the parallel driver, the service
+  /// batch reporter, and the bench aggregators.
+  VerifyStats &operator+=(const VerifyStats &O) {
+    PgdCalls += O.PgdCalls;
+    AnalyzeCalls += O.AnalyzeCalls;
+    Splits += O.Splits;
+    MaxDepth = MaxDepth > O.MaxDepth ? MaxDepth : O.MaxDepth;
+    IntervalChoices += O.IntervalChoices;
+    ZonotopeChoices += O.ZonotopeChoices;
+    DisjunctSum += O.DisjunctSum;
+    NodesExpanded += O.NodesExpanded;
+    Seconds += O.Seconds;
+    return *this;
+  }
 };
 
 /// Result of a verification run. Counterexample is populated iff
 /// Result == Falsified, and then satisfies F(x) <= Delta (delta-
 /// completeness: it is a true counterexample or within delta of one).
+/// Checkpoint is populated iff Result == Timeout: it captures the open
+/// frontier and accumulated stats so a later call can resume the search
+/// where the deadline cut it off (see search/Checkpoint.h).
 struct VerifyResult {
   Outcome Result = Outcome::Timeout;
   Vector Counterexample;
   double ObjectiveAtCex = 0.0;
   VerifyStats Stats;
+  std::shared_ptr<const SearchCheckpoint> Checkpoint;
 };
 
 /// Which gradient-based optimizer drives the counterexample search. The
@@ -79,13 +111,22 @@ struct VerifierConfig {
   /// Disable the counterexample search (ablation: proof search only, like
   /// a refinement-only verifier). Falsification becomes impossible.
   bool UseCounterexampleSearch = true;
-  /// RNG seed for PGD restarts.
+  /// RNG seed. Each proof-tree node derives its own seed from this value
+  /// and its split path, so randomness is independent of scheduling.
   uint64_t Seed = 7;
+  /// Frontier scheduling order (see search/Frontier.h). Pure heuristics:
+  /// the verdict-selection rule keeps clean-run answers order-independent.
+  FrontierOrder SearchOrder = FrontierOrder::Lifo;
 
-  /// Optional cooperative cancellation hook, polled at the same recursion
+  /// Optional per-node-expansion event sink (see search/Trace.h). May be
+  /// called concurrently by verifyParallel; sinks must be thread-safe.
+  TraceSink Trace;
+
+  /// Optional cooperative cancellation hook, polled at the same scheduling
   /// points as the deadline. When it returns true the run stops with
-  /// Outcome::Timeout (sound: no verdict is fabricated). The service layer
-  /// wires per-job cancel flags through this.
+  /// Outcome::Timeout (sound: no verdict is fabricated) and carries a
+  /// resumable checkpoint. The service layer wires per-job cancel flags
+  /// through this.
   std::function<bool()> CancelRequested;
 
   /// Optional complete decision procedure used as a "perfectly precise
@@ -107,32 +148,26 @@ public:
   Verifier(const Network &Net, VerificationPolicy Policy,
            VerifierConfig Config = VerifierConfig());
 
-  /// Decides the robustness property (Algorithm 1). Sequential.
-  VerifyResult verify(const RobustnessProperty &Prop) const;
+  /// Decides the robustness property (Algorithm 1). Sequential. When
+  /// \p Resume points at a checkpoint from an earlier Timeout on the same
+  /// (network, property, config-modulo-budget) query, the search continues
+  /// from that frontier instead of the root; an incompatible checkpoint is
+  /// ignored and the search starts fresh.
+  VerifyResult verify(const RobustnessProperty &Prop,
+                      const SearchCheckpoint *Resume = nullptr) const;
 
-  /// Parallel variant: independent subregions are analyzed on \p Pool
-  /// (Sec. 6, "Parallelization"). Returns the same verdicts as verify().
+  /// Parallel variant: independent node expansions run on \p Pool (Sec. 6,
+  /// "Parallelization"). Per-node path-derived seeds plus the DFS-earliest
+  /// falsification rule make the verdict, counterexample, and objective
+  /// bit-identical to verify() on runs that finish within budget.
   VerifyResult verifyParallel(const RobustnessProperty &Prop,
-                              ThreadPool &Pool) const;
+                              ThreadPool &Pool,
+                              const SearchCheckpoint *Resume = nullptr) const;
 
   const VerifierConfig &config() const { return Config; }
   const VerificationPolicy &policy() const { return Policy; }
 
 private:
-  struct WorkItem;
-
-  /// One node of Algorithm 1 on \p Region: counterexample search, then a
-  /// proof attempt (abandoned when \p Budget expires). \p WarmStart, when
-  /// non-null, seeds the deterministic chain-0 slot of the PGD search with
-  /// the parent node's witness (projected onto \p Region). Returns true
-  /// when resolved (filling \p Out), false when the region must be split
-  /// (filling \p Split and leaving the node's best witness in \p XStarOut
-  /// for the children to warm-start from).
-  bool step(const RobustnessProperty &Prop, const Box &Region,
-            const Vector *WarmStart, VerifyResult &Out, SplitChoice &Split,
-            Vector &XStarOut, VerifyStats &Stats, Rng &R,
-            const Deadline *Budget) const;
-
   const Network &Net;
   VerificationPolicy Policy;
   VerifierConfig Config;

@@ -101,6 +101,10 @@ charon::runFuzzCase(const Network &Net, const RobustnessProperty &Prop,
   if (Stats)
     ++Stats->AgreementChecks;
 
+  Append(checkCheckpointResume(Net, Prop, Policy, Cfg, OracleR));
+  if (Stats)
+    ++Stats->ResumeChecks;
+
   return All;
 }
 

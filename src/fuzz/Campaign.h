@@ -54,12 +54,13 @@ struct CampaignStats {
   long AgreementChecks = 0;
   long MonotonicityChecks = 0;
   long CexChecks = 0;
+  long ResumeChecks = 0;
   long Violations = 0; ///< violating cases (not individual messages)
   double Seconds = 0.0;
 
   long totalChecks() const {
     return ContainmentChecks + PrecisionChecks + AgreementChecks +
-           MonotonicityChecks + CexChecks;
+           MonotonicityChecks + CexChecks + ResumeChecks;
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include "fuzz/Oracles.h"
 
+#include "search/Checkpoint.h"
 #include "service/VerificationService.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
@@ -70,7 +71,16 @@ bool statsEqualIgnoringTime(const VerifyStats &A, const VerifyStats &B) {
          A.Splits == B.Splits && A.MaxDepth == B.MaxDepth &&
          A.IntervalChoices == B.IntervalChoices &&
          A.ZonotopeChoices == B.ZonotopeChoices &&
-         A.DisjunctSum == B.DisjunctSum;
+         A.DisjunctSum == B.DisjunctSum && A.NodesExpanded == B.NodesExpanded;
+}
+
+bool sameVector(const Vector &A, const Vector &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
 }
 
 } // namespace
@@ -318,6 +328,78 @@ charon::checkVerdictAgreement(const Network &Net,
     Out.push_back({"agreement:parallel-cex", V2.Message});
   for (auto &V3 : checkCounterexample(Net, Prop, Serviced, Cfg))
     Out.push_back({"agreement:service-cex", V3.Message});
+  return Out;
+}
+
+std::vector<OracleViolation>
+charon::checkCheckpointResume(const Network &Net,
+                              const RobustnessProperty &Prop,
+                              const VerificationPolicy &Policy,
+                              const OracleConfig &Cfg, Rng &R) {
+  std::vector<OracleViolation> Out;
+  VerifierConfig VC = oracleVerifierConfig(Cfg);
+  Verifier V(Net, Policy, VC);
+
+  VerifyResult Full = V.verify(Prop);
+  if (Full.Result == Outcome::Timeout)
+    return Out; // the reference run itself was truncated; nothing to compare
+
+  // Interrupt at a random fraction of the uninterrupted run's cost. The cut
+  // may land anywhere — including after the run would have finished, which
+  // degenerates into a direct determinism check.
+  VerifierConfig Cut = VC;
+  Cut.TimeLimitSeconds =
+      R.uniform(0.05, 0.75) * std::max(Full.Stats.Seconds, 1e-3);
+  Verifier Interrupted(Net, Policy, Cut);
+
+  VerifyResult Step = Interrupted.verify(Prop);
+  int Resumes = 0;
+  while (Step.Result == Outcome::Timeout) {
+    if (!Step.Checkpoint) {
+      Out.push_back({"checkpoint:missing",
+                     "Timeout verdict carried no resumable checkpoint"});
+      return Out;
+    }
+    std::string First = serializeCheckpoint(*Step.Checkpoint);
+    auto Reparsed = deserializeCheckpoint(First);
+    if (!Reparsed || serializeCheckpoint(*Reparsed) != First) {
+      Out.push_back({"checkpoint:roundtrip",
+                     "checkpoint did not round-trip byte-identically "
+                     "through serialize -> deserialize -> serialize"});
+      return Out;
+    }
+    if (++Resumes > 64)
+      return Out; // budget too small to ever finish; nothing to compare
+    // Resume under the reference budget (the checkpoint digest is
+    // budget-free, so changing the deadline must be accepted).
+    Step = V.verify(Prop, &*Reparsed);
+  }
+
+  if (Step.Result != Full.Result) {
+    std::ostringstream Os;
+    Os << "resumed run decided " << toString(Step.Result)
+       << " but the uninterrupted run decided " << toString(Full.Result)
+       << " after " << Resumes << " resume(s)";
+    Out.push_back({"checkpoint:verdict", Os.str()});
+    return Out;
+  }
+  if (!sameVector(Step.Counterexample, Full.Counterexample) ||
+      Step.ObjectiveAtCex != Full.ObjectiveAtCex) {
+    Out.push_back({"checkpoint:counterexample",
+                   "resumed run's counterexample differs from the "
+                   "uninterrupted run's: " +
+                       vecToString(Step.Counterexample) + " vs " +
+                       vecToString(Full.Counterexample)});
+  }
+  if (!statsEqualIgnoringTime(Step.Stats, Full.Stats)) {
+    std::ostringstream Os;
+    Os << "resumed run's accumulated stats differ from the uninterrupted "
+          "run's (nodes "
+       << Step.Stats.NodesExpanded << " vs " << Full.Stats.NodesExpanded
+       << ", splits " << Step.Stats.Splits << " vs " << Full.Stats.Splits
+       << ") after " << Resumes << " resume(s)";
+    Out.push_back({"checkpoint:stats", Os.str()});
+  }
   return Out;
 }
 

@@ -105,6 +105,17 @@ checkVerdictAgreement(const Network &Net, const RobustnessProperty &Prop,
                       const VerificationPolicy &Policy,
                       const OracleConfig &Cfg);
 
+/// Checkpoint/resume oracle: runs the property uninterrupted, then again
+/// with a random (much smaller) deadline, and resumes the interrupted
+/// search from its checkpoint until it decides. The resumed chain must
+/// reach the same verdict with a bit-identical counterexample and equal
+/// stats (ignoring wall-clock), and every checkpoint must round-trip
+/// byte-identically through serialize -> deserialize -> serialize.
+std::vector<OracleViolation>
+checkCheckpointResume(const Network &Net, const RobustnessProperty &Prop,
+                      const VerificationPolicy &Policy,
+                      const OracleConfig &Cfg, Rng &R);
+
 /// Precision oracle: the margin proved by (Base, Disjuncts) must be at
 /// least the margin proved by (Base, 1), up to numeric slack.
 std::vector<OracleViolation>

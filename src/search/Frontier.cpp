@@ -1,0 +1,45 @@
+//===- Frontier.cpp - Schedulable open-node frontier --------------------------===//
+
+#include "search/Frontier.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace charon;
+
+const char *charon::toString(FrontierOrder O) {
+  switch (O) {
+  case FrontierOrder::Lifo:
+    return "lifo";
+  case FrontierOrder::BestFirst:
+    return "best-first";
+  }
+  return "unknown";
+}
+
+Frontier::Frontier(FrontierOrder O, const ProofTree *T) : Order(O), Tree(T) {}
+
+bool Frontier::worse(NodeId A, NodeId B) const {
+  double PA = Tree->node(A).Priority;
+  double PB = Tree->node(B).Priority;
+  if (PA != PB)
+    return PA > PB;
+  return Tree->dfsPrecedes(B, A);
+}
+
+void Frontier::push(NodeId Id) {
+  Entries.push_back(Id);
+  if (Order == FrontierOrder::BestFirst)
+    std::push_heap(Entries.begin(), Entries.end(),
+                   [this](NodeId A, NodeId B) { return worse(A, B); });
+}
+
+NodeId Frontier::pop() {
+  assert(!Entries.empty() && "pop on empty frontier");
+  if (Order == FrontierOrder::BestFirst)
+    std::pop_heap(Entries.begin(), Entries.end(),
+                  [this](NodeId A, NodeId B) { return worse(A, B); });
+  NodeId Id = Entries.back();
+  Entries.pop_back();
+  return Id;
+}

@@ -1,0 +1,75 @@
+//===- Frontier.h - Schedulable open-node frontier ---------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frontier schedules the proof tree's open nodes with a pluggable
+/// order. Scheduling is pure heuristics: the engine's verdict-selection
+/// rule (DFS-earliest falsification, see SearchEngine.h) makes the final
+/// verdict and counterexample independent of the pop order, so swapping
+/// orders trades wall-clock, never answers.
+///
+///  - Lifo reproduces the classic depth-first refinement loop: the most
+///    recently produced child pops first, keeping memory low and matching
+///    the sequential driver the repo always had.
+///  - BestFirst pops the node with the smallest priority — the parent's
+///    PGD objective — so regions that came closest to a refutation are
+///    attacked first, which finds counterexamples sooner on falsifiable
+///    properties. Ties break toward the DFS-earliest node, which keeps the
+///    order deterministic and stable across checkpoint/resume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_SEARCH_FRONTIER_H
+#define CHARON_SEARCH_FRONTIER_H
+
+#include "search/ProofTree.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace charon {
+
+/// Frontier scheduling orders.
+enum class FrontierOrder : uint8_t {
+  Lifo,     ///< depth-first: last pushed pops first (the default)
+  BestFirst ///< minimum PGD objective first (near-refutations attacked first)
+};
+
+/// Printable name of a frontier order ("lifo" / "best-first").
+const char *toString(FrontierOrder O);
+
+/// Scheduler over open node ids. Not thread-safe; the engine guards it
+/// with the search-state mutex.
+class Frontier {
+public:
+  /// Creates a frontier popping in \p Order; \p Tree is consulted for
+  /// priorities and DFS tie-breaks and must outlive the frontier.
+  Frontier(FrontierOrder Order, const ProofTree *Tree);
+
+  /// Schedules \p Id. Under Lifo the last push pops first, so callers push
+  /// split halves upper-then-lower to expand the lower half first.
+  void push(NodeId Id);
+
+  /// Pops the next node to expand. Requires !empty().
+  NodeId pop();
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  FrontierOrder order() const { return Order; }
+
+private:
+  /// True when popping \p A before \p B would be wrong under BestFirst.
+  bool worse(NodeId A, NodeId B) const;
+
+  FrontierOrder Order;
+  const ProofTree *Tree;
+  /// Lifo: a plain stack. BestFirst: a binary min-heap on (priority, DFS).
+  std::vector<NodeId> Entries;
+};
+
+} // namespace charon
+
+#endif // CHARON_SEARCH_FRONTIER_H

@@ -3,6 +3,7 @@
 #include "service/VerificationService.h"
 
 #include "core/Digest.h"
+#include "search/Checkpoint.h"
 #include "support/Timer.h"
 
 #include <cassert>
@@ -136,12 +137,21 @@ void VerificationService::execute(detail::JobState &Job) {
   Key.PropertyDigest = digestProperty(Req.Prop);
   Key.ConfigDigest = digestVerifierConfig(Req.Config);
 
+  // A cached Timeout that carries a checkpoint is not a final answer but a
+  // partially explored search; with ResumeTimeouts the job continues it
+  // instead of replaying (or restarting) the query.
+  std::shared_ptr<const SearchCheckpoint> Resume;
   if (Config.EnableCache) {
     if (auto Hit = Cache.lookup(Key, Req.Prop.Region, Req.Prop.TargetClass)) {
-      Out.Result = std::move(*Hit);
-      Out.CacheHit = true;
-      Job.finish(std::move(Out));
-      return;
+      if (Config.ResumeTimeouts && Hit->Result == Outcome::Timeout &&
+          Hit->Checkpoint) {
+        Resume = Hit->Checkpoint;
+      } else {
+        Out.Result = std::move(*Hit);
+        Out.CacheHit = true;
+        Job.finish(std::move(Out));
+        return;
+      }
     }
   }
 
@@ -154,7 +164,8 @@ void VerificationService::execute(detail::JobState &Job) {
            (UserHook && UserHook());
   };
   Verifier V(Net, Policy, VC);
-  Out.Result = V.verify(Req.Prop);
+  Out.Result = V.verify(Req.Prop, Resume.get());
+  Out.Resumed = Resume != nullptr;
   Out.RunSeconds = RunWatch.seconds();
 
   if (Job.CancelFlag.load(std::memory_order_relaxed)) {
@@ -195,15 +206,7 @@ BatchReport VerificationService::runBatch(
     }
     if (Out.CacheHit)
       ++Report.CacheHits;
-    const VerifyStats &S = Out.Result.Stats;
-    Report.Aggregate.PgdCalls += S.PgdCalls;
-    Report.Aggregate.AnalyzeCalls += S.AnalyzeCalls;
-    Report.Aggregate.Splits += S.Splits;
-    Report.Aggregate.MaxDepth = std::max(Report.Aggregate.MaxDepth, S.MaxDepth);
-    Report.Aggregate.IntervalChoices += S.IntervalChoices;
-    Report.Aggregate.ZonotopeChoices += S.ZonotopeChoices;
-    Report.Aggregate.DisjunctSum += S.DisjunctSum;
-    Report.Aggregate.Seconds += S.Seconds;
+    Report.Aggregate += Out.Result.Stats;
   }
   Report.WallSeconds = Watch.seconds();
   return Report;

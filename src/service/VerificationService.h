@@ -52,6 +52,7 @@ struct JobRequest {
 struct JobOutcome {
   VerifyResult Result;   ///< bit-identical to Verifier::verify on a miss
   bool CacheHit = false; ///< answered from the ResultCache
+  bool Resumed = false;  ///< continued a cached Timeout's checkpoint
   bool Cancelled = false; ///< cancelled before or during execution
   double QueueSeconds = 0.0; ///< submit-to-start latency
   double RunSeconds = 0.0;   ///< execution time (0 for pre-run cancels)
@@ -112,6 +113,12 @@ struct ServiceConfig {
   /// time budget (same query + same budget replays the same timeout);
   /// disable to retry timed-out queries on every submission.
   bool CacheTimeouts = true;
+  /// When a job's query hits a cached Timeout that carries a search
+  /// checkpoint, continue the interrupted search from that checkpoint
+  /// (spending the job's full budget on fresh frontier work) instead of
+  /// replaying the stale Timeout. Each resubmission therefore makes
+  /// monotone progress toward a verdict; the outcome reports Resumed.
+  bool ResumeTimeouts = true;
 };
 
 /// Multi-tenant verification service over one shared policy.

@@ -35,7 +35,8 @@ bool sameStatsIgnoringTime(const VerifyStats &A, const VerifyStats &B) {
          A.Splits == B.Splits && A.MaxDepth == B.MaxDepth &&
          A.IntervalChoices == B.IntervalChoices &&
          A.ZonotopeChoices == B.ZonotopeChoices &&
-         A.DisjunctSum == B.DisjunctSum;
+         A.DisjunctSum == B.DisjunctSum &&
+         A.NodesExpanded == B.NodesExpanded;
 }
 
 bool sameVector(const Vector &A, const Vector &B) {
@@ -115,8 +116,10 @@ TEST(VerdictIdentityTest, AcasSuiteAgreesAcrossAllThreePaths) {
     // bit-identical to verify() unless a deadline poll fired mid-run;
     // finishing well under the budget rules that out on both sides.
     bool TimingClean = Seq.Result != Outcome::Timeout &&
+                       Par.Result != Outcome::Timeout &&
                        Job.Result.Result != Outcome::Timeout &&
                        Seq.Stats.Seconds < 0.5 * BudgetSeconds &&
+                       Par.Stats.Seconds < 0.5 * BudgetSeconds &&
                        Job.Result.Stats.Seconds < 0.5 * BudgetSeconds;
     if (TimingClean) {
       ++Decided;
@@ -124,8 +127,18 @@ TEST(VerdictIdentityTest, AcasSuiteAgreesAcrossAllThreePaths) {
       EXPECT_EQ(Seq.ObjectiveAtCex, Job.Result.ObjectiveAtCex);
       EXPECT_TRUE(sameVector(Seq.Counterexample, Job.Result.Counterexample));
       EXPECT_TRUE(sameStatsIgnoringTime(Seq.Stats, Job.Result.Stats));
-      // verifyParallel guarantees the same verdict, not the same cex.
+      // Path-derived per-node seeds plus the DFS-earliest falsification
+      // rule make the parallel driver bit-identical down to the
+      // counterexample and objective, not merely verdict-equal.
       EXPECT_EQ(Seq.Result, Par.Result);
+      EXPECT_EQ(Seq.ObjectiveAtCex, Par.ObjectiveAtCex);
+      EXPECT_TRUE(sameVector(Seq.Counterexample, Par.Counterexample));
+      // Stats agree fully on verified runs (the expansion set is exactly
+      // the whole tree); a falsified parallel run may legitimately commit
+      // extra in-flight expansions before the winner is confirmed.
+      if (Seq.Result == Outcome::Verified) {
+        EXPECT_TRUE(sameStatsIgnoringTime(Seq.Stats, Par.Stats));
+      }
     }
   }
   // The suite must actually exercise the identity comparison: a timeout on

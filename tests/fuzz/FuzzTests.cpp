@@ -145,6 +145,22 @@ TEST(OracleTest, CleanOnPaperNetworks) {
   }
 }
 
+TEST(OracleTest, CheckpointResumeIsCleanOnPaperNetworks) {
+  OracleConfig Cfg;
+  Network Net = makeXorNetwork();
+  RobustnessProperty Prop = centerProperty(Net, Box::uniform(2, 0.3, 0.7));
+  // A handful of random cut fractions: each interrupts the search at a
+  // different point, and every resumed chain must land on the
+  // uninterrupted verdict with identical stats.
+  for (uint64_t Seed : {11u, 12u, 13u}) {
+    Rng R(Seed);
+    std::vector<OracleViolation> V =
+        checkCheckpointResume(Net, Prop, VerificationPolicy(), Cfg, R);
+    for (const OracleViolation &X : V)
+      ADD_FAILURE() << X.Oracle << ": " << X.Message;
+  }
+}
+
 TEST(OracleTest, InjectedBugIsCaught) {
   Network Net = makeExample23Network();
   Box Region = Box::uniform(2, 0.0, 1.0);

@@ -42,7 +42,8 @@ bool statsEqual(const VerifyStats &A, const VerifyStats &B) {
          A.Splits == B.Splits && A.MaxDepth == B.MaxDepth &&
          A.IntervalChoices == B.IntervalChoices &&
          A.ZonotopeChoices == B.ZonotopeChoices &&
-         A.DisjunctSum == B.DisjunctSum;
+         A.DisjunctSum == B.DisjunctSum &&
+         A.NodesExpanded == B.NodesExpanded;
 }
 
 } // namespace
@@ -281,6 +282,66 @@ TEST(VerificationServiceTest, PriorityOrdersQueuedJobs) {
   Head.wait();
   ASSERT_EQ(Order.size(), 4u);
   EXPECT_EQ(Order, (std::vector<int>{9, 5, 2, 0}));
+}
+
+TEST(VerificationServiceTest, ResubmittedTimeoutResumesFromCheckpoint) {
+  // Interval-only policy on the XOR region: verification needs many splits
+  // (see RefinementTests), so a 2ms budget reliably times out mid-search.
+  Matrix Theta(PolicyNumOutputs, PolicyNumFeatures);
+  Theta(0, 4) = -10.0;
+  Theta(1, 4) = -10.0;
+  Theta(2, 4) = 10.0;
+  Theta(3, 4) = -10.0;
+  Theta(4, 4) = -10.0;
+  VerificationPolicy IntervalOnly((Matrix(Theta)));
+
+  ServiceConfig SC;
+  SC.Workers = 1;
+  VerificationService Service(IntervalOnly, SC);
+  NetworkId Net = Service.registry().add(makeXorNetwork());
+
+  JobRequest Req;
+  Req.Net = Net;
+  Req.Prop.Region = Box::uniform(2, 0.3, 0.7);
+  Req.Prop.TargetClass = 1;
+  Req.Prop.Name = "xor-refine";
+  Req.Config.TimeLimitSeconds = 0.002;
+
+  const JobOutcome First = Service.submit(Req).outcome();
+  EXPECT_FALSE(First.Resumed);
+  if (First.Result.Result != Outcome::Timeout)
+    GTEST_SKIP() << "query decided within 2ms; resume path not exercised";
+  ASSERT_TRUE(First.Result.Checkpoint);
+
+  // Each identical resubmission finds the cached Timeout-with-checkpoint
+  // and continues the search instead of replaying the stale answer, so
+  // progress is monotone across submissions until a verdict lands.
+  JobOutcome Last = First;
+  for (int I = 0; I < 400 && Last.Result.Result == Outcome::Timeout; ++I) {
+    JobOutcome Next = Service.submit(Req).outcome();
+    EXPECT_TRUE(Next.Resumed);
+    EXPECT_FALSE(Next.CacheHit);
+    EXPECT_GE(Next.Result.Stats.NodesExpanded,
+              Last.Result.Stats.NodesExpanded);
+    Last = Next;
+  }
+  ASSERT_EQ(Last.Result.Result, Outcome::Verified);
+  EXPECT_GT(Last.Result.Stats.NodesExpanded, First.Result.Stats.NodesExpanded);
+
+  // The resumed chain lands on the verdict the uninterrupted verifier
+  // reaches, and the completed result replaces the stale Timeout in the
+  // cache: one more submission is a plain hit, no resume.
+  VerifierConfig Direct = Req.Config;
+  Direct.TimeLimitSeconds = 30.0;
+  VerifyResult Expected =
+      Verifier(Service.registry().network(Net), IntervalOnly, Direct)
+          .verify(Req.Prop);
+  EXPECT_EQ(Last.Result.Result, Expected.Result);
+
+  const JobOutcome Hit = Service.submit(Req).outcome();
+  EXPECT_TRUE(Hit.CacheHit);
+  EXPECT_FALSE(Hit.Resumed);
+  EXPECT_EQ(Hit.Result.Result, Outcome::Verified);
 }
 
 TEST(VerificationServiceTest, RunBatchAggregates) {
