@@ -1,0 +1,88 @@
+//===- bench_cegar.cpp - Abstract-first vs direct verification -----------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Times the CEGAR driver (verify a merged sound over-approximation first,
+// refine on spurious counterexamples) against direct proof search on the
+// same properties: the w256/w512 dense micro-fixture balls and the seed-321
+// synthetic ACAS suite. Emits the machine-readable BENCH_cegar.json
+// trajectory (schema "charon-bench-cegar/1") tracked at the repo root.
+//
+//   --cegar-filter=SUBSTR   only run cases whose name contains SUBSTR
+//   --cegar-out=PATH        output JSON path (default BENCH_cegar.json)
+//   --cegar-repeats=N       timed repetitions per case, fastest kept (def. 3)
+//   --cegar-budget=S        per-run budget in seconds (default 5)
+//   --cegar-cache=DIR       ACAS network cache dir (default networks)
+//
+// The runner aborts on a direct-vs-CEGAR verdict contradiction backed by a
+// true counterexample, so a JSON document is only ever produced by a run
+// whose verdicts were consistent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace charon::bench;
+
+int main(int argc, char **argv) {
+  std::string Filter;
+  std::string OutPath = "BENCH_cegar.json";
+  std::string CacheDir = "networks";
+  int Repeats = 3;
+  double Budget = 5.0;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (std::strncmp(Arg, "--cegar-filter=", 15) == 0)
+      Filter = Arg + 15;
+    else if (std::strncmp(Arg, "--cegar-out=", 12) == 0)
+      OutPath = Arg + 12;
+    else if (std::strncmp(Arg, "--cegar-repeats=", 16) == 0)
+      Repeats = std::max(1, std::atoi(Arg + 16));
+    else if (std::strncmp(Arg, "--cegar-budget=", 15) == 0)
+      Budget = std::atof(Arg + 15);
+    else if (std::strncmp(Arg, "--cegar-cache=", 14) == 0)
+      CacheDir = Arg + 14;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--cegar-filter=S] [--cegar-out=P] "
+                   "[--cegar-repeats=N] [--cegar-budget=S] "
+                   "[--cegar-cache=D]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<CegarBenchResult> Results;
+  for (const CegarBenchCase &Case : defaultCegarBenchCases(Budget)) {
+    if (!Filter.empty() && Case.Name.find(Filter) == std::string::npos)
+      continue;
+    CegarBenchResult R = runCegarBenchCase(Case, Repeats, CacheDir);
+    std::printf("%-16s direct %-9s %8.4f s | cegar %-9s %8.4f s "
+                "(%.2fx, %ld rounds, %ld spurious, %ld fallbacks, "
+                "%ld/%ld neurons)\n",
+                R.Case.Name.c_str(), R.DirectOutcome.c_str(),
+                R.DirectSeconds, R.CegarOutcome.c_str(), R.CegarSeconds,
+                R.CegarSeconds > 0.0 ? R.DirectSeconds / R.CegarSeconds : 0.0,
+                R.Rounds, R.Spurious, R.Fallbacks, R.AbstractNeurons,
+                R.OriginalNeurons);
+    Results.push_back(std::move(R));
+  }
+  if (Results.empty()) {
+    std::fprintf(stderr, "no cegar case matches filter '%s'\n",
+                 Filter.c_str());
+    return 1;
+  }
+  if (!writeCegarBenchJsonFile(OutPath, Results)) {
+    std::fprintf(stderr, "failed to write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu cases)\n", OutPath.c_str(), Results.size());
+  return 0;
+}

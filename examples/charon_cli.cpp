@@ -18,6 +18,11 @@
 //   --trace <file.jsonl>    write one JSON line per node expansion
 //   --checkpoint <file>     on Timeout, save the open frontier here
 //   --resume <file>         continue the search from a saved checkpoint
+//   --cegar                 abstract-first verification: search a merged
+//                           sound over-approximation, refine on spurious
+//                           counterexamples (charon only)
+//   --cegar-ratio <r>       initial abstract width / original width (0.25)
+//   --cegar-rounds <n>      abstract rounds before direct fallback (12)
 //
 //===----------------------------------------------------------------------===//
 
@@ -46,7 +51,8 @@ namespace {
                "usage: %s <network.net> <property.prop> [--tool T] "
                "[--budget S] [--delta D] [--policy F] [--fgsm] "
                "[--parallel] [--order lifo|best-first] [--trace F] "
-               "[--checkpoint F] [--resume F]\n",
+               "[--checkpoint F] [--resume F] [--cegar] "
+               "[--cegar-ratio R] [--cegar-rounds N]\n",
                Argv0);
   std::exit(2);
 }
@@ -72,6 +78,9 @@ int main(int Argc, char **Argv) {
   bool Parallel = false;
   std::string Order = "lifo";
   std::string TracePath, CheckpointPath, ResumePath;
+  bool Cegar = false;
+  double CegarRatio = -1.0;
+  int CegarRounds = -1;
   for (int I = 3; I < Argc; ++I) {
     if (!std::strcmp(Argv[I], "--tool") && I + 1 < Argc)
       Tool = Argv[++I];
@@ -93,6 +102,12 @@ int main(int Argc, char **Argv) {
       CheckpointPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--resume") && I + 1 < Argc)
       ResumePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--cegar"))
+      Cegar = true;
+    else if (!std::strcmp(Argv[I], "--cegar-ratio") && I + 1 < Argc)
+      CegarRatio = std::atof(Argv[++I]);
+    else if (!std::strcmp(Argv[I], "--cegar-rounds") && I + 1 < Argc)
+      CegarRounds = std::atoi(Argv[++I]);
     else
       usage(Argv[0]);
   }
@@ -130,6 +145,11 @@ int main(int Argc, char **Argv) {
     VC.Optimizer = UseFgsm ? CexSearchKind::Fgsm : CexSearchKind::Pgd;
     VC.SearchOrder =
         Order == "best-first" ? FrontierOrder::BestFirst : FrontierOrder::Lifo;
+    VC.Cegar.Enabled = Cegar;
+    if (CegarRatio >= 0.0)
+      VC.Cegar.InitialMergeRatio = CegarRatio;
+    if (CegarRounds >= 0)
+      VC.Cegar.MaxRounds = CegarRounds;
 
     std::ofstream TraceOs;
     if (!TracePath.empty()) {
@@ -165,12 +185,20 @@ int main(int Argc, char **Argv) {
                 Prop->Name.c_str(), toString(R.Result), R.Stats.Seconds,
                 R.Stats.PgdCalls, R.Stats.AnalyzeCalls, R.Stats.Splits,
                 R.Stats.NodesExpanded);
+    if (Cegar)
+      std::printf("cegar: %ld rounds, %ld spurious, %ld fallbacks, "
+                  "abstract %ld neurons\n",
+                  R.Stats.CegarRounds, R.Stats.CegarSpuriousCexes,
+                  R.Stats.CegarFallbacks, R.Stats.CegarAbstractNeurons);
     if (R.Result == Outcome::Falsified)
       printCex(*Net, R.Counterexample);
     if (R.Result == Outcome::Timeout && !CheckpointPath.empty()) {
       if (R.Checkpoint && saveCheckpointFile(*R.Checkpoint, CheckpointPath))
         std::printf("checkpoint: %zu open nodes saved to %s\n",
                     R.Checkpoint->Open.size(), CheckpointPath.c_str());
+      else if (Cegar && !R.Checkpoint)
+        std::fprintf(stderr,
+                     "note: abstract-round timeout carries no checkpoint\n");
       else
         std::fprintf(stderr, "error: cannot save checkpoint to %s\n",
                      CheckpointPath.c_str());

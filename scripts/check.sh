@@ -13,10 +13,15 @@
 # bench aborts if the engines' objectives differ) and runs on the sanitize
 # leg with CHARON_KERNEL_THRESHOLD=1, driving the batched search through
 # the threaded kernels under ASan + UBSan.
-# Finally a trace/checkpoint smoke exports the ACAS-like suite, verifies a
+# A trace/checkpoint smoke exports the ACAS-like suite, verifies a
 # property with --trace (validating the charon-trace/1 JSONL schema), and
 # exercises the Timeout -> --checkpoint -> --resume path; the sanitize leg
 # runs it with --parallel and forced-threaded kernels.
+# Finally two CEGAR smokes run: one ACAS property verified with
+# --cegar --trace (the trace must carry cegar_round events alongside node
+# events, and the verdict must match a direct run) and one bench_cegar
+# case checking the charon-bench-cegar/1 JSON document; on the sanitize
+# leg both run with forced-threaded kernels (and --parallel for the CLI).
 # Usage: scripts/check.sh [--sanitize]
 #   --sanitize   build with -DCHARON_SANITIZE=ON (ASan + UBSan)
 set -euo pipefail
@@ -174,4 +179,98 @@ if [[ "$INTERRUPT_RC" == 1 ]]; then
   echo "checkpoint smoke: interrupt + resume OK"
 else
   echo "checkpoint smoke: property decided within 20ms, resume not exercised"
+fi
+
+# CEGAR smoke: verify one exported ACAS property abstract-first with
+# --cegar --trace, then directly. The trace must interleave cegar_round
+# events with the plain node events, and both runs must decide the
+# property the same way. The sanitize leg reuses TRACE_ENV/TRACE_FLAGS,
+# so the abstract rounds run with forced-threaded kernels and --parallel
+# under ASan + UBSan.
+CEGAR_TRACE="$TRACE_DIR/cegar-trace.jsonl"
+set +e
+CEGAR_OUT=$(env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+  "$TRACE_DIR/acas.net" "$TRACE_DIR/acas-1.prop" \
+  --budget 10 --cegar --trace "$CEGAR_TRACE" "${TRACE_FLAGS[@]}")
+CEGAR_RC=$?
+DIRECT_OUT=$(env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+  "$TRACE_DIR/acas.net" "$TRACE_DIR/acas-1.prop" \
+  --budget 10 "${TRACE_FLAGS[@]}")
+DIRECT_RC=$?
+set -e
+for RC in "$CEGAR_RC" "$DIRECT_RC"; do
+  if [[ "$RC" != 0 && "$RC" != 1 ]]; then
+    echo "cegar smoke: charon_cli failed (rc=$RC)" >&2
+    exit 1
+  fi
+done
+CEGAR_VERDICT=$(printf '%s\n' "$CEGAR_OUT" \
+  | sed -n 's/^[^:]*: \([a-z]*\) in .*/\1/p' | head -n1)
+DIRECT_VERDICT=$(printf '%s\n' "$DIRECT_OUT" \
+  | sed -n 's/^[^:]*: \([a-z]*\) in .*/\1/p' | head -n1)
+if [[ -z "$CEGAR_VERDICT" || "$CEGAR_VERDICT" != "$DIRECT_VERDICT" ]]; then
+  echo "cegar smoke: verdict mismatch (cegar='$CEGAR_VERDICT'," \
+       "direct='$DIRECT_VERDICT')" >&2
+  exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$CEGAR_TRACE" <<'EOF'
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty cegar trace"
+rounds = nodes = 0
+for line in lines:
+    event = json.loads(line)
+    if event.get("kind") == "cegar_round":
+        rounds += 1
+        for field in ("round", "abstract_neurons", "original_neurons",
+                      "spurious", "outcome", "seconds"):
+            assert field in event, field
+        assert event["outcome"] in {"verified", "falsified", "spurious",
+                                    "timeout"}, event["outcome"]
+        assert 0 < event["abstract_neurons"] <= event["original_neurons"]
+        assert event["round"] >= 0 and event["spurious"] >= 0
+    else:
+        nodes += 1
+        for field in ("path", "depth", "diameter", "pgd_objective",
+                      "outcome", "seconds"):
+            assert field in event, field
+assert rounds > 0, "no cegar_round events"
+assert nodes > 0, "no node events from the abstract search"
+print(f"cegar smoke: {rounds} round + {nodes} node events OK")
+EOF
+else
+  grep -q '"kind":"cegar_round"' "$CEGAR_TRACE"
+  grep -q '"path":"-"' "$CEGAR_TRACE"
+  echo "cegar smoke: trace OK (grep)"
+fi
+echo "cegar smoke: verdict '$CEGAR_VERDICT' matches direct run"
+
+# CEGAR bench smoke: one dense-MLP case must run both modes (the runner
+# aborts on a verdict contradiction) and emit valid JSON.
+CEGAR_SMOKE_JSON="$BUILD_DIR/bench-cegar-smoke.json"
+env "${CEX_ENV[@]}" "$BUILD_DIR/bench/bench_cegar" \
+  --cegar-filter=cegar_mlp_w256 --cegar-repeats=1 \
+  --cegar-out="$CEGAR_SMOKE_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$CEGAR_SMOKE_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "charon-bench-cegar/1", doc["schema"]
+assert len(doc["cases"]) == 1, doc["cases"]
+case = doc["cases"][0]
+for field in ("name", "kind", "width", "hidden_layers", "radius",
+              "budget_seconds", "merge_ratio", "direct_outcome",
+              "cegar_outcome", "direct_seconds", "cegar_seconds", "speedup",
+              "rounds", "spurious", "fallbacks", "abstract_neurons",
+              "original_neurons", "agree", "repeats"):
+    assert field in case, field
+assert case["cegar_seconds"] > 0, case["cegar_seconds"]
+assert case["agree"] is True, case
+print("cegar bench smoke: JSON OK")
+EOF
+else
+  grep -q '"schema": "charon-bench-cegar/1"' "$CEGAR_SMOKE_JSON"
+  grep -q '"name": "cegar_mlp_w256"' "$CEGAR_SMOKE_JSON"
+  echo "cegar bench smoke: JSON OK (grep)"
 fi

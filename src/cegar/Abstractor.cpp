@@ -1,0 +1,504 @@
+//===- Abstractor.cpp - Neuron-merging network abstraction --------------------===//
+
+#include "cegar/Abstractor.h"
+
+#include "nn/Dense.h"
+#include "nn/Relu.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+using namespace charon;
+
+namespace {
+
+PartDir flip(PartDir D) {
+  return D == PartDir::Inc ? PartDir::Dec : PartDir::Inc;
+}
+
+// Fixed category order used everywhere a partition is enumerated.
+constexpr std::array<std::pair<PartSign, PartDir>, 4> Categories = {{
+    {PartSign::Pos, PartDir::Inc},
+    {PartSign::Pos, PartDir::Dec},
+    {PartSign::Neg, PartDir::Inc},
+    {PartSign::Neg, PartDir::Dec},
+}};
+
+int catIndex(PartSign S, PartDir D) {
+  return (S == PartSign::Pos ? 0 : 2) + (D == PartDir::Inc ? 0 : 1);
+}
+
+/// Affine views of an alternating Dense/ReLU stack: W[h], B[h] for the H
+/// hidden layers plus W[H], B[H] for the output layer.
+struct DenseStack {
+  std::vector<const Matrix *> W;
+  std::vector<const Vector *> B;
+  size_t hidden() const { return W.size() - 1; }
+};
+
+bool denseStack(const Network &Net, DenseStack &S) {
+  size_t N = Net.numLayers();
+  if (N < 3 || N % 2 == 0)
+    return false;
+  for (size_t I = 0; I < N; ++I) {
+    const Layer &L = Net.layer(I);
+    if (I % 2 == 0) {
+      if (L.kind() != LayerKind::Dense)
+        return false;
+      std::optional<AffineView> View = L.affineForm();
+      if (!View)
+        return false;
+      S.W.push_back(View->W);
+      S.B.push_back(View->B);
+    } else if (!L.isRelu()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Competitor classes of K in increasing order; margin output j (j >= 1)
+/// tracks N_{Classes[j-1]} - N_K.
+std::vector<size_t> competitorClasses(size_t NumClasses, size_t K) {
+  std::vector<size_t> Classes;
+  for (size_t C = 0; C < NumClasses; ++C)
+    if (C != K)
+      Classes.push_back(C);
+  return Classes;
+}
+
+/// Per-layer, per-neuron presence of each of the four parts, computed by
+/// one backward pass from the margin outputs (which are all Inc). An edge
+/// with weight w feeding a successor of direction d belongs to part
+/// (Pos, d) when w > 0 and (Neg, flip(d)) when w < 0; zero edges are dead.
+std::vector<std::vector<std::array<bool, 4>>>
+classifyParts(const DenseStack &S, size_t K) {
+  size_t H = S.hidden();
+  std::vector<std::vector<std::array<bool, 4>>> Present(H);
+  for (size_t L = 0; L < H; ++L)
+    Present[L].assign(S.W[L]->rows(), {false, false, false, false});
+
+  const Matrix &WOut = *S.W[H];
+  std::vector<size_t> Classes = competitorClasses(WOut.rows(), K);
+  for (size_t V = 0; V < S.W[H - 1]->rows(); ++V) {
+    for (size_t C : Classes) {
+      double W = WOut(C, V) - WOut(K, V);
+      if (W > 0.0)
+        Present[H - 1][V][catIndex(PartSign::Pos, PartDir::Inc)] = true;
+      else if (W < 0.0)
+        Present[H - 1][V][catIndex(PartSign::Neg, PartDir::Dec)] = true;
+    }
+  }
+
+  for (size_t L = H - 1; L-- > 0;) {
+    const Matrix &WNext = *S.W[L + 1];
+    for (size_t VN = 0; VN < WNext.rows(); ++VN) {
+      const std::array<bool, 4> &Succ = Present[L + 1][VN];
+      bool HasInc = Succ[catIndex(PartSign::Pos, PartDir::Inc)] ||
+                    Succ[catIndex(PartSign::Neg, PartDir::Inc)];
+      bool HasDec = Succ[catIndex(PartSign::Pos, PartDir::Dec)] ||
+                    Succ[catIndex(PartSign::Neg, PartDir::Dec)];
+      if (!HasInc && !HasDec)
+        continue;
+      for (size_t V = 0; V < WNext.cols(); ++V) {
+        double W = WNext(VN, V);
+        if (W > 0.0) {
+          if (HasInc)
+            Present[L][V][catIndex(PartSign::Pos, PartDir::Inc)] = true;
+          if (HasDec)
+            Present[L][V][catIndex(PartSign::Pos, PartDir::Dec)] = true;
+        } else if (W < 0.0) {
+          if (HasInc)
+            Present[L][V][catIndex(PartSign::Neg, PartDir::Dec)] = true;
+          if (HasDec)
+            Present[L][V][catIndex(PartSign::Neg, PartDir::Inc)] = true;
+        }
+      }
+    }
+  }
+  return Present;
+}
+
+/// Members of each category in one layer, neuron indices ascending.
+std::array<std::vector<size_t>, 4>
+categoryMembers(const std::vector<std::array<bool, 4>> &LayerParts) {
+  std::array<std::vector<size_t>, 4> Members;
+  for (size_t V = 0; V < LayerParts.size(); ++V)
+    for (int C = 0; C < 4; ++C)
+      if (LayerParts[V][C])
+        Members[C].push_back(V);
+  return Members;
+}
+
+} // namespace
+
+bool charon::canAbstract(const Network &Net) {
+  DenseStack S;
+  return denseStack(Net, S) && Net.outputSize() >= 2;
+}
+
+size_t charon::numHiddenLayers(const Network &Net) {
+  DenseStack S;
+  return denseStack(Net, S) ? S.hidden() : 0;
+}
+
+RefinementMap charon::finestPartition(const Network &Net, size_t K) {
+  return initialPartition(Net, K, 1.0);
+}
+
+RefinementMap charon::initialPartition(const Network &Net, size_t K,
+                                       double MergeRatio) {
+  RefinementMap Map;
+  Map.TargetClass = K;
+  DenseStack S;
+  if (!denseStack(Net, S) || Net.outputSize() < 2 || K >= Net.outputSize())
+    return Map;
+
+  std::vector<std::vector<std::array<bool, 4>>> Present = classifyParts(S, K);
+  Map.Layers.resize(S.hidden());
+  for (size_t L = 0; L < S.hidden(); ++L) {
+    std::array<std::vector<size_t>, 4> Members = categoryMembers(Present[L]);
+    size_t TotalParts = 0;
+    size_t NonEmpty = 0;
+    for (const std::vector<size_t> &M : Members) {
+      TotalParts += M.size();
+      NonEmpty += M.empty() ? 0 : 1;
+    }
+    if (TotalParts == 0) {
+      // A layer whose every outgoing edge is dead cannot be represented;
+      // signal "not abstractable" and let the driver fall back.
+      Map.Layers.clear();
+      return Map;
+    }
+
+    // Target group count for the layer, expressed against the original
+    // width so MergeRatio=0.25 reads "about a quarter of the layer".
+    size_t Width = S.W[L]->rows();
+    size_t Target = TotalParts;
+    if (MergeRatio < 1.0) {
+      double Raw = MergeRatio * static_cast<double>(Width);
+      long Rounded = std::lround(Raw);
+      Target = Rounded < 1 ? 1 : static_cast<size_t>(Rounded);
+      Target = std::max(Target, NonEmpty);
+      Target = std::min(Target, TotalParts);
+    }
+
+    // One group per nonempty category, then grow the category whose groups
+    // are currently the fullest until the layer target is met.
+    std::array<size_t, 4> Buckets = {0, 0, 0, 0};
+    size_t Assigned = 0;
+    for (int C = 0; C < 4; ++C)
+      if (!Members[C].empty()) {
+        Buckets[C] = 1;
+        ++Assigned;
+      }
+    while (Assigned < Target) {
+      int Best = -1;
+      double BestLoad = 0.0;
+      for (int C = 0; C < 4; ++C) {
+        if (Members[C].empty() || Buckets[C] >= Members[C].size())
+          continue;
+        double Load = static_cast<double>(Members[C].size()) /
+                      static_cast<double>(Buckets[C]);
+        if (Best < 0 || Load > BestLoad) {
+          Best = C;
+          BestLoad = Load;
+        }
+      }
+      if (Best < 0)
+        break;
+      ++Buckets[Best];
+      ++Assigned;
+    }
+
+    const Matrix &W = *S.W[L];
+    const Vector &B = *S.B[L];
+    for (int C = 0; C < 4; ++C) {
+      std::vector<size_t> &Neurons = Members[C];
+      if (Neurons.empty())
+        continue;
+      // Bucket similar rows together: a 1-D projection of (row, bias) is a
+      // cheap similarity key, and contiguous runs of the sorted order keep
+      // the min/max aggregation tight.
+      std::vector<double> Key(W.rows(), 0.0);
+      for (size_t V : Neurons) {
+        double Sum = 0.0;
+        const double *Row = W.row(V);
+        for (size_t J = 0; J < W.cols(); ++J)
+          Sum += Row[J];
+        Key[V] = B[V] + 0.5 * Sum;
+      }
+      std::stable_sort(Neurons.begin(), Neurons.end(),
+                       [&Key](size_t A, size_t Z) {
+                         if (Key[A] != Key[Z])
+                           return Key[A] < Key[Z];
+                         return A < Z;
+                       });
+      // Cut the sorted order at the largest key gaps (ties broken toward
+      // earlier positions). Identical rows — e.g. networks with duplicated
+      // neurons, the redundancy CEGAR exploits best — have zero gaps and
+      // are never separated while a positive gap remains, and in general
+      // each group's internal key spread (which bounds how loose the
+      // min/max aggregation gets) is minimized.
+      size_t NumBuckets = Buckets[C];
+      std::vector<size_t> Cuts;
+      if (NumBuckets > 1) {
+        std::vector<size_t> Pos(Neurons.size() - 1);
+        for (size_t I = 0; I + 1 < Neurons.size(); ++I)
+          Pos[I] = I + 1;
+        std::stable_sort(Pos.begin(), Pos.end(),
+                         [&Key, &Neurons](size_t A, size_t Z) {
+                           double GapA =
+                               Key[Neurons[A]] - Key[Neurons[A - 1]];
+                           double GapZ =
+                               Key[Neurons[Z]] - Key[Neurons[Z - 1]];
+                           if (GapA != GapZ)
+                             return GapA > GapZ;
+                           return A < Z;
+                         });
+        Cuts.assign(Pos.begin(),
+                    Pos.begin() + std::min(NumBuckets - 1, Pos.size()));
+        std::sort(Cuts.begin(), Cuts.end());
+      }
+      Cuts.push_back(Neurons.size());
+      size_t Lo = 0;
+      for (size_t Hi : Cuts) {
+        MergeGroup Group;
+        Group.Sign = Categories[C].first;
+        Group.Dir = Categories[C].second;
+        Group.Members.assign(Neurons.begin() + Lo, Neurons.begin() + Hi);
+        Map.Layers[L].Groups.push_back(std::move(Group));
+        Lo = Hi;
+      }
+    }
+  }
+  return Map;
+}
+
+Network charon::buildAbstractNetwork(const Network &Net,
+                                     const RefinementMap &Map,
+                                     const Vector &RegionLower) {
+  DenseStack S;
+  bool Ok = denseStack(Net, S);
+  (void)Ok;
+  assert(Ok && !Map.Layers.empty() && Map.Layers.size() == S.hidden() &&
+         "map does not match network");
+
+  size_t K = Map.TargetClass;
+  Network Abstract;
+
+  // First hidden layer: parts keep the full original row; merged rows
+  // aggregate per input coordinate, and biases are re-expressed against the
+  // region's lower corner so aggregation stays sound for x >= RegionLower.
+  {
+    const Matrix &W = *S.W[0];
+    const Vector &B = *S.B[0];
+    const LayerPartition &L = Map.Layers[0];
+    Matrix WA(L.Groups.size(), W.cols());
+    Vector BA(L.Groups.size());
+    for (size_t G = 0; G < L.Groups.size(); ++G) {
+      const MergeGroup &Group = L.Groups[G];
+      bool Inc = Group.Dir == PartDir::Inc;
+      if (Group.Members.size() == 1) {
+        size_t V = Group.Members[0];
+        for (size_t J = 0; J < W.cols(); ++J)
+          WA(G, J) = W(V, J);
+        BA[G] = B[V];
+        continue;
+      }
+      for (size_t J = 0; J < W.cols(); ++J) {
+        double Agg = W(Group.Members[0], J);
+        for (size_t I = 1; I < Group.Members.size(); ++I) {
+          double X = W(Group.Members[I], J);
+          Agg = Inc ? std::max(Agg, X) : std::min(Agg, X);
+        }
+        WA(G, J) = Agg;
+      }
+      double AggB = 0.0;
+      for (size_t I = 0; I < Group.Members.size(); ++I) {
+        size_t V = Group.Members[I];
+        double Shifted = B[V];
+        for (size_t J = 0; J < W.cols(); ++J)
+          Shifted += W(V, J) * RegionLower[J];
+        AggB = I == 0 ? Shifted
+                      : (Inc ? std::max(AggB, Shifted)
+                             : std::min(AggB, Shifted));
+      }
+      for (size_t J = 0; J < W.cols(); ++J)
+        AggB -= WA(G, J) * RegionLower[J];
+      BA[G] = AggB;
+    }
+    Abstract.addLayer(std::make_unique<DenseLayer>(std::move(WA),
+                                                   std::move(BA)));
+    Abstract.addLayer(std::make_unique<ReluLayer>(L.Groups.size()));
+  }
+
+  // Middle hidden layers: the carried weight from previous group P into a
+  // part q is the sign-filtered sum of P's members' edges into q's neuron;
+  // the merged weight aggregates that over q in the group (max for Inc
+  // groups, min for Dec). A category mismatch carries nothing.
+  for (size_t H = 1; H < S.hidden(); ++H) {
+    const Matrix &W = *S.W[H];
+    const Vector &B = *S.B[H];
+    const LayerPartition &Prev = Map.Layers[H - 1];
+    const LayerPartition &Cur = Map.Layers[H];
+    Matrix WA(Cur.Groups.size(), Prev.Groups.size());
+    Vector BA(Cur.Groups.size());
+    for (size_t G = 0; G < Cur.Groups.size(); ++G) {
+      const MergeGroup &Group = Cur.Groups[G];
+      bool Inc = Group.Dir == PartDir::Inc;
+      for (size_t P = 0; P < Prev.Groups.size(); ++P) {
+        const MergeGroup &Src = Prev.Groups[P];
+        bool Carries = Src.Sign == PartSign::Pos
+                           ? Src.Dir == Group.Dir
+                           : Src.Dir == flip(Group.Dir);
+        if (!Carries)
+          continue;
+        bool WantPos = Src.Sign == PartSign::Pos;
+        double Agg = 0.0;
+        for (size_t I = 0; I < Group.Members.size(); ++I) {
+          size_t Q = Group.Members[I];
+          double Sum = 0.0;
+          for (size_t VP : Src.Members) {
+            double X = W(Q, VP);
+            if ((WantPos && X > 0.0) || (!WantPos && X < 0.0))
+              Sum += X;
+          }
+          Agg = I == 0 ? Sum
+                       : (Inc ? std::max(Agg, Sum) : std::min(Agg, Sum));
+        }
+        WA(G, P) = Agg;
+      }
+      double AggB = 0.0;
+      for (size_t I = 0; I < Group.Members.size(); ++I) {
+        double X = B[Group.Members[I]];
+        AggB = I == 0 ? X : (Inc ? std::max(AggB, X) : std::min(AggB, X));
+      }
+      BA[G] = AggB;
+    }
+    Abstract.addLayer(std::make_unique<DenseLayer>(std::move(WA),
+                                                   std::move(BA)));
+    Abstract.addLayer(std::make_unique<ReluLayer>(Cur.Groups.size()));
+  }
+
+  // Output layer of the margin network: row 0 is the constant-zero target
+  // class; row j upper-bounds N_{c_j} - N_K. Outputs are never merged, so
+  // carried weights sum (the singleton-group case of the rule above).
+  {
+    const Matrix &W = *S.W[S.hidden()];
+    const Vector &B = *S.B[S.hidden()];
+    const LayerPartition &Prev = Map.Layers[S.hidden() - 1];
+    std::vector<size_t> Classes = competitorClasses(W.rows(), K);
+    Matrix WA(W.rows(), Prev.Groups.size());
+    Vector BA(W.rows());
+    for (size_t J = 0; J < Classes.size(); ++J) {
+      size_t C = Classes[J];
+      BA[J + 1] = B[C] - B[K];
+      for (size_t P = 0; P < Prev.Groups.size(); ++P) {
+        const MergeGroup &Src = Prev.Groups[P];
+        bool Carries = Src.Sign == PartSign::Pos
+                           ? Src.Dir == PartDir::Inc
+                           : Src.Dir == PartDir::Dec;
+        if (!Carries)
+          continue;
+        bool WantPos = Src.Sign == PartSign::Pos;
+        double Sum = 0.0;
+        for (size_t VP : Src.Members) {
+          double X = W(C, VP) - W(K, VP);
+          if ((WantPos && X > 0.0) || (!WantPos && X < 0.0))
+            Sum += X;
+        }
+        WA(J + 1, P) = Sum;
+      }
+    }
+    Abstract.addLayer(std::make_unique<DenseLayer>(std::move(WA),
+                                                   std::move(BA)));
+  }
+
+  Abstract.setName(Net.name().empty() ? "cegar-abstract"
+                                      : Net.name() + "+cegar");
+  return Abstract;
+}
+
+int charon::refinePartition(RefinementMap &Map, const Network &Net,
+                            const Network &Abstract,
+                            const Vector &SpuriousCex, int MaxSplits) {
+  if (MaxSplits <= 0 || Map.Layers.empty())
+    return 0;
+  std::vector<Vector> OrigActs = Net.evaluateWithActivations(SpuriousCex);
+  std::vector<Vector> AbsActs = Abstract.evaluateWithActivations(SpuriousCex);
+
+  struct Candidate {
+    double Gap;
+    size_t Size;
+    size_t Layer;
+    size_t Group;
+  };
+  std::vector<Candidate> Candidates;
+  for (size_t L = 0; L < Map.Layers.size(); ++L) {
+    // Post-ReLU activations of hidden layer L sit after layer pair
+    // (Dense, ReLU) number L in both networks.
+    const Vector &Orig = OrigActs[2 * L + 2];
+    const Vector &Abs = AbsActs[2 * L + 2];
+    for (size_t G = 0; G < Map.Layers[L].Groups.size(); ++G) {
+      const MergeGroup &Group = Map.Layers[L].Groups[G];
+      if (Group.Members.size() < 2)
+        continue;
+      bool Inc = Group.Dir == PartDir::Inc;
+      double Ref = Orig[Group.Members[0]];
+      for (size_t I = 1; I < Group.Members.size(); ++I) {
+        double X = Orig[Group.Members[I]];
+        Ref = Inc ? std::max(Ref, X) : std::min(Ref, X);
+      }
+      double Gap = Inc ? Abs[G] - Ref : Ref - Abs[G];
+      Candidates.push_back({Gap, Group.Members.size(), L, G});
+    }
+  }
+  if (Candidates.empty())
+    return 0;
+
+  // Largest abstraction error first; break ties toward bigger groups so a
+  // zero-gap round (the slack hides in the output recombination) still
+  // makes progress where it is cheapest to recover precision.
+  std::sort(Candidates.begin(), Candidates.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.Gap != B.Gap)
+                return A.Gap > B.Gap;
+              if (A.Size != B.Size)
+                return A.Size > B.Size;
+              if (A.Layer != B.Layer)
+                return A.Layer < B.Layer;
+              return A.Group < B.Group;
+            });
+
+  int Splits = 0;
+  for (const Candidate &C : Candidates) {
+    if (Splits >= MaxSplits)
+      break;
+    MergeGroup &Group = Map.Layers[C.Layer].Groups[C.Group];
+    const Vector &Orig = OrigActs[2 * C.Layer + 2];
+    bool Inc = Group.Dir == PartDir::Inc;
+    // Peel the member farthest from the group's aggregate: the minimum
+    // activation for Inc groups (it drags the max-aggregated weights), the
+    // maximum for Dec. Ties resolve to the smallest neuron index.
+    size_t Peel = 0;
+    for (size_t I = 1; I < Group.Members.size(); ++I) {
+      double X = Orig[Group.Members[I]];
+      double Best = Orig[Group.Members[Peel]];
+      bool Better = Inc ? X < Best : X > Best;
+      if (Better || (X == Best && Group.Members[I] < Group.Members[Peel]))
+        Peel = I;
+    }
+    MergeGroup Single;
+    Single.Sign = Group.Sign;
+    Single.Dir = Group.Dir;
+    Single.Members.push_back(Group.Members[Peel]);
+    Group.Members.erase(Group.Members.begin() + Peel);
+    Map.Layers[C.Layer].Groups.push_back(std::move(Single));
+    ++Splits;
+  }
+  return Splits;
+}

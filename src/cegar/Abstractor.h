@@ -1,0 +1,151 @@
+//===- Abstractor.h - Neuron-merging network abstraction --------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sound neuron-merging abstraction for dense-ReLU networks, following the
+/// part-splitting construction of Elboher, Gottschlich & Katz ("An
+/// Abstraction-Based Framework for Neural Network Verification", CAV'20).
+///
+/// The robustness query "is class K stable on region B?" is first rewritten
+/// as a *margin network* M over the same hidden layers whose outputs are
+///   M_0(x)   = 0                      (the target class, constant)
+///   M_j(x)   = N_{c_j}(x) - N_K(x)    (one per competitor class c_j)
+/// so that M.objective(x, 0) = N.objective(x, K) exactly, and every
+/// interesting output is something we want an *upper* bound on. Each hidden
+/// neuron is then split into at most four parts by the polarity of its
+/// outgoing edges (pos/neg) crossed with the monotone direction of the
+/// successor they feed (inc/dec); splitting is function-preserving. Parts of
+/// the same category may be merged: incoming weights aggregate by max (inc)
+/// or min (dec), giving a smaller network A with
+///
+///   A_j(x) >= M_j(x)  for every competitor output j and every x >= lo(B),
+///
+/// hence A.objective(x, 0) <= N.objective(x, K): a Verified verdict on A is
+/// sound for N, while a falsifying candidate must be replayed concretely.
+/// Networks with inputs below zero are handled by re-expressing first-layer
+/// biases against the region's lower corner, so the abstraction is sound on
+/// the given region (and all of its subregions) rather than only on
+/// nonnegative inputs.
+///
+/// The RefinementMap records which original parts each merged neuron
+/// covers; the CEGAR driver splits groups with the largest abstract-vs-
+/// concrete activation gap at a spurious counterexample. The finest map
+/// (all singleton groups) reproduces the original objective exactly (up to
+/// float re-association), which bounds refinement: the loop converges to
+/// the exact margin network in at most totalParts() - abstractNeurons()
+/// splitting steps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_CEGAR_ABSTRACTOR_H
+#define CHARON_CEGAR_ABSTRACTOR_H
+
+#include "nn/Network.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace charon {
+
+/// Polarity of the outgoing edges a part carries.
+enum class PartSign : unsigned char { Pos, Neg };
+
+/// Monotone influence of a part on the margin outputs: increasing an Inc
+/// part's value can only increase them, a Dec part's only decrease them.
+enum class PartDir : unsigned char { Inc, Dec };
+
+/// One merged abstract neuron: a nonempty, category-pure set of parts of
+/// original neurons from a single hidden layer. Members holds the original
+/// neuron indices; the (Sign, Dir) category is shared by construction.
+struct MergeGroup {
+  PartSign Sign = PartSign::Pos;
+  PartDir Dir = PartDir::Inc;
+  std::vector<size_t> Members;
+};
+
+/// Partition of one hidden layer's parts into merge groups. Group order is
+/// the abstract neuron order of that layer.
+struct LayerPartition {
+  std::vector<MergeGroup> Groups;
+
+  size_t parts() const {
+    size_t N = 0;
+    for (const MergeGroup &G : Groups)
+      N += G.Members.size();
+    return N;
+  }
+};
+
+/// Maps abstract hidden neurons back to the original parts they cover.
+/// Layers[h] partitions hidden layer h (the h-th Dense+ReLU pair). An empty
+/// Layers vector means the network cannot be abstracted (degenerate layer
+/// with no live parts); callers must fall back to direct verification.
+struct RefinementMap {
+  size_t TargetClass = 0;
+  std::vector<LayerPartition> Layers;
+
+  /// Total abstract hidden neurons (one per group).
+  size_t abstractNeurons() const {
+    size_t N = 0;
+    for (const LayerPartition &L : Layers)
+      N += L.Groups.size();
+    return N;
+  }
+
+  /// Total parts across all layers; equals abstractNeurons() iff the map is
+  /// the finest partition (every group a singleton).
+  size_t totalParts() const {
+    size_t N = 0;
+    for (const LayerPartition &L : Layers)
+      N += L.parts();
+    return N;
+  }
+};
+
+/// True when \p Net has the shape the abstractor supports: an alternating
+/// Dense/ReLU stack ending in a Dense layer, at least one hidden layer, and
+/// at least two outputs. Conv/pool networks fall back to direct search.
+bool canAbstract(const Network &Net);
+
+/// Number of hidden (Dense+ReLU) layers of an abstractable network.
+size_t numHiddenLayers(const Network &Net);
+
+/// The partition with every part in its own group: the abstraction it
+/// induces is the exact margin network for class \p K. Returns a map with
+/// empty Layers when some hidden layer has no live parts.
+RefinementMap finestPartition(const Network &Net, size_t K);
+
+/// Initial partition targeting roughly MergeRatio * (original width) merged
+/// neurons per hidden layer (clamped so every nonempty category keeps at
+/// least one group). Parts are bucketed within their category by a cheap
+/// row-similarity key so merged neurons aggregate similar weight rows.
+/// MergeRatio >= 1 degenerates to the finest partition. Returns a map with
+/// empty Layers when some hidden layer has no live parts.
+RefinementMap initialPartition(const Network &Net, size_t K,
+                               double MergeRatio);
+
+/// Builds the merged margin network for \p Map. \p RegionLower is the lower
+/// corner of the verified region (first-layer aggregation is sound for all
+/// x >= RegionLower). The result has the same input size as \p Net, one
+/// output per original class (output 0 is the constant-zero target), and
+/// abstractNeurons() hidden neurons. Requires a nonempty, structure-matching
+/// map from finestPartition/initialPartition on the same (Net, K).
+Network buildAbstractNetwork(const Network &Net, const RefinementMap &Map,
+                             const Vector &RegionLower);
+
+/// Refines \p Map at a spurious counterexample: ranks non-singleton groups
+/// by the gap between their abstract activation and the aggregate of their
+/// members' concrete activations at \p SpuriousCex, then peels the most
+/// deviant member of each of the top \p MaxSplits groups into its own
+/// group. \p Abstract must be buildAbstractNetwork(Net, Map, ...). Returns
+/// the number of groups split; 0 means the map is already finest.
+int refinePartition(RefinementMap &Map, const Network &Net,
+                    const Network &Abstract, const Vector &SpuriousCex,
+                    int MaxSplits);
+
+} // namespace charon
+
+#endif // CHARON_CEGAR_ABSTRACTOR_H

@@ -1,0 +1,64 @@
+//===- CegarEngine.h - Abstraction-refinement verification driver -*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CEGAR outer loop around the proof-search engine: verify a merged,
+/// sound over-approximation of the network (see cegar/Abstractor.h); a
+/// Verified verdict transfers to the original network for free, while a
+/// candidate counterexample is replayed concretely through the original
+/// network with the batched execution engine. A confirmed candidate is a
+/// genuine Falsified verdict; a spurious one selects the merged neurons
+/// with the largest abstract-vs-concrete activation gap, splits them, and
+/// retries on the refined abstraction. Each abstract round is limited to
+/// half of the remaining time budget; when the round budget runs out, an
+/// abstract round times out, or the network is not abstractable at all,
+/// the loop falls back to a direct search on the original network with the
+/// remaining time budget, so the driver is exactly as sound and
+/// delta-complete as Verifier::verify.
+///
+/// Observability: each round emits one "cegar_round" trace event through
+/// VerifierConfig::Trace (node events from the inner searches refer to the
+/// current network — abstract during rounds, original during fallback) and
+/// the returned stats carry CegarRounds / CegarSpuriousCexes /
+/// CegarFallbacks / CegarAbstractNeurons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_CEGAR_CEGARENGINE_H
+#define CHARON_CEGAR_CEGARENGINE_H
+
+#include "core/Policy.h"
+#include "core/Property.h"
+#include "core/Verifier.h"
+
+namespace charon {
+class ThreadPool;
+
+/// Abstraction-refinement driver wrapping SearchEngine. Stateless across
+/// runs, like the engine it wraps.
+class CegarEngine {
+public:
+  CegarEngine(const Network &Net, const VerificationPolicy &Policy,
+              const VerifierConfig &Config);
+
+  /// Decides \p Prop with abstract-first search. With \p Pool null the
+  /// inner searches run sequentially, otherwise on the pool; the verdict is
+  /// identical either way on runs that finish within budget (the inner
+  /// engine's determinism contract lifts through the loop). The abstract
+  /// frontier is never checkpointed (it cannot resume a search over the
+  /// original network); a Timeout checkpoint, when present, always comes
+  /// from the direct fallback.
+  VerifyResult run(const RobustnessProperty &Prop, ThreadPool *Pool) const;
+
+private:
+  const Network &Net;
+  const VerificationPolicy &Policy;
+  const VerifierConfig &Config;
+};
+
+} // namespace charon
+
+#endif // CHARON_CEGAR_CEGARENGINE_H

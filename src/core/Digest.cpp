@@ -92,6 +92,13 @@ uint64_t charon::digestVerifierConfigSemantics(const VerifierConfig &Config) {
   H.u64(static_cast<uint64_t>(Config.SearchOrder));
   H.u64(Config.CompleteFallback ? 1 : 0);
   H.f64(Config.CompleteFallbackDiameter);
+  // CEGAR changes which network the search runs on (and hence which
+  // counterexample a falsifiable query returns), so the whole block is
+  // semantic, not budget-like.
+  H.u64(Config.Cegar.Enabled ? 1 : 0);
+  H.f64(Config.Cegar.InitialMergeRatio);
+  H.u64(static_cast<uint64_t>(Config.Cegar.MaxRounds));
+  H.u64(static_cast<uint64_t>(Config.Cegar.RefinePerRound));
   return H.digest();
 }
 

@@ -105,6 +105,13 @@ charon::runFuzzCase(const Network &Net, const RobustnessProperty &Prop,
   if (Stats)
     ++Stats->ResumeChecks;
 
+  // Last on purpose: the CEGAR oracle draws from OracleR, and appending it
+  // after the established oracles keeps their RNG streams (and hence the
+  // checked-in repro corpus) byte-stable.
+  Append(checkCegarSoundness(Net, Prop, Policy, Cfg, OracleR));
+  if (Stats)
+    ++Stats->CegarChecks;
+
   return All;
 }
 

@@ -1,0 +1,366 @@
+//===- CegarTests.cpp - CEGAR abstraction and driver tests --------------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// The abstraction invariant under test: for every x in the property region,
+// each competitor output of the merged margin network upper-bounds the true
+// margin N_c(x) - N_K(x), hence the abstract objective lower-bounds the
+// true objective. The finest partition must reproduce the original
+// objective exactly (up to float re-association), refinement must converge
+// to it in at most totalParts() - initialGroups() single splits, and the
+// CegarEngine must agree with direct Verifier::verify on the ACAS suite
+// under the same delta-completeness caveat VerdictIdentityTests uses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/Abstractor.h"
+#include "cegar/CegarEngine.h"
+#include "core/Verifier.h"
+#include "data/Benchmarks.h"
+#include "nn/Builder.h"
+#include "nn/Dense.h"
+#include "nn/Relu.h"
+#include "support/Random.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+using namespace charon;
+
+namespace {
+
+constexpr double BudgetSeconds = 3.0;
+
+/// Margin of competitor \p C against class \p K on the original network.
+double margin(const Network &Net, const Vector &X, size_t K, size_t C) {
+  Vector Out = Net.evaluate(X);
+  return Out[C] - Out[K];
+}
+
+/// Competitors of K in increasing class order — mirrors the abstractor's
+/// output ordering (abstract output j+1 tracks the j-th competitor).
+std::vector<size_t> competitors(size_t Classes, size_t K) {
+  std::vector<size_t> Cs;
+  for (size_t C = 0; C < Classes; ++C)
+    if (C != K)
+      Cs.push_back(C);
+  return Cs;
+}
+
+/// Asserts the per-output domination invariant at \p Samples random points.
+void expectDominates(const Network &Net, const Network &Abstract,
+                     const Box &Region, size_t K, int Samples, Rng &R,
+                     double Tol) {
+  std::vector<size_t> Cs = competitors(Net.outputSize(), K);
+  for (int S = 0; S < Samples; ++S) {
+    Vector X = S == 0 ? Region.center() : Region.sample(R);
+    Vector AbsOut = Abstract.evaluate(X);
+    ASSERT_EQ(AbsOut.size(), Net.outputSize());
+    EXPECT_EQ(AbsOut[0], 0.0);
+    for (size_t J = 0; J < Cs.size(); ++J)
+      EXPECT_GE(AbsOut[J + 1], margin(Net, X, K, Cs[J]) - Tol)
+          << "competitor " << Cs[J] << " sample " << S;
+    EXPECT_LE(Abstract.objective(X, 0), Net.objective(X, K) + Tol);
+  }
+}
+
+/// A tiny fixed network whose weights exercise both edge polarities and a
+/// negative input range: 2 -> 3 -> 3 outputs.
+Network handBuiltNet() {
+  Network Net;
+  Net.addLayer(std::make_unique<DenseLayer>(
+      Matrix{{1.0, -2.0}, {-0.5, 1.5}, {2.0, 0.25}},
+      Vector{0.1, -0.2, 0.3}));
+  Net.addLayer(std::make_unique<ReluLayer>(3));
+  Net.addLayer(std::make_unique<DenseLayer>(
+      Matrix{{1.0, -1.0, 0.5}, {-2.0, 0.5, 1.0}, {0.75, 1.25, -0.5}},
+      Vector{0.0, 0.2, -0.1}));
+  return Net;
+}
+
+bool allSingleton(const RefinementMap &Map) {
+  for (const LayerPartition &L : Map.Layers)
+    for (const MergeGroup &G : L.Groups)
+      if (G.Members.size() != 1)
+        return false;
+  return true;
+}
+
+/// True when the pair of verdicts is a genuine contradiction: one side
+/// proved robustness, the other holds a *true* counterexample (the
+/// delta-band makes Verified-vs-Falsified legitimate otherwise).
+bool contradicts(const Network &Net, const RobustnessProperty &Prop,
+                 const VerifyResult &Verified, const VerifyResult &Other) {
+  return Verified.Result == Outcome::Verified &&
+         Other.Result == Outcome::Falsified &&
+         Net.objective(Other.Counterexample, Prop.TargetClass) <= 0.0;
+}
+
+void expectValidCex(const Network &Net, const RobustnessProperty &Prop,
+                    const VerifyResult &R, double Delta) {
+  if (R.Result != Outcome::Falsified)
+    return;
+  EXPECT_TRUE(Prop.Region.contains(R.Counterexample, 1e-12));
+  EXPECT_LE(Net.objective(R.Counterexample, Prop.TargetClass), Delta);
+}
+
+TEST(AbstractorTest, HandBuiltNetDominatesOnNegativeRange) {
+  Network Net = handBuiltNet();
+  ASSERT_TRUE(canAbstract(Net));
+  EXPECT_EQ(numHiddenLayers(Net), 1u);
+
+  // The region dips below zero: this is exactly the case the lower-corner
+  // bias shift exists for.
+  Box Region = Box::uniform(2, -0.8, 0.6);
+  Rng R(5);
+  for (size_t K = 0; K < Net.outputSize(); ++K) {
+    for (double Ratio : {0.3, 0.6, 1.0}) {
+      RefinementMap Map = initialPartition(Net, K, Ratio);
+      ASSERT_FALSE(Map.Layers.empty());
+      Network Abstract = buildAbstractNetwork(Net, Map, Region.lower());
+      expectDominates(Net, Abstract, Region, K, 64, R, 1e-9);
+    }
+  }
+}
+
+TEST(AbstractorTest, RandomMlpDominates) {
+  Rng Init(11);
+  Network Net = makeMlp(4, {12, 10, 8}, 5, Init);
+  ASSERT_TRUE(canAbstract(Net));
+  Box Region = Box::uniform(4, -0.5, 1.0);
+  Rng R(6);
+  for (double Ratio : {0.2, 0.5}) {
+    RefinementMap Map = initialPartition(Net, 2, Ratio);
+    ASSERT_FALSE(Map.Layers.empty());
+    Network Abstract = buildAbstractNetwork(Net, Map, Region.lower());
+    expectDominates(Net, Abstract, Region, 2, 96, R, 1e-9);
+  }
+}
+
+TEST(AbstractorTest, FinestPartitionIsExact) {
+  Rng Init(3);
+  Network Net = makeMlp(3, {9, 7}, 4, Init);
+  Box Region = Box::uniform(3, 0.0, 1.0);
+  Rng R(8);
+  for (size_t K = 0; K < 4; ++K) {
+    RefinementMap Map = finestPartition(Net, K);
+    ASSERT_FALSE(Map.Layers.empty());
+    EXPECT_TRUE(allSingleton(Map));
+    EXPECT_EQ(Map.abstractNeurons(), Map.totalParts());
+    Network Abstract = buildAbstractNetwork(Net, Map, Region.lower());
+    std::vector<size_t> Cs = competitors(4, K);
+    for (int S = 0; S < 64; ++S) {
+      Vector X = Region.sample(R);
+      Vector AbsOut = Abstract.evaluate(X);
+      for (size_t J = 0; J < Cs.size(); ++J)
+        EXPECT_NEAR(AbsOut[J + 1], margin(Net, X, K, Cs[J]), 1e-9);
+      EXPECT_NEAR(Abstract.objective(X, 0), Net.objective(X, K), 1e-9);
+    }
+  }
+}
+
+TEST(AbstractorTest, PartitionIsCategoryPureAndCoversFinestParts) {
+  Rng Init(21);
+  Network Net = makeMlp(5, {16, 12}, 6, Init);
+  RefinementMap Finest = finestPartition(Net, 1);
+  RefinementMap Merged = initialPartition(Net, 1, 0.25);
+  ASSERT_EQ(Finest.Layers.size(), Merged.Layers.size());
+  for (size_t L = 0; L < Finest.Layers.size(); ++L) {
+    // Same multiset of (sign, dir, neuron) parts, just grouped.
+    std::multiset<std::tuple<int, int, size_t>> A, B;
+    for (const MergeGroup &G : Finest.Layers[L].Groups)
+      for (size_t V : G.Members)
+        A.insert({static_cast<int>(G.Sign), static_cast<int>(G.Dir), V});
+    for (const MergeGroup &G : Merged.Layers[L].Groups) {
+      EXPECT_FALSE(G.Members.empty());
+      for (size_t V : G.Members)
+        B.insert({static_cast<int>(G.Sign), static_cast<int>(G.Dir), V});
+    }
+    EXPECT_EQ(A, B);
+    // The merged layer is genuinely smaller than the part count and within
+    // a category's reach of the requested ratio target.
+    EXPECT_LT(Merged.Layers[L].Groups.size(),
+              Finest.Layers[L].Groups.size());
+  }
+}
+
+TEST(AbstractorTest, RefinementConvergesToExactWithinPartBudget) {
+  Rng Init(13);
+  Network Net = makeMlp(3, {8, 6}, 4, Init);
+  Box Region = Box::uniform(3, 0.0, 1.0);
+  size_t K = 0;
+  RefinementMap Map = initialPartition(Net, K, 0.05);
+  ASSERT_FALSE(Map.Layers.empty());
+  size_t InitialGroups = Map.abstractNeurons();
+  size_t Parts = Map.totalParts();
+  ASSERT_LT(InitialGroups, Parts);
+
+  Rng R(17);
+  size_t Steps = 0;
+  while (true) {
+    Network Abstract = buildAbstractNetwork(Net, Map, Region.lower());
+    Vector Probe = Region.sample(R);
+    int Splits = refinePartition(Map, Net, Abstract, Probe, 1);
+    if (Splits == 0)
+      break;
+    EXPECT_EQ(Splits, 1);
+    ++Steps;
+    ASSERT_LE(Steps, Parts) << "refinement failed to terminate";
+  }
+  // One split adds exactly one group, so full refinement takes exactly
+  // parts - initial groups steps — in particular at most the part count.
+  EXPECT_EQ(Steps, Parts - InitialGroups);
+  EXPECT_TRUE(allSingleton(Map));
+  EXPECT_EQ(Map.abstractNeurons(), Parts);
+
+  Network Exact = buildAbstractNetwork(Net, Map, Region.lower());
+  for (int S = 0; S < 32; ++S) {
+    Vector X = Region.sample(R);
+    EXPECT_NEAR(Exact.objective(X, 0), Net.objective(X, K), 1e-9);
+  }
+}
+
+TEST(CegarEngineTest, AgreesWithDirectVerifyOnAcasSuite) {
+  BenchmarkSuite Suite = makeAcasSuite(8, 321, "/tmp/charon-test-networks");
+  ASSERT_FALSE(Suite.Properties.empty());
+  ASSERT_TRUE(canAbstract(Suite.Net));
+
+  VerifierConfig DirectCfg;
+  DirectCfg.Seed = 7;
+  DirectCfg.TimeLimitSeconds = BudgetSeconds;
+  VerifierConfig CegarCfg = DirectCfg;
+  CegarCfg.Cegar.Enabled = true;
+
+  VerificationPolicy Policy;
+  Verifier Direct(Suite.Net, Policy, DirectCfg);
+  Verifier Cegar(Suite.Net, Policy, CegarCfg);
+
+  int Decided = 0;
+  for (const RobustnessProperty &Prop : Suite.Properties) {
+    SCOPED_TRACE(Prop.Name);
+    VerifyResult D = Direct.verify(Prop);
+    VerifyResult C = Cegar.verify(Prop);
+
+    expectValidCex(Suite.Net, Prop, D, DirectCfg.Delta);
+    expectValidCex(Suite.Net, Prop, C, CegarCfg.Delta);
+    EXPECT_FALSE(contradicts(Suite.Net, Prop, D, C))
+        << "cegar cex F = "
+        << Suite.Net.objective(C.Counterexample, Prop.TargetClass);
+    EXPECT_FALSE(contradicts(Suite.Net, Prop, C, D))
+        << "direct cex F = "
+        << Suite.Net.objective(D.Counterexample, Prop.TargetClass);
+
+    // The CEGAR loop really ran (rounds) or consciously stepped aside
+    // (fallback); stats must say which.
+    EXPECT_GE(C.Stats.CegarRounds + C.Stats.CegarFallbacks, 1);
+    if (C.Stats.CegarRounds > 0) {
+      EXPECT_GT(C.Stats.CegarAbstractNeurons, 0);
+    }
+    // Abstract timeouts are not resumable; only a fallback's direct search
+    // may carry a checkpoint.
+    if (C.Result == Outcome::Timeout && C.Stats.CegarFallbacks == 0) {
+      EXPECT_EQ(C.Checkpoint, nullptr);
+    }
+    if (D.Result != Outcome::Timeout && C.Result != Outcome::Timeout)
+      ++Decided;
+  }
+  EXPECT_GE(Decided, 4) << "too few properties decided within budget";
+}
+
+TEST(CegarEngineTest, ParallelMatchesSequential) {
+  BenchmarkSuite Suite = makeAcasSuite(4, 321, "/tmp/charon-test-networks");
+  VerifierConfig Config;
+  Config.Seed = 7;
+  Config.TimeLimitSeconds = BudgetSeconds;
+  Config.Cegar.Enabled = true;
+  Verifier V(Suite.Net, VerificationPolicy(), Config);
+  ThreadPool Pool(4);
+  for (const RobustnessProperty &Prop : Suite.Properties) {
+    SCOPED_TRACE(Prop.Name);
+    VerifyResult Seq = V.verify(Prop);
+    VerifyResult Par = V.verifyParallel(Prop, Pool);
+    if (Seq.Result == Outcome::Timeout || Par.Result == Outcome::Timeout)
+      continue;
+    EXPECT_EQ(Seq.Result, Par.Result);
+    EXPECT_EQ(Seq.ObjectiveAtCex, Par.ObjectiveAtCex);
+    EXPECT_EQ(Seq.Stats.CegarRounds, Par.Stats.CegarRounds);
+    EXPECT_EQ(Seq.Stats.CegarSpuriousCexes, Par.Stats.CegarSpuriousCexes);
+    ASSERT_EQ(Seq.Counterexample.size(), Par.Counterexample.size());
+    for (size_t I = 0; I < Seq.Counterexample.size(); ++I)
+      EXPECT_EQ(Seq.Counterexample[I], Par.Counterexample[I]);
+  }
+}
+
+TEST(CegarEngineTest, EmitsCegarRoundTraceEvents) {
+  BenchmarkSuite Suite = makeAcasSuite(4, 321, "/tmp/charon-test-networks");
+  VerifierConfig Config;
+  Config.Seed = 7;
+  Config.TimeLimitSeconds = BudgetSeconds;
+  Config.Cegar.Enabled = true;
+
+  long Rounds = 0;
+  long NodeEvents = 0;
+  Config.Trace = [&](const TraceEvent &E) {
+    std::string Json = traceEventToJson(E);
+    if (std::string_view(E.Kind) == "cegar_round") {
+      ++Rounds;
+      EXPECT_NE(Json.find("\"kind\":\"cegar_round\""), std::string::npos);
+      EXPECT_NE(Json.find("\"abstract_neurons\":"), std::string::npos);
+      EXPECT_GT(E.AbstractNeurons, 0);
+      EXPECT_EQ(E.OriginalNeurons, 300); // 6 x 50 ACAS hidden neurons
+      EXPECT_LE(E.AbstractNeurons, E.OriginalNeurons);
+    } else {
+      ++NodeEvents;
+      // Node events keep the tag-free charon-trace/1 shape.
+      EXPECT_EQ(Json.find("\"kind\""), std::string::npos);
+      EXPECT_EQ(Json.rfind("{\"path\":\"", 0), 0u);
+    }
+  };
+
+  Verifier V(Suite.Net, VerificationPolicy(), Config);
+  long TotalRounds = 0;
+  for (const RobustnessProperty &Prop : Suite.Properties) {
+    Rounds = 0;
+    VerifyResult R = V.verify(Prop);
+    EXPECT_EQ(Rounds, R.Stats.CegarRounds);
+    TotalRounds += Rounds;
+  }
+  EXPECT_GT(TotalRounds, 0);
+  EXPECT_GT(NodeEvents, 0);
+}
+
+TEST(CegarEngineTest, NonAbstractableNetworkFallsBackToDirect) {
+  // A single affine layer has no hidden neurons to merge.
+  Network Net;
+  Net.addLayer(std::make_unique<DenseLayer>(
+      Matrix{{1.0, 0.0}, {0.0, 1.0}, {0.5, -0.5}}, Vector{0.0, 0.1, 0.0}));
+  ASSERT_FALSE(canAbstract(Net));
+
+  RobustnessProperty Prop;
+  Prop.Region = Box::uniform(2, 0.0, 1.0);
+  Prop.TargetClass = 0;
+  Prop.Name = "fallback";
+
+  VerifierConfig DirectCfg;
+  DirectCfg.Seed = 7;
+  DirectCfg.TimeLimitSeconds = BudgetSeconds;
+  VerifierConfig CegarCfg = DirectCfg;
+  CegarCfg.Cegar.Enabled = true;
+
+  VerificationPolicy Policy;
+  VerifyResult D = Verifier(Net, Policy, DirectCfg).verify(Prop);
+  VerifyResult C = Verifier(Net, Policy, CegarCfg).verify(Prop);
+  EXPECT_EQ(C.Stats.CegarRounds, 0);
+  EXPECT_EQ(C.Stats.CegarFallbacks, 1);
+  EXPECT_EQ(C.Stats.CegarAbstractNeurons, 0);
+  EXPECT_EQ(D.Result, C.Result);
+  EXPECT_EQ(D.ObjectiveAtCex, C.ObjectiveAtCex);
+  ASSERT_EQ(D.Counterexample.size(), C.Counterexample.size());
+  for (size_t I = 0; I < D.Counterexample.size(); ++I)
+    EXPECT_EQ(D.Counterexample[I], C.Counterexample[I]);
+}
+
+} // namespace

@@ -240,6 +240,69 @@ TEST(VerifierTest, StatsAreCoherent) {
   EXPECT_GT(R.Stats.Seconds, 0.0);
 }
 
+TEST(VerifierTest, StatsAccumulateAcrossEveryField) {
+  // Every field gets a distinct value so a += that drops or swaps a counter
+  // cannot cancel out. Additive fields add; MaxDepth and
+  // CegarAbstractNeurons (the widest abstract net seen) merge by max.
+  VerifyStats A;
+  A.PgdCalls = 1;
+  A.AnalyzeCalls = 2;
+  A.Splits = 3;
+  A.MaxDepth = 4;
+  A.IntervalChoices = 5;
+  A.ZonotopeChoices = 6;
+  A.DisjunctSum = 7;
+  A.NodesExpanded = 8;
+  A.CegarRounds = 9;
+  A.CegarSpuriousCexes = 10;
+  A.CegarFallbacks = 11;
+  A.CegarAbstractNeurons = 12;
+  A.Seconds = 0.5;
+
+  VerifyStats B;
+  B.PgdCalls = 100;
+  B.AnalyzeCalls = 200;
+  B.Splits = 300;
+  B.MaxDepth = 2; // below A's: max must keep 4
+  B.IntervalChoices = 500;
+  B.ZonotopeChoices = 600;
+  B.DisjunctSum = 700;
+  B.NodesExpanded = 800;
+  B.CegarRounds = 900;
+  B.CegarSpuriousCexes = 1000;
+  B.CegarFallbacks = 1100;
+  B.CegarAbstractNeurons = 1200; // above A's: max must take 1200
+  B.Seconds = 0.25;
+
+  A += B;
+  EXPECT_EQ(A.PgdCalls, 101);
+  EXPECT_EQ(A.AnalyzeCalls, 202);
+  EXPECT_EQ(A.Splits, 303);
+  EXPECT_EQ(A.MaxDepth, 4);
+  EXPECT_EQ(A.IntervalChoices, 505);
+  EXPECT_EQ(A.ZonotopeChoices, 606);
+  EXPECT_EQ(A.DisjunctSum, 707);
+  EXPECT_EQ(A.NodesExpanded, 808);
+  EXPECT_EQ(A.CegarRounds, 909);
+  EXPECT_EQ(A.CegarSpuriousCexes, 1010);
+  EXPECT_EQ(A.CegarFallbacks, 1111);
+  EXPECT_EQ(A.CegarAbstractNeurons, 1200);
+  EXPECT_DOUBLE_EQ(A.Seconds, 0.75);
+
+  // Merging a default-constructed stats object is the identity.
+  VerifyStats Before = A;
+  A += VerifyStats{};
+  EXPECT_EQ(A.PgdCalls, Before.PgdCalls);
+  EXPECT_EQ(A.MaxDepth, Before.MaxDepth);
+  EXPECT_EQ(A.CegarAbstractNeurons, Before.CegarAbstractNeurons);
+  EXPECT_DOUBLE_EQ(A.Seconds, Before.Seconds);
+
+  // Tripwire: adding a field to VerifyStats must come with a += clause and
+  // an update to this test (12 longs + 1 double today).
+  static_assert(sizeof(VerifyStats) == 12 * sizeof(long) + sizeof(double),
+                "VerifyStats changed shape: update operator+= and this test");
+}
+
 //===----------------------------------------------------------------------===//
 // Parallel verification agrees with sequential
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,124 @@
+//===- AcasExportRoundTripTests.cpp - acas_export file round-trips ------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// The acas_export tool materializes the synthetic ACAS suite as .net/.prop
+// files for file-driven tools (charon_cli, the check.sh smoke legs). These
+// tests pin the contract that materialization loses nothing: a reload is
+// byte-for-byte re-serializable, semantically identical under the content
+// digests, and behaviorally identical on concrete inputs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Digest.h"
+#include "core/PropertyIo.h"
+#include "data/Benchmarks.h"
+#include "nn/Io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace charon;
+
+namespace {
+
+constexpr const char *CacheDir = "/tmp/charon-test-networks";
+
+std::string slurp(const std::string &Path) {
+  std::ifstream Is(Path, std::ios::binary);
+  std::ostringstream Os;
+  Os << Is.rdbuf();
+  return Os.str();
+}
+
+class AcasExportRoundTripTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    OutDir = ::testing::TempDir() + "charon-acas-export-roundtrip";
+    std::error_code Ec;
+    std::filesystem::create_directories(OutDir, Ec);
+    ASSERT_FALSE(Ec) << Ec.message();
+    Suite = makeAcasSuite(4, 321, CacheDir);
+  }
+
+  std::string OutDir;
+  BenchmarkSuite Suite;
+};
+
+TEST_F(AcasExportRoundTripTest, NetworkReloadsByteForByte) {
+  const std::string NetPath = OutDir + "/acas.net";
+  ASSERT_TRUE(saveNetworkFile(Suite.Net, NetPath));
+
+  std::optional<Network> Back = loadNetworkFile(NetPath);
+  ASSERT_TRUE(Back.has_value());
+
+  // Same content digest as the in-memory suite network...
+  EXPECT_EQ(fingerprintNetwork(*Back), fingerprintNetwork(Suite.Net));
+
+  // ...and re-serializing the reload reproduces the file byte for byte, so
+  // a save/load/save chain is a fixed point.
+  std::ostringstream Os;
+  saveNetwork(*Back, Os);
+  EXPECT_EQ(Os.str(), slurp(NetPath));
+
+  // Behavioral identity at a few concrete points, on top of the digest.
+  for (double Seedling : {0.1, 0.45, 0.9}) {
+    Vector X(Suite.Net.inputSize());
+    for (size_t I = 0; I < X.size(); ++I)
+      X[I] = Seedling + 0.07 * static_cast<double>(I);
+    Vector Y0 = Suite.Net.evaluate(X);
+    Vector Y1 = Back->evaluate(X);
+    ASSERT_EQ(Y0.size(), Y1.size());
+    for (size_t I = 0; I < Y0.size(); ++I)
+      EXPECT_EQ(Y0[I], Y1[I]) << "output " << I << " drifted through Io";
+  }
+}
+
+TEST_F(AcasExportRoundTripTest, PropertiesReloadByteForByte) {
+  ASSERT_FALSE(Suite.Properties.empty());
+  for (size_t I = 0; I < Suite.Properties.size(); ++I) {
+    const RobustnessProperty &Prop = Suite.Properties[I];
+    const std::string PropPath =
+        OutDir + "/acas-" + std::to_string(I) + ".prop";
+    ASSERT_TRUE(savePropertyFile(Prop, PropPath));
+
+    std::optional<RobustnessProperty> Back = loadPropertyFile(PropPath);
+    ASSERT_TRUE(Back.has_value()) << PropPath;
+
+    EXPECT_EQ(digestProperty(*Back), digestProperty(Prop)) << PropPath;
+    EXPECT_EQ(Back->TargetClass, Prop.TargetClass);
+    EXPECT_EQ(Back->Name, Prop.Name);
+    ASSERT_EQ(Back->Region.dim(), Prop.Region.dim());
+    for (size_t D = 0; D < Prop.Region.dim(); ++D) {
+      EXPECT_EQ(Back->Region.lower()[D], Prop.Region.lower()[D]);
+      EXPECT_EQ(Back->Region.upper()[D], Prop.Region.upper()[D]);
+    }
+
+    std::ostringstream Os;
+    saveProperty(*Back, Os);
+    EXPECT_EQ(Os.str(), slurp(PropPath)) << PropPath;
+  }
+}
+
+TEST_F(AcasExportRoundTripTest, SuiteRegenerationMatchesExportedFiles) {
+  // The exporter's cache contract: regenerating the suite with the same
+  // (count, seed) yields the same network and properties that were written,
+  // so a stale export can be validated against a fresh generation purely
+  // through digests.
+  const std::string NetPath = OutDir + "/acas.net";
+  ASSERT_TRUE(saveNetworkFile(Suite.Net, NetPath));
+
+  BenchmarkSuite Again = makeAcasSuite(4, 321, CacheDir);
+  std::optional<Network> Back = loadNetworkFile(NetPath);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(fingerprintNetwork(Again.Net), fingerprintNetwork(*Back));
+  ASSERT_EQ(Again.Properties.size(), Suite.Properties.size());
+  for (size_t I = 0; I < Again.Properties.size(); ++I)
+    EXPECT_EQ(digestProperty(Again.Properties[I]),
+              digestProperty(Suite.Properties[I]));
+}
+
+} // namespace
