@@ -18,6 +18,8 @@
 //   --trace <file.jsonl>    write one JSON line per node expansion
 //   --checkpoint <file>     on Timeout, save the open frontier here
 //   --resume <file>         continue the search from a saved checkpoint
+//   --cert <file>           on a decided verdict, save a proof certificate
+//                           (re-check it with charon_check; charon only)
 //   --cegar                 abstract-first verification: search a merged
 //                           sound over-approximation, refine on spurious
 //                           counterexamples (charon only)
@@ -32,6 +34,7 @@
 #include "core/PolicyIo.h"
 #include "core/PropertyIo.h"
 #include "core/Verifier.h"
+#include "cert/Certificate.h"
 #include "nn/Io.h"
 #include "search/Checkpoint.h"
 #include "support/ThreadPool.h"
@@ -51,7 +54,7 @@ namespace {
                "usage: %s <network.net> <property.prop> [--tool T] "
                "[--budget S] [--delta D] [--policy F] [--fgsm] "
                "[--parallel] [--order lifo|best-first] [--trace F] "
-               "[--checkpoint F] [--resume F] [--cegar] "
+               "[--checkpoint F] [--resume F] [--cert F] [--cegar] "
                "[--cegar-ratio R] [--cegar-rounds N]\n",
                Argv0);
   std::exit(2);
@@ -77,7 +80,7 @@ int main(int Argc, char **Argv) {
   bool UseFgsm = false;
   bool Parallel = false;
   std::string Order = "lifo";
-  std::string TracePath, CheckpointPath, ResumePath;
+  std::string TracePath, CheckpointPath, ResumePath, CertPath;
   bool Cegar = false;
   double CegarRatio = -1.0;
   int CegarRounds = -1;
@@ -102,6 +105,8 @@ int main(int Argc, char **Argv) {
       CheckpointPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--resume") && I + 1 < Argc)
       ResumePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--cert") && I + 1 < Argc)
+      CertPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--cegar"))
       Cegar = true;
     else if (!std::strcmp(Argv[I], "--cegar-ratio") && I + 1 < Argc)
@@ -145,6 +150,7 @@ int main(int Argc, char **Argv) {
     VC.Optimizer = UseFgsm ? CexSearchKind::Fgsm : CexSearchKind::Pgd;
     VC.SearchOrder =
         Order == "best-first" ? FrontierOrder::BestFirst : FrontierOrder::Lifo;
+    VC.EmitCertificate = !CertPath.empty();
     VC.Cegar.Enabled = Cegar;
     if (CegarRatio >= 0.0)
       VC.Cegar.InitialMergeRatio = CegarRatio;
@@ -192,6 +198,18 @@ int main(int Argc, char **Argv) {
                   R.Stats.CegarFallbacks, R.Stats.CegarAbstractNeurons);
     if (R.Result == Outcome::Falsified)
       printCex(*Net, R.Counterexample);
+    if (!CertPath.empty() && R.Result != Outcome::Timeout) {
+      if (R.Certificate && saveCertificateFile(*R.Certificate, CertPath))
+        std::printf("certificate: %zu nodes saved to %s\n",
+                    R.Certificate->Nodes.size(), CertPath.c_str());
+      else if (!R.Certificate)
+        // CEGAR's abstract-phase Verified and resumed Verified runs are
+        // sound but carry no self-contained proof (see core/Verifier.h).
+        std::fprintf(stderr, "note: this verdict carries no certificate\n");
+      else
+        std::fprintf(stderr, "error: cannot save certificate to %s\n",
+                     CertPath.c_str());
+    }
     if (R.Result == Outcome::Timeout && !CheckpointPath.empty()) {
       if (R.Checkpoint && saveCheckpointFile(*R.Checkpoint, CheckpointPath))
         std::printf("checkpoint: %zu open nodes saved to %s\n",

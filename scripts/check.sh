@@ -22,6 +22,11 @@
 # events, and the verdict must match a direct run) and one bench_cegar
 # case checking the charon-bench-cegar/1 JSON document; on the sanitize
 # leg both run with forced-threaded kernels (and --parallel for the CLI).
+# A certificate smoke then decides an exported ACAS property with --cert,
+# requires charon_check to accept the emitted certificate, and requires it
+# to reject a tampered copy; the sanitize leg runs it forced-threaded.
+# Before any of that, scripts/check_test_registration.sh asserts every
+# tests/*/*Tests.cpp file is registered in the ctest suite.
 # Usage: scripts/check.sh [--sanitize]
 #   --sanitize   build with -DCHARON_SANITIZE=ON (ASan + UBSan)
 set -euo pipefail
@@ -36,6 +41,9 @@ if [[ "${1:-}" == "--sanitize" ]]; then
   CMAKE_ARGS+=(-DCHARON_SANITIZE=ON)
   SANITIZE=1
 fi
+
+# Every tests/*/*Tests.cpp must be wired into ctest before anything builds.
+scripts/check_test_registration.sh
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j
@@ -274,3 +282,49 @@ else
   grep -q '"name": "cegar_mlp_w256"' "$CEGAR_SMOKE_JSON"
   echo "cegar bench smoke: JSON OK (grep)"
 fi
+
+# Certificate smoke: decide an exported ACAS property with --cert, check
+# the certificate with the standalone charon_check (which re-runs the
+# abstract analyses and counterexamples but no search), then corrupt the
+# recorded network fingerprint and require rejection. The sanitize leg
+# reuses TRACE_ENV/TRACE_FLAGS, so both the emitting run and the checker
+# replay go through forced-threaded kernels under ASan + UBSan.
+CERT_FILE=""
+CERT_PROP=""
+for PROP in 1 0; do
+  set +e
+  env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+    "$TRACE_DIR/acas.net" "$TRACE_DIR/acas-$PROP.prop" \
+    --budget 30 --cert "$TRACE_DIR/acas-$PROP.cert" "${TRACE_FLAGS[@]}"
+  CERT_RC=$?
+  set -e
+  if [[ "$CERT_RC" == 0 && -s "$TRACE_DIR/acas-$PROP.cert" ]]; then
+    CERT_FILE="$TRACE_DIR/acas-$PROP.cert"
+    CERT_PROP="$TRACE_DIR/acas-$PROP.prop"
+    break
+  fi
+  if [[ "$CERT_RC" != 1 ]]; then
+    echo "cert smoke: charon_cli failed (rc=$CERT_RC)" >&2
+    exit 1
+  fi
+done
+if [[ -z "$CERT_FILE" ]]; then
+  echo "cert smoke: no exported property decided within budget" >&2
+  exit 1
+fi
+grep -q '^charon-cert 1$' "$CERT_FILE"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_check" \
+  "$TRACE_DIR/acas.net" "$CERT_PROP" "$CERT_FILE"
+echo "cert smoke: genuine certificate accepted"
+sed 's/^network [0-9]*/network 1/' "$CERT_FILE" \
+  > "$TRACE_DIR/tampered.cert"
+set +e
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_check" \
+  "$TRACE_DIR/acas.net" "$CERT_PROP" "$TRACE_DIR/tampered.cert"
+TAMPER_RC=$?
+set -e
+if [[ "$TAMPER_RC" == 0 ]]; then
+  echo "cert smoke: tampered certificate was ACCEPTED" >&2
+  exit 1
+fi
+echo "cert smoke: tampered certificate rejected (rc=$TAMPER_RC)"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Asserts every tests/<dir>/*Tests.cpp is registered in tests/CMakeLists.txt
+# (via add_charon_test or an explicit target source), so a new test file
+# cannot silently stay out of the ctest suite. Run from anywhere.
+
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+CMAKE_LISTS="$REPO/tests/CMakeLists.txt"
+
+missing=0
+while IFS= read -r file; do
+  rel="${file#"$REPO"/tests/}"
+  if ! grep -qF "$rel" "$CMAKE_LISTS"; then
+    echo "error: $rel is not registered in tests/CMakeLists.txt" >&2
+    missing=1
+  fi
+done < <(find "$REPO/tests" -name '*Tests.cpp' | sort)
+
+if [ "$missing" -ne 0 ]; then
+  echo "add the file to tests/CMakeLists.txt with add_charon_test(...)" >&2
+  exit 1
+fi
+echo "test registration: all $(find "$REPO/tests" -name '*Tests.cpp' | wc -l | tr -d ' ') *Tests.cpp files registered"

@@ -3,6 +3,7 @@
 #include "cegar/CegarEngine.h"
 
 #include "cegar/Abstractor.h"
+#include "cert/Certificate.h"
 #include "opt/Pgd.h"
 #include "search/SearchEngine.h"
 #include "support/Random.h"
@@ -64,6 +65,11 @@ VerifyResult CegarEngine::run(const RobustnessProperty &Prop,
   VerifierConfig Abstract = Config;
   Abstract.Cegar.Enabled = false;
   Abstract.CompleteFallback = nullptr;
+  // An abstract-net proof tree is no certificate for the original query
+  // (wrong network fingerprint, wrong property); falsifications instead
+  // certify below via the concretely replayed witness, and the direct
+  // fallback inherits EmitCertificate untouched.
+  Abstract.EmitCertificate = false;
   VerifierConfig Direct = Config;
   Direct.Cegar.Enabled = false;
 
@@ -126,7 +132,9 @@ VerifyResult CegarEngine::run(const RobustnessProperty &Prop,
     if (R.Result == Outcome::Verified) {
       // Soundness: the abstraction over-approximates every competitor
       // margin, so robustness of the abstract net implies robustness of
-      // the original.
+      // the original. No certificate is emitted here even on request: the
+      // proof evidence is the abstract net's tree, which a standalone
+      // checker cannot bind to the original network.
       emitRound(Config.Trace, Round, AbsNeurons, OriginalNeurons,
                 Acc.CegarSpuriousCexes, "verified", RoundWatch.seconds());
       VerifyResult Out;
@@ -159,6 +167,10 @@ VerifyResult CegarEngine::run(const RobustnessProperty &Prop,
       Out.Counterexample = R.Counterexample;
       Out.ObjectiveAtCex = FOrig;
       Out.Stats = Acc;
+      if (Config.EmitCertificate)
+        Out.Certificate = std::make_shared<ProofCertificate>(
+            buildFalsifiedCertificate(Net, Prop, Config, Out.Counterexample,
+                                      Out.ObjectiveAtCex));
       return Finish(std::move(Out));
     }
 
@@ -183,6 +195,10 @@ VerifyResult CegarEngine::run(const RobustnessProperty &Prop,
         Out.Counterexample = P.X;
         Out.ObjectiveAtCex = P.Objective;
         Out.Stats = Acc;
+        if (Config.EmitCertificate)
+          Out.Certificate = std::make_shared<ProofCertificate>(
+              buildFalsifiedCertificate(Net, Prop, Config, Out.Counterexample,
+                                        Out.ObjectiveAtCex));
         return Finish(std::move(Out));
       }
     }

@@ -68,9 +68,10 @@ uint64_t digestProperty(const RobustnessProperty &Prop);
 /// hyperparameters, seed, frontier order). A config with a CompleteFallback
 /// installed is marked distinct from one without, but two different
 /// fallback callbacks are indistinguishable — callers who vary the fallback
-/// should not share a result cache across them. CancelRequested and the
-/// trace sink are excluded entirely: one can only truncate a run to
-/// Timeout and the other only observes it; neither changes a verdict.
+/// should not share a result cache across them. CancelRequested, the trace
+/// sink, and EmitCertificate are excluded entirely: the first can only
+/// truncate a run to Timeout and the others only observe it; none changes
+/// a verdict.
 uint64_t digestVerifierConfig(const VerifierConfig &Config);
 
 /// Budget-free variant of digestVerifierConfig: every field above except

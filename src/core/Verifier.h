@@ -38,6 +38,7 @@
 namespace charon {
 class ThreadPool;
 struct SearchCheckpoint;
+struct ProofCertificate;
 
 /// Verdict of a verification run.
 enum class Outcome { Verified, Falsified, Timeout };
@@ -96,12 +97,20 @@ struct VerifyStats {
 /// CEGAR runs that time out while still searching an abstract network
 /// return a null Checkpoint, since an abstract-net frontier is not
 /// resumable against the original network.
+/// Certificate is populated iff VerifierConfig::EmitCertificate was set
+/// and the verdict is decided and checkable (see cert/Certificate.h):
+/// direct Verified/Falsified runs always certify; checkpoint-resumed and
+/// CEGAR runs certify Falsified via a single-counterexample certificate
+/// but leave Verified uncertified (their proof evidence — the pre-timeout
+/// subtree, the abstract net's tree — is not a self-contained proof of
+/// the original query).
 struct VerifyResult {
   Outcome Result = Outcome::Timeout;
   Vector Counterexample;
   double ObjectiveAtCex = 0.0;
   VerifyStats Stats;
   std::shared_ptr<const SearchCheckpoint> Checkpoint;
+  std::shared_ptr<const ProofCertificate> Certificate;
 };
 
 /// Which gradient-based optimizer drives the counterexample search. The
@@ -174,6 +183,11 @@ struct VerifierConfig {
   std::function<Outcome(const Network &, const Box &, size_t)>
       CompleteFallback;
   double CompleteFallbackDiameter = 0.05;
+
+  /// Emit a ProofCertificate alongside decided verdicts (see the
+  /// VerifyResult doc). Excluded from the config digests: a certificate
+  /// records the run, it never changes a verdict.
+  bool EmitCertificate = false;
 
   /// Abstract-first verification via neuron merging. Only dense-ReLU
   /// networks are abstracted; others silently run the direct search. A

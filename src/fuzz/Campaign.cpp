@@ -105,12 +105,18 @@ charon::runFuzzCase(const Network &Net, const RobustnessProperty &Prop,
   if (Stats)
     ++Stats->ResumeChecks;
 
-  // Last on purpose: the CEGAR oracle draws from OracleR, and appending it
-  // after the established oracles keeps their RNG streams (and hence the
-  // checked-in repro corpus) byte-stable.
+  // Last among the RNG consumers on purpose: the CEGAR oracle draws from
+  // OracleR, and appending it after the established oracles keeps their RNG
+  // streams (and hence the checked-in repro corpus) byte-stable.
   Append(checkCegarSoundness(Net, Prop, Policy, Cfg, OracleR));
   if (Stats)
     ++Stats->CegarChecks;
+
+  // Draws no RNG, so it can follow the CEGAR oracle without perturbing any
+  // stream.
+  Append(checkCertificates(Net, Prop, Policy, Cfg));
+  if (Stats)
+    ++Stats->CertificateChecks;
 
   return All;
 }

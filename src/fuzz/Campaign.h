@@ -56,12 +56,14 @@ struct CampaignStats {
   long CexChecks = 0;
   long ResumeChecks = 0;
   long CegarChecks = 0;
+  long CertificateChecks = 0;
   long Violations = 0; ///< violating cases (not individual messages)
   double Seconds = 0.0;
 
   long totalChecks() const {
     return ContainmentChecks + PrecisionChecks + AgreementChecks +
-           MonotonicityChecks + CexChecks + ResumeChecks + CegarChecks;
+           MonotonicityChecks + CexChecks + ResumeChecks + CegarChecks +
+           CertificateChecks;
   }
 };
 

@@ -3,6 +3,8 @@
 #include "fuzz/Oracles.h"
 
 #include "cegar/Abstractor.h"
+#include "cert/CertChecker.h"
+#include "cert/Certificate.h"
 #include "search/Checkpoint.h"
 #include "service/VerificationService.h"
 #include "support/Random.h"
@@ -525,6 +527,119 @@ charon::checkCegarSoundness(const Network &Net, const RobustnessProperty &Prop,
          << " with true counterexample (F = " << F << ") at x = "
          << vecToString(Fals.Counterexample);
       Out.push_back({"cegar:agreement", Os.str()});
+    }
+  }
+  return Out;
+}
+
+std::vector<OracleViolation>
+charon::checkCertificates(const Network &Net, const RobustnessProperty &Prop,
+                          const VerificationPolicy &Policy,
+                          const OracleConfig &Cfg) {
+  std::vector<OracleViolation> Out;
+  VerifierConfig VC = oracleVerifierConfig(Cfg);
+  VC.EmitCertificate = true;
+  VerifyResult R = Verifier(Net, Policy, VC).verify(Prop);
+
+  if (!decided(R.Result)) {
+    if (R.Certificate)
+      Out.push_back(
+          {"certificate:timeout", "Timeout verdict carries a certificate"});
+    return Out;
+  }
+  if (!R.Certificate) {
+    Out.push_back({"certificate:missing",
+                   std::string(toString(R.Result)) +
+                       " verdict under EmitCertificate produced no "
+                       "certificate (direct searches must always certify)"});
+    return Out;
+  }
+  const ProofCertificate &Cert = *R.Certificate;
+
+  // The canonical form must round-trip byte-identically, same contract as
+  // SearchCheckpoint.
+  std::string Text = serializeCertificate(Cert);
+  std::optional<ProofCertificate> Back = deserializeCertificate(Text);
+  if (!Back) {
+    Out.push_back({"certificate:parse",
+                   "serialized certificate does not parse back"});
+    return Out;
+  }
+  if (serializeCertificate(*Back) != Text)
+    Out.push_back({"certificate:round-trip",
+                   "serialize -> deserialize -> serialize is not "
+                   "byte-identical"});
+
+  // The genuine (reparsed) certificate must be accepted as-is.
+  CertCheckReport Rep = checkCertificate(Net, Prop, *Back);
+  if (!Rep.Accepted) {
+    Out.push_back({"certificate:rejected",
+                   "checker rejects the genuine certificate: " +
+                       (Rep.Errors.empty() ? std::string("(no error recorded)")
+                                           : Rep.Errors.front())});
+    return Out;
+  }
+
+  // Tampered copies must be rejected — a checker that blesses any of them
+  // would certify claims nothing justified. InjectTighten widens the
+  // checker's numeric slack to simulate exactly that laxness, so tests can
+  // prove the tamper probes have teeth.
+  CertCheckConfig CheckCfg;
+  CheckCfg.MarginSlack = Cfg.InjectTighten;
+  CheckCfg.ObjectiveSlack = Cfg.InjectTighten;
+  auto ExpectReject = [&](const ProofCertificate &T, const char *What) {
+    if (Out.size() >= MaxViolationsPerCheck)
+      return;
+    if (checkCertificate(Net, Prop, T, CheckCfg).Accepted)
+      Out.push_back({"certificate:tamper-accepted",
+                     std::string("checker accepts a certificate with ") +
+                         What});
+  };
+
+  // (a) Forged leaf justification: inflate a verified leaf's recorded
+  // margin past what replay can re-derive, or displace a counterexample
+  // outside its leaf region.
+  {
+    ProofCertificate T = Cert;
+    const char *What = nullptr;
+    for (CertNode &N : T.Nodes) {
+      if (N.Kind == CertNodeKind::Verified) {
+        N.Margin += 0.125;
+        What = "an inflated verified-leaf margin";
+        break;
+      }
+      if (N.Kind == CertNodeKind::Falsified) {
+        N.Cex[0] = N.Region.upper()[0] + 1.0;
+        What = "a displaced counterexample";
+        break;
+      }
+    }
+    if (What)
+      ExpectReject(T, What);
+  }
+
+  // (b) Dropped node: the last DFS node is a leaf; without it a split is
+  // missing a child (or a single-node certificate is missing its root).
+  {
+    ProofCertificate T = Cert;
+    T.Nodes.pop_back();
+    ExpectReject(T, "a dropped leaf");
+  }
+
+  // (c) Shrunk subregion: pull in one side of the last node's region, so a
+  // slice of the input space silently escapes every justification.
+  {
+    ProofCertificate T = Cert;
+    CertNode &N = T.Nodes.back();
+    for (size_t I = 0; I < N.Region.dim(); ++I) {
+      if (N.Region.width(I) > 0.0) {
+        Vector Lo = N.Region.lower();
+        Vector Hi = N.Region.upper();
+        Lo[I] += 0.25 * N.Region.width(I);
+        N.Region = Box(std::move(Lo), std::move(Hi));
+        ExpectReject(T, "a shrunk node region");
+        break;
+      }
     }
   }
   return Out;

@@ -25,6 +25,9 @@
 ///  - Powerset precision: the bounded powerset of a base domain must bound
 ///    the robustness margin at least as tightly as the base domain alone
 ///    (case splits may only add precision, Sec. 2.3 / Example 2.3).
+///  - Certificate production: every decided verdict emitted with
+///    EmitCertificate must carry a byte-stable certificate the standalone
+///    checker accepts, and tampered copies of it must be rejected.
 ///
 /// Oracles return the empty vector on success. Fault injection (pretending
 /// the abstract bounds are tighter than reported) lets tests verify the
@@ -137,6 +140,21 @@ std::vector<OracleViolation>
 checkCegarSoundness(const Network &Net, const RobustnessProperty &Prop,
                     const VerificationPolicy &Policy, const OracleConfig &Cfg,
                     Rng &R);
+
+/// Certificate oracle: re-verifies the property with EmitCertificate set
+/// and checks the full proof-production contract. A decided verdict must
+/// carry a certificate that round-trips byte-identically through
+/// serialize -> deserialize -> serialize and that the standalone checker
+/// accepts; Timeout must carry none. Then three deterministically tampered
+/// copies — a forged leaf justification (inflated verified margin or
+/// displaced counterexample), a dropped trailing node, and a shrunk node
+/// region — must each be *rejected*: the checker accepting any of them is
+/// the violation. InjectTighten widens the checker's numeric slack,
+/// simulating a checker lax enough to bless forged bounds, so tests can
+/// prove this oracle catches one. Draws no RNG (fully deterministic).
+std::vector<OracleViolation>
+checkCertificates(const Network &Net, const RobustnessProperty &Prop,
+                  const VerificationPolicy &Policy, const OracleConfig &Cfg);
 
 /// Verifier configuration the metamorphic oracles run with (shared so the
 /// campaign, the agreement oracle, and replays all use identical configs).

@@ -4,6 +4,7 @@
 
 #include <fstream>
 #include <iomanip>
+#include <set>
 #include <sstream>
 
 using namespace charon;
@@ -91,6 +92,10 @@ std::optional<SearchCheckpoint> charon::loadCheckpoint(std::istream &Is) {
     return std::nullopt;
 
   Cp.Open.reserve(Count);
+  // Node paths identify frontier entries (they seed the path-derived RNG on
+  // resume); a duplicate means a corrupted or hand-forged file, not a
+  // frontier the engine could ever have saved.
+  std::set<std::vector<uint8_t>> SeenPaths;
   for (size_t N = 0; N < Count; ++N) {
     CheckpointNode Node;
     if (!(Is >> Key >> Token) || Key != "node")
@@ -103,6 +108,8 @@ std::optional<SearchCheckpoint> charon::loadCheckpoint(std::istream &Is) {
         Node.Path.push_back(C == '1' ? 1 : 0);
       }
     }
+    if (!SeenPaths.insert(Node.Path).second)
+      return std::nullopt;
     if (!(Is >> Node.Priority))
       return std::nullopt;
 

@@ -78,12 +78,24 @@ struct ProofNode {
   /// ancestors are not materialized). Empty for ordinary nodes.
   std::vector<uint8_t> PathPrefix;
 
-  // Filled in when the node is expanded (observability + checkpoints).
+  // Filled in when the node is expanded (observability + checkpoints +
+  // certificates).
   DomainSpec Domain;          ///< pi_alpha's choice (valid iff DomainChosen)
   bool DomainChosen = false;
   double Margin = 0.0;        ///< analysis margin (valid iff MarginKnown)
   bool MarginKnown = false;
   double PgdObjective = 0.0;  ///< F(x*) of this node's search
+
+  /// Split nodes: the hyperplane actually used (post-clamp cut), so a
+  /// certificate can prove the children tile this region exactly.
+  size_t SplitDim = 0;
+  double SplitCut = 0.0;
+
+  /// Falsified nodes: the concrete delta-counterexample and its objective.
+  /// Kept per node (not just the run's DFS-earliest winner) so every
+  /// falsified leaf in a certificate carries its own replayable witness.
+  Vector Cex;
+  double CexObjective = 0.0;
 };
 
 /// Materialized proof-search tree. Not thread-safe; the engine guards it

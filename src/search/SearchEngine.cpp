@@ -3,6 +3,7 @@
 #include "search/SearchEngine.h"
 
 #include "abstract/Analyzer.h"
+#include "cert/Certificate.h"
 #include "core/Digest.h"
 #include "support/Random.h"
 #include "support/ThreadPool.h"
@@ -79,6 +80,9 @@ struct SearchEngine::SearchState {
   bool TimedOut = false; ///< deadline, cancellation, or depth cap hit
   bool Done = false;     ///< no further scheduling; workers drain
   unsigned InFlight = 0; ///< expansions currently outside the lock
+  /// Restored from a checkpoint: the tree holds only the detached frontier
+  /// (no materialized root), so a tree certificate cannot be built.
+  bool Resumed = false;
 };
 
 SearchEngine::SearchEngine(const Network &N, const VerificationPolicy &P,
@@ -282,13 +286,17 @@ SearchEngine::StepResult SearchEngine::runStep(SearchState &S) const {
     TraceOutcome = "falsified";
     N.Status = NodeStatus::Falsified;
     N.Warm = Vector();
+    // The witness lives on the node (certificates record every falsified
+    // leaf), and the DFS-earliest one additionally becomes the verdict's.
+    N.Cex = std::move(E.Cex);
+    N.CexObjective = E.CexObjective;
     S.OpenSet.erase(Id);
     E.Stats.MaxDepth = Depth;
     S.Stats += E.Stats;
     if (S.BestFalsified == InvalidNodeId ||
         S.Tree.dfsPrecedes(Id, S.BestFalsified)) {
       S.BestFalsified = Id;
-      S.BestCex = std::move(E.Cex);
+      S.BestCex = N.Cex;
       S.BestObjective = E.CexObjective;
     }
     break;
@@ -308,6 +316,11 @@ SearchEngine::StepResult SearchEngine::runStep(SearchState &S) const {
     E.Stats.MaxDepth = Depth;
     S.Stats += E.Stats;
     auto [Lower, Upper] = Region.split(E.Split.Dim, E.Split.Cut);
+    // Record the hyperplane actually used: Box::split clamps the policy's
+    // cut strictly inside the region, and certificates must re-prove the
+    // tiling against the clamped value.
+    N.SplitDim = E.Split.Dim;
+    N.SplitCut = Lower.upper()[E.Split.Dim];
     auto [LId, UId] = S.Tree.addChildren(Id, std::move(Lower),
                                          std::move(Upper), E.XStar,
                                          E.PgdObjective);
@@ -352,6 +365,26 @@ VerifyResult SearchEngine::finish(SearchState &S,
   VerifyResult Result;
   Result.Stats = S.Stats;
   Result.Stats.Seconds += S.Watch.seconds();
+
+  // Decided verdicts certify on request. A resumed run's tree holds only
+  // the restored frontier, never the already-verified siblings, so it can
+  // certify a falsification (one witness suffices) but not a Verified
+  // verdict — that evidence lives in the pre-timeout run.
+  auto AttachCertificate = [&](VerifyResult &R) {
+    if (!Config.EmitCertificate)
+      return;
+    if (!S.Resumed) {
+      if (auto Cert =
+              buildTreeCertificate(Net, Prop, Config, R.Result, S.Tree))
+        R.Certificate =
+            std::make_shared<ProofCertificate>(std::move(*Cert));
+    } else if (R.Result == Outcome::Falsified) {
+      R.Certificate = std::make_shared<ProofCertificate>(
+          buildFalsifiedCertificate(Net, Prop, Config, R.Counterexample,
+                                    R.ObjectiveAtCex));
+    }
+  };
+
   if (S.BestFalsified != InvalidNodeId) {
     // A falsification always wins, even on an interrupted run where it is
     // not yet confirmed DFS-earliest: the counterexample is sound either
@@ -359,6 +392,7 @@ VerifyResult SearchEngine::finish(SearchState &S,
     Result.Result = Outcome::Falsified;
     Result.Counterexample = std::move(S.BestCex);
     Result.ObjectiveAtCex = S.BestObjective;
+    AttachCertificate(Result);
     return Result;
   }
   if (!S.TimedOut || S.OpenSet.empty()) {
@@ -366,6 +400,7 @@ VerifyResult SearchEngine::finish(SearchState &S,
     // verified, even when the deadline fired after the last expansion. A
     // Timeout verdict therefore always carries a non-empty frontier.
     Result.Result = Outcome::Verified;
+    AttachCertificate(Result);
     return Result;
   }
   Result.Result = Outcome::Timeout;
@@ -423,6 +458,7 @@ VerifyResult SearchEngine::run(const RobustnessProperty &Prop,
     }
     Resumed = true;
   }
+  S.Resumed = Resumed;
   if (!Resumed) {
     NodeId Root = S.Tree.addRoot(Prop.Region);
     S.OpenSet.insert(Root);

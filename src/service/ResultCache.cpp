@@ -76,6 +76,31 @@ void ResultCache::insert(const CacheKey &Key, const Box &Region,
   }
 }
 
+std::optional<VerifyResult>
+ResultCache::lookupCertified(uint64_t NetworkFingerprint,
+                             uint64_t PropertyDigest,
+                             uint64_t ExcludeConfigDigest) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto EIt = Entries.begin(); EIt != Entries.end(); ++EIt) {
+    if (!EIt->Result.Certificate)
+      continue;
+    if (EIt->Result.Result == Outcome::Timeout)
+      continue;
+    if (EIt->Key.NetworkFingerprint != NetworkFingerprint ||
+        EIt->Key.PropertyDigest != PropertyDigest ||
+        EIt->Key.ConfigDigest == ExcludeConfigDigest)
+      continue;
+    touch(EIt);
+    return EIt->Result;
+  }
+  return std::nullopt;
+}
+
+void ResultCache::noteCertifiedHit() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.CertifiedHits;
+}
+
 CacheStats ResultCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Counters;

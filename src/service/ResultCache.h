@@ -56,14 +56,18 @@ struct CacheKey {
 
 /// Monotonically increasing hit/miss/eviction counters. hits() splits into
 /// exact hits and subsumption hits so benchmarks can tell them apart.
+/// CertifiedHits counts answers recovered from a different config's entry
+/// by re-checking its proof certificate (see VerificationService); they
+/// are counted on top of the Misses the exact/subsumption lookup recorded.
 struct CacheStats {
   long ExactHits = 0;
   long SubsumptionHits = 0;
+  long CertifiedHits = 0;
   long Misses = 0;
   long Evictions = 0;
   long Inserts = 0;
 
-  long hits() const { return ExactHits + SubsumptionHits; }
+  long hits() const { return ExactHits + SubsumptionHits + CertifiedHits; }
 };
 
 /// Thread-safe LRU cache mapping verification queries to results.
@@ -81,6 +85,20 @@ public:
   /// refreshes its recency and overwrites the value.
   void insert(const CacheKey &Key, const Box &Region, size_t TargetClass,
               const VerifyResult &Result);
+
+  /// Certificate recovery scan: a decided entry for the same network and
+  /// property but a *different* config digest whose result carries a
+  /// ProofCertificate. Unlike lookup(), the entry is returned untrusted —
+  /// the caller must re-check the certificate (and, for Falsified, its own
+  /// delta) before treating it as an answer, then record the success with
+  /// noteCertifiedHit(). Linear in the cache size; runs only after an
+  /// exact/subsumption miss.
+  std::optional<VerifyResult> lookupCertified(uint64_t NetworkFingerprint,
+                                              uint64_t PropertyDigest,
+                                              uint64_t ExcludeConfigDigest);
+
+  /// Records one successful certificate re-check (see lookupCertified).
+  void noteCertifiedHit();
 
   /// Counter snapshot.
   CacheStats stats() const;

@@ -2,6 +2,7 @@
 
 #include "service/VerificationService.h"
 
+#include "cert/CertChecker.h"
 #include "core/Digest.h"
 #include "search/Checkpoint.h"
 #include "support/Timer.h"
@@ -149,6 +150,33 @@ void VerificationService::execute(detail::JobState &Job) {
       } else {
         Out.Result = std::move(*Hit);
         Out.CacheHit = true;
+        Job.finish(std::move(Out));
+        return;
+      }
+    }
+  }
+
+  // Cache miss (or resumable timeout). Before re-running the search, see
+  // whether another config's entry left a proof certificate for the same
+  // query: a re-checked proof answers this job for the cost of replaying
+  // its leaves, with no trust extended across config digests.
+  if (Config.EnableCache && Config.RecheckCertificates && !Resume) {
+    auto Cand = Cache.lookupCertified(Key.NetworkFingerprint,
+                                      Key.PropertyDigest, Key.ConfigDigest);
+    // A Falsified entry must additionally meet *this* job's refutation
+    // threshold (Eq. 4 is config-dependent; Verified is not).
+    if (Cand && (Cand->Result == Outcome::Verified ||
+                 (Cand->Result == Outcome::Falsified &&
+                  Cand->ObjectiveAtCex <= Req.Config.Delta))) {
+      Stopwatch CheckWatch;
+      CertCheckReport Rep = checkCertificate(Net, Req.Prop, *Cand->Certificate);
+      if (Rep.Accepted) {
+        Cache.noteCertifiedHit();
+        Cache.insert(Key, Req.Prop.Region, Req.Prop.TargetClass, *Cand);
+        Out.Result = std::move(*Cand);
+        Out.CacheHit = true;
+        Out.CertifiedHit = true;
+        Out.RunSeconds = CheckWatch.seconds();
         Job.finish(std::move(Out));
         return;
       }

@@ -48,10 +48,14 @@ struct JobRequest {
   int Priority = 0;      ///< higher-priority jobs are scheduled first
 };
 
-/// What a finished job produced.
+/// What a finished job produced. Result.Certificate rides along both on
+/// fresh runs (when the job's config set EmitCertificate) and on cache
+/// hits whose stored result carried one.
 struct JobOutcome {
   VerifyResult Result;   ///< bit-identical to Verifier::verify on a miss
   bool CacheHit = false; ///< answered from the ResultCache
+  bool CertifiedHit = false; ///< answered by re-checking another config's
+                             ///< certificate instead of trusting or rerunning
   bool Resumed = false;  ///< continued a cached Timeout's checkpoint
   bool Cancelled = false; ///< cancelled before or during execution
   double QueueSeconds = 0.0; ///< submit-to-start latency
@@ -119,6 +123,14 @@ struct ServiceConfig {
   /// replaying the stale Timeout. Each resubmission therefore makes
   /// monotone progress toward a verdict; the outcome reports Resumed.
   bool ResumeTimeouts = true;
+  /// When a job misses the cache but an entry for the same network and
+  /// property exists under a *different* config digest with an attached
+  /// ProofCertificate, re-check the certificate instead of re-running the
+  /// search. The entry is never trusted across configs — acceptance comes
+  /// from the checker's replay (and, for Falsified, the witness meeting
+  /// this job's delta) — so the answer stays sound even across verifier
+  /// versions. The outcome reports CertifiedHit.
+  bool RecheckCertificates = true;
 };
 
 /// Multi-tenant verification service over one shared policy.

@@ -1,0 +1,191 @@
+//===- CegarFallbackTests.cpp - CEGAR direct-fallback paths -------------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Every road out of the CEGAR loop that does NOT end in an abstract proof
+// or a replayed counterexample must hand the query to the direct engine —
+// and the handoff must preserve the direct verdict. Three fallback
+// triggers are pinned down, each across both frontier orders and both the
+// sequential and parallel drivers:
+//
+//  - unabstractable shapes (no hidden ReLU layer to merge),
+//  - a zero abstract-round budget (the refinement loop never runs —
+//    the deterministic stand-in for an exhausted/fixpointed loop),
+//  - an abstract-round timeout (a cancellation gated to fire only while
+//    round 0's inner search runs — the deterministic form of a round
+//    whose budget slice expires mid-search).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cegar/Abstractor.h"
+#include "core/Verifier.h"
+#include "data/Benchmarks.h"
+#include "nn/Dense.h"
+#include "search/Trace.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace charon;
+
+namespace {
+
+constexpr double BudgetSeconds = 5.0;
+constexpr const char *CacheDir = "/tmp/charon-test-networks";
+
+const BenchmarkSuite &acasSuite() {
+  static BenchmarkSuite Suite = makeAcasSuite(6, 321, CacheDir);
+  return Suite;
+}
+
+bool sameVector(const Vector &A, const Vector &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I] != B[I])
+      return false;
+  return true;
+}
+
+/// (frontier order, worker threads); 1 thread = the sequential driver.
+class CegarFallbackTest
+    : public ::testing::TestWithParam<std::tuple<FrontierOrder, int>> {
+protected:
+  VerifierConfig baseConfig() const {
+    VerifierConfig Config;
+    Config.Seed = 7;
+    Config.TimeLimitSeconds = BudgetSeconds;
+    Config.SearchOrder = std::get<0>(GetParam());
+    return Config;
+  }
+
+  VerifyResult run(const Network &Net, const VerifierConfig &Config,
+                   const RobustnessProperty &Prop) const {
+    Verifier V(Net, VerificationPolicy(), Config);
+    int Threads = std::get<1>(GetParam());
+    if (Threads <= 1)
+      return V.verify(Prop);
+    ThreadPool Pool(static_cast<unsigned>(Threads));
+    return V.verifyParallel(Prop, Pool);
+  }
+};
+
+} // namespace
+
+TEST_P(CegarFallbackTest, UnabstractableShapeRunsDirectIdentically) {
+  // A single affine layer has no hidden ReLU neurons to merge; CEGAR must
+  // step aside before round 0 and behave exactly like the direct engine.
+  Network Net;
+  Net.addLayer(std::make_unique<DenseLayer>(
+      Matrix{{1.0, 0.25}, {-0.75, 1.0}, {0.5, -0.5}}, Vector{0.05, 0.1, 0.0}));
+  ASSERT_FALSE(canAbstract(Net));
+
+  RobustnessProperty Prop;
+  Prop.Region = Box::uniform(2, 0.0, 1.0);
+  Prop.TargetClass = Net.classify(Prop.Region.center());
+  Prop.Name = "affine-fallback";
+
+  VerifierConfig DirectCfg = baseConfig();
+  VerifierConfig CegarCfg = DirectCfg;
+  CegarCfg.Cegar.Enabled = true;
+
+  VerifyResult D = run(Net, DirectCfg, Prop);
+  VerifyResult C = run(Net, CegarCfg, Prop);
+  ASSERT_NE(D.Result, Outcome::Timeout);
+  EXPECT_EQ(C.Result, D.Result);
+  EXPECT_EQ(C.Stats.CegarRounds, 0);
+  EXPECT_EQ(C.Stats.CegarFallbacks, 1);
+  EXPECT_EQ(C.Stats.CegarAbstractNeurons, 0);
+  EXPECT_EQ(C.ObjectiveAtCex, D.ObjectiveAtCex);
+  EXPECT_TRUE(sameVector(C.Counterexample, D.Counterexample));
+}
+
+TEST_P(CegarFallbackTest, ExhaustedRoundBudgetFallsBackToDirect) {
+  // MaxRounds = 0 is the deterministic form of "the refinement loop ran
+  // out": the loop body never executes and the direct engine decides.
+  ASSERT_TRUE(canAbstract(acasSuite().Net));
+  VerifierConfig DirectCfg = baseConfig();
+  VerifierConfig CegarCfg = DirectCfg;
+  CegarCfg.Cegar.Enabled = true;
+  CegarCfg.Cegar.MaxRounds = 0;
+
+  int Decided = 0;
+  for (const RobustnessProperty &Prop : acasSuite().Properties) {
+    SCOPED_TRACE(Prop.Name);
+    VerifyResult D = run(acasSuite().Net, DirectCfg, Prop);
+    VerifyResult C = run(acasSuite().Net, CegarCfg, Prop);
+    EXPECT_EQ(C.Stats.CegarRounds, 0);
+    EXPECT_EQ(C.Stats.CegarFallbacks, 1);
+    if (D.Result == Outcome::Timeout || C.Result == Outcome::Timeout)
+      continue;
+    ++Decided;
+    EXPECT_EQ(C.Result, D.Result);
+    EXPECT_EQ(C.ObjectiveAtCex, D.ObjectiveAtCex);
+    EXPECT_TRUE(sameVector(C.Counterexample, D.Counterexample));
+  }
+  EXPECT_GE(Decided, 2) << "too few properties decided within budget";
+}
+
+TEST_P(CegarFallbackTest, AbstractRoundTimeoutPreservesDirectVerdict) {
+  // Deterministic abstract timeout, no wall clock involved. The loop polls
+  // CancelRequested once at round entry, then the inner abstract search
+  // polls it before claiming any node; a counter-gated cancel answers
+  // false at round entry, true while round 0 runs (timing the round out
+  // before its root expands), and false again once the "timeout" round
+  // event lands — so the direct fallback runs unimpeded and must
+  // reproduce the direct engine's verdict bit-for-bit.
+  ASSERT_TRUE(canAbstract(acasSuite().Net));
+  VerifierConfig DirectCfg = baseConfig();
+
+  int Decided = 0;
+  for (const RobustnessProperty &Prop : acasSuite().Properties) {
+    SCOPED_TRACE(Prop.Name);
+    VerifyResult D = run(acasSuite().Net, DirectCfg, Prop);
+    if (D.Result == Outcome::Timeout)
+      continue;
+
+    VerifierConfig CegarCfg = DirectCfg;
+    CegarCfg.Cegar.Enabled = true;
+    std::vector<std::string> RoundOutcomes;
+    std::atomic<bool> SawRound{false};
+    std::atomic<int> Polls{0};
+    CegarCfg.Trace = [&](const TraceEvent &E) {
+      if (std::string_view(E.Kind) == "cegar_round") {
+        RoundOutcomes.push_back(E.Outcome ? E.Outcome : "");
+        SawRound.store(true);
+      }
+    };
+    CegarCfg.CancelRequested = [&] {
+      return !SawRound.load() && Polls.fetch_add(1) > 0;
+    };
+    VerifyResult C = run(acasSuite().Net, CegarCfg, Prop);
+
+    ++Decided;
+    ASSERT_FALSE(RoundOutcomes.empty());
+    EXPECT_EQ(RoundOutcomes.front(), "timeout");
+    EXPECT_EQ(C.Stats.CegarRounds, 1);
+    EXPECT_EQ(C.Stats.CegarFallbacks, 1);
+    EXPECT_EQ(C.Result, D.Result);
+    EXPECT_EQ(C.ObjectiveAtCex, D.ObjectiveAtCex);
+    EXPECT_TRUE(sameVector(C.Counterexample, D.Counterexample));
+  }
+  EXPECT_GE(Decided, 2) << "too few properties decided within budget";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndThreads, CegarFallbackTest,
+    ::testing::Combine(::testing::Values(FrontierOrder::Lifo,
+                                         FrontierOrder::BestFirst),
+                       ::testing::Values(1, 3)),
+    [](const ::testing::TestParamInfo<CegarFallbackTest::ParamType> &Info) {
+      std::string Name = std::get<0>(Info.param) == FrontierOrder::Lifo
+                             ? "Lifo"
+                             : "BestFirst";
+      return Name + (std::get<1>(Info.param) <= 1 ? "Seq" : "Par");
+    });

@@ -1,0 +1,177 @@
+//===- ResultCacheStressTests.cpp - ResultCache concurrency stress ------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// Hammers one shared ResultCache from many threads with a mix of inserts
+// (some carrying certificates), exact/subsumption lookups, certificate
+// recovery scans, and clears, while evictions churn the LRU list. The
+// invariants: no data race (this test earns its keep under the sanitizer
+// leg of scripts/check.sh), the size never exceeds capacity, the counters
+// exactly account for every call made, and every entry returned by
+// lookupCertified() actually carries a certificate under a non-excluded
+// config digest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cert/Certificate.h"
+#include "service/ResultCache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace charon;
+
+namespace {
+
+constexpr int Threads = 8;
+constexpr int OpsPerThread = 4000;
+constexpr size_t Capacity = 64;
+
+CacheKey key(uint64_t Net, uint64_t Prop, uint64_t Config) {
+  CacheKey K;
+  K.NetworkFingerprint = Net;
+  K.PropertyDigest = Prop;
+  K.ConfigDigest = Config;
+  return K;
+}
+
+/// A decided result, optionally carrying a (structurally trivial)
+/// certificate — the cache stores it opaquely, so content is irrelevant.
+VerifyResult makeResult(bool Certified) {
+  VerifyResult R;
+  R.Result = Outcome::Verified;
+  if (Certified) {
+    ProofCertificate Cert;
+    Cert.Verdict = Outcome::Verified;
+    Cert.Delta = 1e-6;
+    R.Certificate = std::make_shared<ProofCertificate>(std::move(Cert));
+  }
+  return R;
+}
+
+/// Cheap deterministic per-thread mixer (splitmix64 step).
+uint64_t mix(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+TEST(ResultCacheStressTest, ConcurrentMixedTrafficKeepsInvariants) {
+  ResultCache Cache(Capacity);
+  Box Region = Box::uniform(3, 0.0, 1.0);
+
+  std::atomic<long> Lookups{0};
+  std::atomic<long> Inserts{0};
+  std::atomic<long> CertifiedHits{0};
+  std::atomic<long> BadCertified{0};
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      uint64_t State = 0x1000 + static_cast<uint64_t>(T);
+      for (int Op = 0; Op < OpsPerThread; ++Op) {
+        uint64_t R = mix(State);
+        // A key universe ~2x the capacity keeps evictions constant while
+        // leaving enough overlap for genuine cross-thread hits.
+        uint64_t Net = R % 4;
+        uint64_t Prop = (R >> 8) % 8;
+        uint64_t Config = (R >> 16) % 4;
+        CacheKey K = key(Net, Prop, Config);
+        switch ((R >> 32) % 8) {
+        case 0:
+        case 1:
+        case 2: {
+          Cache.insert(K, Region, 0, makeResult((R >> 40) & 1));
+          Inserts.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case 3:
+        case 4:
+        case 5: {
+          (void)Cache.lookup(K, Region, 0);
+          Lookups.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+        case 6: {
+          auto Hit = Cache.lookupCertified(Net, Prop, Config);
+          if (Hit) {
+            if (!Hit->Certificate)
+              BadCertified.fetch_add(1, std::memory_order_relaxed);
+            Cache.noteCertifiedHit();
+            CertifiedHits.fetch_add(1, std::memory_order_relaxed);
+          }
+          break;
+        }
+        default: {
+          // Rare full clears exercise the reset path against the scans.
+          if (Op % 1024 == 512)
+            Cache.clear();
+          else
+            (void)Cache.size();
+          break;
+        }
+        }
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(BadCertified.load(), 0)
+      << "lookupCertified returned an entry without a certificate";
+  EXPECT_LE(Cache.size(), Capacity);
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Inserts, Inserts.load());
+  EXPECT_EQ(S.ExactHits + S.SubsumptionHits + S.Misses, Lookups.load());
+  EXPECT_EQ(S.CertifiedHits, CertifiedHits.load());
+  // With 3/8 of ops inserting over a 128-key universe, all three lookup
+  // outcomes must actually occur — otherwise the stress is vacuous.
+  EXPECT_GT(S.ExactHits + S.SubsumptionHits, 0);
+  EXPECT_GT(S.Misses, 0);
+  EXPECT_GT(S.Evictions, 0);
+}
+
+TEST(ResultCacheStressTest, CertifiedScanNeverReturnsExcludedConfig) {
+  ResultCache Cache(Capacity);
+  Box Region = Box::uniform(2, 0.0, 1.0);
+  // Two configs per (net, prop); only config 1 stores certificates.
+  for (uint64_t P = 0; P < 8; ++P) {
+    Cache.insert(key(1, P, 0), Region, 0, makeResult(false));
+    Cache.insert(key(1, P, 1), Region, 0, makeResult(true));
+  }
+
+  std::atomic<long> Violations{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      uint64_t State = 0x2000 + static_cast<uint64_t>(T);
+      for (int Op = 0; Op < OpsPerThread; ++Op) {
+        uint64_t R = mix(State);
+        uint64_t P = R % 8;
+        // Excluding config 1 must find nothing (config 0 has no
+        // certificate); excluding config 0 must find config 1's entry.
+        auto None = Cache.lookupCertified(1, P, 1);
+        if (None)
+          Violations.fetch_add(1, std::memory_order_relaxed);
+        auto Hit = Cache.lookupCertified(1, P, 0);
+        if (!Hit || !Hit->Certificate)
+          Violations.fetch_add(1, std::memory_order_relaxed);
+        if ((R >> 16) % 16 == 0)
+          Cache.insert(key(1, P, 1), Region, 0, makeResult(true));
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Violations.load(), 0);
+}
