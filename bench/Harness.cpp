@@ -8,6 +8,7 @@
 #include "baselines/ReluVal.h"
 #include "baselines/Reluplex.h"
 #include "core/PolicyIo.h"
+#include "linalg/SimdDispatch.h"
 #include "nn/Builder.h"
 #include "nn/Dense.h"
 #include "nn/Relu.h"
@@ -21,6 +22,10 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 using namespace charon;
 using namespace charon::bench;
@@ -66,6 +71,17 @@ HarnessConfig charon::bench::defaultHarnessConfig() {
   if (const char *Budget = std::getenv("CHARON_BENCH_BUDGET"))
     Config.BudgetSeconds = std::max(0.1, std::atof(Budget));
   return Config;
+}
+
+void charon::bench::stabilizeAllocator() {
+#if defined(__GLIBC__)
+  // 128 MiB covers every matrix any tracked case allocates, so all of them
+  // stay on the (page-warm) heap and none is ever trimmed back to the OS
+  // between repeats. Setting the options also disables glibc's dynamic
+  // threshold adjustment, which is the history-dependence being removed.
+  mallopt(M_MMAP_THRESHOLD, 128 << 20);
+  mallopt(M_TRIM_THRESHOLD, 128 << 20);
+#endif
 }
 
 VerificationPolicy
@@ -264,12 +280,14 @@ void appendJsonDouble(std::ostringstream &Os, double X) {
 std::vector<MicroDomainCase> charon::bench::defaultMicroDomainCases() {
   std::vector<MicroDomainCase> Cases;
   auto Add = [&Cases](const char *Name, size_t Width, BaseDomainKind Base,
-                      int Disjuncts) {
+                      int Disjuncts,
+                      KernelPrecision Precision = KernelPrecision::Double) {
     MicroDomainCase C;
     C.Name = Name;
     C.Width = Width;
     C.HiddenLayers = 3;
     C.Spec = DomainSpec{Base, Disjuncts};
+    C.Precision = Precision;
     Cases.push_back(std::move(C));
   };
   Add("interval_dense_relu_w256", 256, BaseDomainKind::Interval, 1);
@@ -277,6 +295,13 @@ std::vector<MicroDomainCase> charon::bench::defaultMicroDomainCases() {
   Add("zonotope_dense_relu_w128", 128, BaseDomainKind::Zonotope, 1);
   Add("zonotope_dense_relu_w256", 256, BaseDomainKind::Zonotope, 1);
   Add("zonotope_dense_relu_w512", 512, BaseDomainKind::Zonotope, 1);
+  // Float32 twins of the two largest zonotope cases: sound outward-rounded
+  // low precision, tracked so the speed/width trade stays visible in the
+  // trajectory.
+  Add("zonotope_dense_relu_w256_f32", 256, BaseDomainKind::Zonotope, 1,
+      KernelPrecision::Float32);
+  Add("zonotope_dense_relu_w512_f32", 512, BaseDomainKind::Zonotope, 1,
+      KernelPrecision::Float32);
   Add("zonotope_powerset4_w64", 64, BaseDomainKind::Zonotope, 4);
   return Cases;
 }
@@ -292,7 +317,8 @@ MicroDomainResult charon::bench::runMicroDomainCase(const MicroDomainCase &Case,
 
   // One untimed run collects the shape/margin metadata (and warms caches).
   {
-    std::unique_ptr<AbstractElement> Elem = makeElement(F.Region, Case.Spec);
+    std::unique_ptr<AbstractElement> Elem =
+        makeElement(F.Region, Case.Spec, Case.Precision);
     propagate(F.Net, *Elem);
     Result.Generators = countGenerators(*Elem);
     double Margin = std::numeric_limits<double>::infinity();
@@ -305,7 +331,8 @@ MicroDomainResult charon::bench::runMicroDomainCase(const MicroDomainCase &Case,
   Result.Seconds = std::numeric_limits<double>::infinity();
   for (int R = 0; R < Result.Repeats; ++R) {
     Stopwatch Watch;
-    AnalysisResult A = analyzeRobustness(F.Net, F.Region, 0, Case.Spec);
+    AnalysisResult A = analyzeRobustness(F.Net, F.Region, 0, Case.Spec,
+                                         /*Budget=*/nullptr, Case.Precision);
     double Elapsed = Watch.seconds();
     if (A.Margin != Result.Margin)
       reportFatalError("micro-domain case is nondeterministic");
@@ -317,12 +344,14 @@ MicroDomainResult charon::bench::runMicroDomainCase(const MicroDomainCase &Case,
 std::string
 charon::bench::microDomainJson(const std::vector<MicroDomainResult> &Results) {
   std::ostringstream Os;
-  Os << "{\n  \"schema\": \"charon-bench-micro-domains/1\",\n  \"cases\": [";
+  Os << "{\n  \"schema\": \"charon-bench-micro-domains/2\",\n  \"simd\": \""
+     << kernels::simdLevelName(kernels::simdLevel()) << "\",\n  \"cases\": [";
   for (size_t I = 0; I < Results.size(); ++I) {
     const MicroDomainResult &R = Results[I];
     Os << (I == 0 ? "\n" : ",\n");
     Os << "    {\"name\": \"" << R.Case.Name << "\", \"domain\": \""
-       << toString(R.Case.Spec) << "\", \"width\": " << R.Case.Width
+       << toString(R.Case.Spec) << "\", \"precision\": \""
+       << toString(R.Case.Precision) << "\", \"width\": " << R.Case.Width
        << ", \"hidden_layers\": " << R.Case.HiddenLayers
        << ", \"input_dim\": " << R.InputDim
        << ", \"output_dim\": " << R.OutputDim

@@ -70,6 +70,17 @@ struct HarnessConfig {
 /// Reads CHARON_BENCH_PROPS / CHARON_BENCH_BUDGET overrides.
 HarnessConfig defaultHarnessConfig();
 
+/// Pins glibc's dynamic malloc thresholds (mmap and trim) so timed cases
+/// are independent of the allocation history of whatever ran before them
+/// in the same process. Without this, an early case that frees a
+/// medium-sized mmap'd block trains the allocator into serving a later
+/// case's larger-than-threshold matrices from fresh mmap regions — and
+/// that case then pays a page fault per touched page on *every* timed
+/// repeat (measured: +25% on zonotope_dense_relu_w256 when run after the
+/// smaller cases vs. alone). No-op on non-glibc platforms. Call once at
+/// the top of a bench main, before any measurement.
+void stabilizeAllocator();
+
 /// The learned policy if examples/acas_policy_training has produced one,
 /// otherwise the hand-tuned default.
 VerificationPolicy loadOrDefaultPolicy(const HarnessConfig &Config);
@@ -126,6 +137,9 @@ struct MicroDomainCase {
   size_t Width = 25; ///< input and hidden width of the MLP
   int HiddenLayers = 3;
   DomainSpec Spec;
+  /// Kernel precision of the abstract propagation. Float32 cases track the
+  /// sound outward-rounded low-precision mode next to their double twins.
+  KernelPrecision Precision = KernelPrecision::Double;
 };
 
 /// Measurement of one micro-domain case.
@@ -153,7 +167,9 @@ std::vector<MicroDomainCase> defaultMicroDomainCases();
 MicroDomainResult runMicroDomainCase(const MicroDomainCase &Case, int Repeats);
 
 /// Serializes results as the BENCH_micro_domains.json document
-/// (schema "charon-bench-micro-domains/1").
+/// (schema "charon-bench-micro-domains/2": adds a top-level "simd" field
+/// naming the dispatch level the numbers were measured at, and a
+/// per-case "precision" field).
 std::string microDomainJson(const std::vector<MicroDomainResult> &Results);
 
 /// Writes microDomainJson to \p Path; returns false on I/O failure.

@@ -33,6 +33,10 @@ using namespace charon;
 using namespace charon::bench;
 
 int main(int argc, char **argv) {
+  // Timed cases must not depend on which cases ran before them in this
+  // process (see the Harness.h doc).
+  charon::bench::stabilizeAllocator();
+
   std::string Filter;
   std::string OutPath = "BENCH_cex_search.json";
   int Repeats = 3;

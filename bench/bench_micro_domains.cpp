@@ -139,6 +139,10 @@ BENCHMARK(BM_SimplexSolve)->Arg(10)->Arg(30)->Arg(60);
 int main(int argc, char **argv) {
   using namespace charon::bench;
 
+  // Timed cases must not depend on which cases ran before them in this
+  // process (see the Harness.h doc).
+  stabilizeAllocator();
+
   std::string Filter;
   std::string OutPath = "BENCH_micro_domains.json";
   int Repeats = 3;

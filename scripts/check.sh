@@ -25,6 +25,14 @@
 # A certificate smoke then decides an exported ACAS property with --cert,
 # requires charon_check to accept the emitted certificate, and requires it
 # to reject a tampered copy; the sanitize leg runs it forced-threaded.
+# A dispatch-matrix leg re-runs the kernel, zonotope-layout, and batched
+# execution suites under every CHARON_SIMD level the host supports
+# (scalar always; avx2 when /proc/cpuinfo advertises it), so the suites'
+# bit-identity and containment oracles are exercised against each backend
+# explicitly rather than only the auto-selected one. The sanitize leg
+# pins CHARON_SIMD=scalar for the matrix (keeping the instrumented run
+# deterministic and cheap) and adds a single CHARON_SIMD=avx2 kernel_tests
+# smoke so the vector backend still sees ASan + UBSan coverage.
 # Before any of that, scripts/check_test_registration.sh asserts every
 # tests/*/*Tests.cpp file is registered in the ctest suite.
 # Usage: scripts/check.sh [--sanitize]
@@ -53,6 +61,38 @@ else
   (cd "$BUILD_DIR" && ctest --output-on-failure -j)
 fi
 
+# Dispatch-matrix leg: the SIMD-sensitive suites must pass at every level
+# the host can run, not just the auto-selected one. kernel_tests carries
+# the cross-level bit-identity and float32 containment oracles,
+# zonotope_layout_tests the abstract-transformer layout invariants, and
+# batch_exec_tests the batched-vs-scalar execution equivalence.
+SIMD_SUITES=(kernel_tests zonotope_layout_tests batch_exec_tests)
+SIMD_LEVELS=(scalar)
+if grep -qw avx2 /proc/cpuinfo 2>/dev/null; then
+  SIMD_LEVELS+=(avx2)
+fi
+if [[ "$SANITIZE" == 1 ]]; then
+  # Keep the instrumented matrix cheap and deterministic: pin scalar (with
+  # forced-threaded kernels, as above), then one avx2 kernel_tests smoke so
+  # the vector backend runs under ASan + UBSan at least once.
+  for SUITE in "${SIMD_SUITES[@]}"; do
+    env CHARON_SIMD=scalar CHARON_KERNEL_THRESHOLD=1 \
+      "$BUILD_DIR/tests/$SUITE"
+  done
+  if [[ " ${SIMD_LEVELS[*]} " == *" avx2 "* ]]; then
+    env CHARON_SIMD=avx2 CHARON_KERNEL_THRESHOLD=1 \
+      "$BUILD_DIR/tests/kernel_tests"
+  fi
+  echo "dispatch matrix: scalar suites + avx2 smoke OK (sanitize)"
+else
+  for LEVEL in "${SIMD_LEVELS[@]}"; do
+    for SUITE in "${SIMD_SUITES[@]}"; do
+      env CHARON_SIMD="$LEVEL" "$BUILD_DIR/tests/$SUITE"
+    done
+  done
+  echo "dispatch matrix: ${SIMD_LEVELS[*]} OK"
+fi
+
 # Bench smoke: one micro-domain case must run and emit valid JSON.
 SMOKE_JSON="$BUILD_DIR/bench-smoke.json"
 "$BUILD_DIR/bench/bench_micro_domains" \
@@ -62,17 +102,20 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "$SMOKE_JSON" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "charon-bench-micro-domains/1", doc["schema"]
+assert doc["schema"] == "charon-bench-micro-domains/2", doc["schema"]
+assert doc["simd"] in ("scalar", "avx2"), doc["simd"]
 assert len(doc["cases"]) == 1, doc["cases"]
 case = doc["cases"][0]
-for field in ("name", "domain", "width", "hidden_layers", "input_dim",
-              "output_dim", "generators", "margin", "seconds", "repeats"):
+for field in ("name", "domain", "precision", "width", "hidden_layers",
+              "input_dim", "output_dim", "generators", "margin", "seconds",
+              "repeats"):
     assert field in case, field
+assert case["precision"] in ("double", "float32"), case["precision"]
 assert case["seconds"] > 0, case["seconds"]
 print("bench smoke: JSON OK")
 EOF
 else
-  grep -q '"schema": "charon-bench-micro-domains/1"' "$SMOKE_JSON"
+  grep -q '"schema": "charon-bench-micro-domains/2"' "$SMOKE_JSON"
   grep -q '"name": "zonotope_dense_relu_w64"' "$SMOKE_JSON"
   echo "bench smoke: JSON OK (grep)"
 fi

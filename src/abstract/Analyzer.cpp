@@ -35,14 +35,15 @@ std::string charon::toString(const DomainSpec &Spec) {
 }
 
 std::unique_ptr<AbstractElement> charon::makeElement(const Box &Region,
-                                                     const DomainSpec &Spec) {
+                                                     const DomainSpec &Spec,
+                                                     KernelPrecision Precision) {
   std::unique_ptr<AbstractElement> Base;
   switch (Spec.Base) {
   case BaseDomainKind::Interval:
     Base = std::make_unique<IntervalElement>(Region);
     break;
   case BaseDomainKind::Zonotope:
-    Base = std::make_unique<ZonotopeElement>(Region);
+    Base = std::make_unique<ZonotopeElement>(Region, Precision);
     break;
   case BaseDomainKind::SymbolicInterval:
     assert(Spec.Disjuncts == 1 &&
@@ -83,10 +84,11 @@ bool charon::propagate(const Network &Net, AbstractElement &Elem,
 
 AnalysisResult charon::analyzeRobustness(const Network &Net, const Box &Region,
                                          size_t K, const DomainSpec &Spec,
-                                         const Deadline *Budget) {
+                                         const Deadline *Budget,
+                                         KernelPrecision Precision) {
   assert(Region.dim() == Net.inputSize() && "region/network size mismatch");
   assert(K < Net.outputSize() && "target class out of range");
-  std::unique_ptr<AbstractElement> Elem = makeElement(Region, Spec);
+  std::unique_ptr<AbstractElement> Elem = makeElement(Region, Spec, Precision);
   if (!propagate(Net, *Elem, Budget)) {
     AnalysisResult Result;
     Result.TimedOut = true;

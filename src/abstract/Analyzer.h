@@ -17,6 +17,7 @@
 
 #include "abstract/AbstractElement.h"
 #include "linalg/Box.h"
+#include "linalg/SimdDispatch.h"
 #include "nn/Network.h"
 #include "support/Timer.h"
 
@@ -48,9 +49,14 @@ struct DomainSpec {
 /// Human-readable name like "Zonotope^2" (for reports).
 std::string toString(const DomainSpec &Spec);
 
-/// Builds the initial abstraction of \p Region under \p Spec.
-std::unique_ptr<AbstractElement> makeElement(const Box &Region,
-                                             const DomainSpec &Spec);
+/// Builds the initial abstraction of \p Region under \p Spec. \p Precision
+/// selects the kernel precision of zonotope-family elements (float32 stores
+/// generator matrices as floats with a sound outward-rounded error pad, see
+/// abstract/ZonotopeElement.h); other base domains always run double and
+/// ignore it.
+std::unique_ptr<AbstractElement>
+makeElement(const Box &Region, const DomainSpec &Spec,
+            KernelPrecision Precision = KernelPrecision::Double);
 
 /// Result of one abstract-interpretation run.
 struct AnalysisResult {
@@ -69,9 +75,12 @@ struct AnalysisResult {
 /// checks the robustness property with target class \p K. When \p Budget is
 /// non-null the propagation is abandoned between layers once it expires
 /// (expensive powerset analyses on convolutional nets need this).
-AnalysisResult analyzeRobustness(const Network &Net, const Box &Region,
-                                 size_t K, const DomainSpec &Spec,
-                                 const Deadline *Budget = nullptr);
+/// \p Precision as in makeElement: float32 trades a slightly wider (still
+/// sound) margin for faster kernels on zonotope-family domains.
+AnalysisResult
+analyzeRobustness(const Network &Net, const Box &Region, size_t K,
+                  const DomainSpec &Spec, const Deadline *Budget = nullptr,
+                  KernelPrecision Precision = KernelPrecision::Double);
 
 /// Propagates \p Elem through the network in place (exposed for testing and
 /// for baselines that inspect the final element). Returns false when the

@@ -21,16 +21,29 @@
 /// symbols ReLU and max-pool introduce are mu * e_i, so they are kept as
 /// (coordinate, magnitude) pairs until the next affine layer densifies them.
 /// All transformers are batched kernels over this layout (linalg/Kernels.h):
-/// applyAffine is one blocked G x N x M product, applyRelu one fused
-/// column-rescale sweep, applyMaxPool one column gather. Per-coordinate
-/// deviation radii are cached and invalidated on mutation, making repeated
-/// bound queries (the powerset split search is quadratic in them) O(1) after
-/// the first.
+/// applyAffine is one blocked G x N x M product plus one sparse
+/// oneHotMatMulInto pass, applyRelu one fused column-rescale sweep,
+/// applyMaxPool one column gather that materializes only the *prefix* of the
+/// sparse tail feeding overlapping windows (non-overlapping pools never
+/// densify the tail at all). Per-coordinate deviation radii are cached and
+/// invalidated on mutation, making repeated bound queries (the powerset
+/// split search is quadratic in them) O(1) after the first.
 ///
 /// Generator ordering contract: dense rows precede sparse entries, oldest
 /// first — the exact order the historical vector-of-generators layout
 /// produced, which keeps accumulation orders (and therefore every bound, to
-/// the last bit on serial paths) identical to that layout.
+/// the last bit on serial scalar paths) identical to that layout.
+///
+/// Precision modes: the default stores generators as doubles. Constructing
+/// with KernelPrecision::Float32 stores the dense generator block as float32
+/// (half the memory traffic, twice the SIMD lanes) and carries an explicit
+/// per-coordinate error radius Pad that is grown with outward-rounded
+/// forward error bounds (linalg/KernelsF32.h), so every bound this element
+/// reports still over-approximates what exact real arithmetic would give —
+/// verdicts remain sound, they are just (slightly) less precise. Center and
+/// the sparse tail stay double in both modes. A halfspace meet on a float
+/// element returns a double element (float generators embed exactly; the pad
+/// becomes one-hot box generators), so powerset splitting degrades gracefully.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,6 +51,9 @@
 #define CHARON_ABSTRACT_ZONOTOPEELEMENT_H
 
 #include "abstract/AbstractElement.h"
+#include "linalg/Kernels.h"
+#include "linalg/MatrixF.h"
+#include "linalg/SimdDispatch.h"
 
 #include <vector>
 
@@ -46,20 +62,20 @@ namespace charon {
 /// Zonotope abstract element: Center + span of generator rows over [-1,1]^m.
 class ZonotopeElement : public AbstractElement {
 public:
-  /// A one-hot generator Mag * e_Coord, kept sparse until densified.
-  struct SparseGenerator {
-    size_t Coord;
-    double Mag;
-  };
+  /// A one-hot generator Mag * e_Coord, kept sparse until densified (the
+  /// shared kernel-layer representation, see linalg/Kernels.h).
+  using SparseGenerator = kernels::OneHot;
 
   /// Abstraction of the box \p Region: one generator per nonzero-width
-  /// dimension (exact). All initial generators are one-hot and stay sparse
-  /// until the first affine layer.
-  explicit ZonotopeElement(const Box &Region);
+  /// dimension (exact in both precision modes — the initial one-hot
+  /// magnitudes stay double). All initial generators are one-hot and stay
+  /// sparse until the first affine layer.
+  explicit ZonotopeElement(const Box &Region,
+                           KernelPrecision P = KernelPrecision::Double);
 
-  /// Assembles an element from an explicit layout. \p DenseGens is G x N
-  /// (may have zero rows); \p SparseGens are appended after the dense rows
-  /// in order.
+  /// Assembles a double-mode element from an explicit layout. \p DenseGens
+  /// is G x N (may have zero rows); \p SparseGens are appended after the
+  /// dense rows in order.
   ZonotopeElement(Vector C, Matrix DenseGens,
                   std::vector<SparseGenerator> SparseGens = {});
 
@@ -78,12 +94,23 @@ public:
   meetHalfspaceAtZero(size_t D, bool NonNegative) const override;
 
   /// Number of noise symbols currently tracked (dense rows + sparse tail).
-  size_t numGenerators() const { return Dense.rows() + Sparse.size(); }
+  size_t numGenerators() const { return denseRows() + Sparse.size(); }
 
   const Vector &center() const { return Center; }
 
+  /// The kernel precision this element's generator matrix runs at.
+  KernelPrecision precision() const { return Prec; }
+
   /// The dense generator block: one row per (densified) noise symbol.
+  /// Double mode only (empty in float mode; see denseGeneratorsF).
   const Matrix &denseGenerators() const { return Dense; }
+
+  /// The float32 dense generator block (float mode only).
+  const MatrixF &denseGeneratorsF() const { return DenseF; }
+
+  /// The per-coordinate outward-rounded error radius (float mode; empty in
+  /// double mode). Folded into every bound this element reports.
+  const Vector &errorPad() const { return Pad; }
 
   /// The sparse one-hot tail, in creation order (newer than every dense row).
   const std::vector<SparseGenerator> &sparseGenerators() const {
@@ -100,18 +127,30 @@ public:
   void compact(double Tol);
 
 private:
-  /// Per-coordinate deviation radii (sum of |g_I| over generators), cached
-  /// until the next mutation.
+  size_t denseRows() const {
+    return Prec == KernelPrecision::Float32 ? DenseF.rows() : Dense.rows();
+  }
+
+  /// Per-coordinate deviation radii (sum of |g_I| over generators, plus Pad
+  /// in float mode), cached until the next mutation.
   const Vector &radii() const;
   void invalidateRadii() { RadiiValid = false; }
 
-  /// Appends every sparse generator as a dense row (preserving order) and
-  /// clears the sparse tail.
-  void materializeSparse();
+  void applyAffineF32(const Matrix &W);
+
+  /// Densifies the sparse prefix [0, Prefix) into the dense block
+  /// (mode-appropriate storage), leaving [Prefix, end) in place.
+  void materializeSparsePrefix(size_t Prefix);
 
   Vector Center;
-  /// G x N generator matrix: row e is noise symbol e's coefficient vector.
+  KernelPrecision Prec = KernelPrecision::Double;
+  /// G x N generator matrix: row e is noise symbol e's coefficient vector
+  /// (double mode).
   Matrix Dense;
+  /// Float-mode generator storage (Dense stays 0 x N then).
+  MatrixF DenseF;
+  /// Float-mode per-coordinate error radius (outward-rounded, sound).
+  Vector Pad;
   /// Fresh one-hot symbols, logically appended after the dense rows.
   std::vector<SparseGenerator> Sparse;
 

@@ -26,6 +26,7 @@
 
 #include "core/Policy.h"
 #include "core/Property.h"
+#include "linalg/SimdDispatch.h"
 #include "nn/Network.h"
 #include "opt/Pgd.h"
 #include "search/Frontier.h"
@@ -161,6 +162,15 @@ struct VerifierConfig {
   /// Frontier scheduling order (see search/Frontier.h). Pure heuristics:
   /// the verdict-selection rule keeps clean-run answers order-independent.
   FrontierOrder SearchOrder = FrontierOrder::Lifo;
+
+  /// Kernel precision of the abstract-domain legs (see
+  /// abstract/ZonotopeElement.h). Float32 stores zonotope generator
+  /// matrices as floats with a sound outward-rounded error pad: verdicts
+  /// stay sound, margins get (slightly) wider, kernels get faster. The
+  /// concrete/PGD leg always runs bit-identical double regardless.
+  /// Semantic (digested): margins differ across precisions, so checkpoints
+  /// and certificates from different precisions never cross-validate.
+  KernelPrecision Precision = KernelPrecision::Double;
 
   /// Optional per-node-expansion event sink (see search/Trace.h). May be
   /// called concurrently by verifyParallel; sinks must be thread-safe.

@@ -1,7 +1,16 @@
 //===- Kernels.cpp - Blocked/threaded dense kernels ------------------------===//
+//
+// Public kernels shard work with parallelFor and forward each shard to the
+// active SIMD backend (SimdOpsImpl.h). The scalar bodies below are the
+// historical accumulation contracts — they define bit-exactness for every
+// layout/equivalence test and remain the only implementation of kernels
+// whose order is part of a cross-path contract (affineBatch PreInit).
+//
+//===----------------------------------------------------------------------===//
 
 #include "linalg/Kernels.h"
 
+#include "linalg/SimdOpsImpl.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -75,14 +84,34 @@ void kernels::parallelFor(size_t N, size_t CostPerItem,
   });
 }
 
+//===----------------------------------------------------------------------===//
+// Scalar backend bodies (the historical accumulation contracts)
+//===----------------------------------------------------------------------===//
+
 namespace {
+
+/// The scalar dot: one accumulator, ascending-k. Identical to the loop the
+/// original matVec ran, and to each output element of mmtRowsScalar /
+/// affineRowsScalar below.
+double dotScalar(const double *A, const double *B, size_t N) {
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+/// The scalar saxpy: Y[i] += A * X[i], one mul + one add per element.
+void saxpyScalar(double *Y, const double *X, double A, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    Y[I] += A * X[I];
+}
 
 /// Row block [Begin, End) of C(RowOffset + i, j) = dot(A.row(i), B.row(j)).
 /// The j-loop is unrolled by four with independent accumulators: four rows of
 /// B stream against one resident row of A, and each dot still accumulates in
 /// ascending-k order (bit-identical to matVec per row).
-void mmtRows(const Matrix &A, const Matrix &B, Matrix &C, size_t RowOffset,
-             size_t Begin, size_t End) {
+void mmtRowsScalar(const Matrix &A, const Matrix &B, Matrix &C,
+                   size_t RowOffset, size_t Begin, size_t End) {
   const size_t K = A.cols();
   const size_t N = B.rows();
   for (size_t I = Begin; I < End; ++I) {
@@ -107,79 +136,19 @@ void mmtRows(const Matrix &A, const Matrix &B, Matrix &C, size_t RowOffset,
       CRow[J + 2] = S2;
       CRow[J + 3] = S3;
     }
-    for (; J < N; ++J) {
-      const double *BRow = B.row(J);
-      double Sum = 0.0;
-      for (size_t Kk = 0; Kk < K; ++Kk)
-        Sum += ARow[Kk] * BRow[Kk];
-      CRow[J] = Sum;
-    }
+    for (; J < N; ++J)
+      CRow[J] = dotScalar(ARow, B.row(J), K);
   }
 }
-
-} // namespace
-
-void kernels::matMulTransposedInto(const Matrix &A, const Matrix &B, Matrix &C,
-                                   size_t RowOffset) {
-  assert(A.cols() == B.cols() && "matMulTransposed shape mismatch");
-  assert(C.cols() == B.rows() && RowOffset + A.rows() <= C.rows() &&
-         "matMulTransposed destination too small");
-  parallelFor(A.rows(), 2 * A.cols() * B.rows(),
-              [&A, &B, &C, RowOffset](size_t Begin, size_t End) {
-                mmtRows(A, B, C, RowOffset, Begin, End);
-              });
-}
-
-Matrix kernels::matMulTransposed(const Matrix &A, const Matrix &B) {
-  Matrix C(A.rows(), B.rows());
-  matMulTransposedInto(A, B, C, 0);
-  return C;
-}
-
-Vector kernels::absRowSums(const Matrix &A) {
-  Vector Out(A.rows());
-  for (size_t I = 0, NR = A.rows(); I < NR; ++I) {
-    const double *Row = A.row(I);
-    double Sum = 0.0;
-    for (size_t J = 0, NC = A.cols(); J < NC; ++J)
-      Sum += std::fabs(Row[J]);
-    Out[I] = Sum;
-  }
-  return Out;
-}
-
-Vector kernels::absColumnSums(const Matrix &A) {
-  Vector Out(A.cols());
-  double *OutData = Out.data();
-  for (size_t I = 0, NR = A.rows(); I < NR; ++I) {
-    const double *Row = A.row(I);
-    for (size_t J = 0, NC = A.cols(); J < NC; ++J)
-      OutData[J] += std::fabs(Row[J]);
-  }
-  return Out;
-}
-
-void kernels::scaleColumns(Matrix &A, const Vector &Scale) {
-  assert(A.cols() == Scale.size() && "scaleColumns shape mismatch");
-  parallelFor(A.rows(), A.cols(), [&A, &Scale](size_t Begin, size_t End) {
-    const double *S = Scale.data();
-    for (size_t I = Begin; I < End; ++I) {
-      double *Row = A.row(I);
-      for (size_t J = 0, NC = A.cols(); J < NC; ++J)
-        Row[J] *= S[J];
-    }
-  });
-}
-
-namespace {
 
 /// Row block [Begin, End) of Out(i, j) = dot(X.row(i), W.row(j)) + b_j.
-/// Same structure as mmtRows (resident X row, 4-wide j-unroll, ascending-k
-/// accumulation); the bias either seeds the accumulators (PreInit, the
-/// Conv2D order) or lands after the full dot (PostAdd, the Dense order).
-void affineRows(const Matrix &X, const Matrix &W, const double *Bias,
-                kernels::BiasMode Mode, Matrix &Out, size_t Begin,
-                size_t End) {
+/// Same structure as mmtRowsScalar (resident X row, 4-wide j-unroll,
+/// ascending-k accumulation); the bias either seeds the accumulators
+/// (PreInit, the Conv2D order) or lands after the full dot (PostAdd, the
+/// Dense order).
+void affineRowsScalar(const Matrix &X, const Matrix &W, const double *Bias,
+                      kernels::BiasMode Mode, Matrix &Out, size_t Begin,
+                      size_t End) {
   const size_t K = X.cols();
   const size_t N = W.rows();
   const bool Pre = Mode == kernels::BiasMode::PreInit;
@@ -218,7 +187,156 @@ void affineRows(const Matrix &X, const Matrix &W, const double *Bias,
   }
 }
 
+/// Rows [Begin, End) of C = A * B in i-k-j order with column panels: the
+/// inner j-loop stays contiguous in both B and C, and panelling bounds the
+/// active B working set. Per-element accumulation remains ascending in k
+/// (panels reorder work across elements, never within one).
+void matMulRowsScalar(const Matrix &A, const Matrix &B, Matrix &C,
+                      size_t Begin, size_t End) {
+  const size_t NK = A.cols();
+  const size_t NJ = B.cols();
+  constexpr size_t PanelCols = 256;
+  for (size_t JB = 0; JB < NJ; JB += PanelCols) {
+    size_t JE = std::min(NJ, JB + PanelCols);
+    for (size_t I = Begin; I < End; ++I) {
+      double *CRow = C.row(I);
+      const double *ARow = A.row(I);
+      for (size_t K = 0; K < NK; ++K) {
+        double Aik = ARow[K];
+        if (Aik == 0.0)
+          continue;
+        saxpyScalar(CRow + JB, B.row(K) + JB, Aik, JE - JB);
+      }
+    }
+  }
+}
+
+void scaleColumnsRowsScalar(Matrix &A, const Vector &Scale, size_t Begin,
+                            size_t End) {
+  const double *S = Scale.data();
+  for (size_t I = Begin; I < End; ++I) {
+    double *Row = A.row(I);
+    for (size_t J = 0, NC = A.cols(); J < NC; ++J)
+      Row[J] *= S[J];
+  }
+}
+
+void reluRowsScalar(const Matrix &X, Matrix &Out, size_t Begin, size_t End) {
+  for (size_t I = Begin; I < End; ++I) {
+    const double *Row = X.row(I);
+    double *ORow = Out.row(I);
+    for (size_t J = 0, NC = X.cols(); J < NC; ++J)
+      ORow[J] = Row[J] > 0.0 ? Row[J] : 0.0;
+  }
+}
+
+void reluBackwardRowsScalar(const Matrix &X, const Matrix &GradOut,
+                            Matrix &Out, size_t Begin, size_t End) {
+  for (size_t I = Begin; I < End; ++I) {
+    const double *Row = X.row(I);
+    const double *GRow = GradOut.row(I);
+    double *ORow = Out.row(I);
+    for (size_t J = 0, NC = X.cols(); J < NC; ++J)
+      ORow[J] = Row[J] > 0.0 ? GRow[J] : 0.0;
+  }
+}
+
+void absRowSumsRowsScalar(const Matrix &A, double *Out, size_t Begin,
+                          size_t End) {
+  for (size_t I = Begin; I < End; ++I) {
+    const double *Row = A.row(I);
+    double Sum = 0.0;
+    for (size_t J = 0, NC = A.cols(); J < NC; ++J)
+      Sum += std::fabs(Row[J]);
+    Out[I] = Sum;
+  }
+}
+
+/// Column block of the radius reduction: each column accumulates its
+/// |entries| in ascending-row order — the layout-equivalence contract — so
+/// column sharding and vector backends all produce bitwise-equal sums.
+void absColumnSumsColsScalar(const Matrix &A, double *Out, size_t ColBegin,
+                             size_t ColEnd) {
+  const size_t NR = A.rows();
+  for (size_t I = 0; I < NR; ++I) {
+    const double *Row = A.row(I);
+    for (size_t J = ColBegin; J < ColEnd; ++J)
+      Out[J] += std::fabs(Row[J]);
+  }
+}
+
+const kernels::detail::SimdOps ScalarTable = {
+    "scalar",
+    mmtRowsScalar,
+    affineRowsScalar,
+    matMulRowsScalar,
+    scaleColumnsRowsScalar,
+    reluRowsScalar,
+    reluBackwardRowsScalar,
+    absRowSumsRowsScalar,
+    absColumnSumsColsScalar,
+    dotScalar,
+    saxpyScalar,
+    kernels::detail::mmtRowsFScalar,
+    kernels::detail::scaleColumnsRowsFScalar,
+    kernels::detail::absColumnSumsColsFScalar,
+};
+
 } // namespace
+
+const kernels::detail::SimdOps &kernels::detail::scalarOps() {
+  return ScalarTable;
+}
+
+//===----------------------------------------------------------------------===//
+// Public kernels (dispatch + sharding)
+//===----------------------------------------------------------------------===//
+
+void kernels::matMulTransposedInto(const Matrix &A, const Matrix &B, Matrix &C,
+                                   size_t RowOffset) {
+  assert(A.cols() == B.cols() && "matMulTransposed shape mismatch");
+  assert(C.cols() == B.rows() && RowOffset + A.rows() <= C.rows() &&
+         "matMulTransposed destination too small");
+  const detail::SimdOps &Ops = detail::activeOps();
+  parallelFor(A.rows(), 2 * A.cols() * B.rows(),
+              [&A, &B, &C, RowOffset, &Ops](size_t Begin, size_t End) {
+                Ops.MmtRows(A, B, C, RowOffset, Begin, End);
+              });
+}
+
+Matrix kernels::matMulTransposed(const Matrix &A, const Matrix &B) {
+  Matrix C = Matrix::uninit(A.rows(), B.rows());
+  matMulTransposedInto(A, B, C, 0);
+  return C;
+}
+
+Vector kernels::absRowSums(const Matrix &A) {
+  Vector Out(A.rows());
+  const detail::SimdOps &Ops = detail::activeOps();
+  parallelFor(A.rows(), A.cols(), [&A, &Out, &Ops](size_t Begin, size_t End) {
+    Ops.AbsRowSumsRows(A, Out.data(), Begin, End);
+  });
+  return Out;
+}
+
+Vector kernels::absColumnSums(const Matrix &A) {
+  Vector Out(A.cols());
+  double *OutData = Out.data();
+  const detail::SimdOps &Ops = detail::activeOps();
+  parallelFor(A.cols(), A.rows(),
+              [&A, OutData, &Ops](size_t Begin, size_t End) {
+                Ops.AbsColumnSumsCols(A, OutData, Begin, End);
+              });
+  return Out;
+}
+
+void kernels::scaleColumns(Matrix &A, const Vector &Scale) {
+  assert(A.cols() == Scale.size() && "scaleColumns shape mismatch");
+  const detail::SimdOps &Ops = detail::activeOps();
+  parallelFor(A.rows(), A.cols(), [&A, &Scale, &Ops](size_t Begin, size_t End) {
+    Ops.ScaleColumnsRows(A, Scale, Begin, End);
+  });
+}
 
 Matrix kernels::affineBatch(const Matrix &X, const Matrix &W,
                             const Vector &Bias, BiasMode Mode) {
@@ -226,22 +344,23 @@ Matrix kernels::affineBatch(const Matrix &X, const Matrix &W,
   assert(Bias.size() == W.rows() && "affineBatch bias size mismatch");
   Matrix Out(X.rows(), W.rows());
   const double *B = Bias.data();
+  // PreInit is the Conv2D accumulation order, whose bit-identity with the
+  // scalar per-point tap loop is a layer contract — it always runs the
+  // scalar bodies regardless of the selected SIMD level.
+  const detail::SimdOps &Ops =
+      Mode == BiasMode::PreInit ? detail::scalarOps() : detail::activeOps();
   parallelFor(X.rows(), 2 * X.cols() * W.rows(),
-              [&X, &W, B, Mode, &Out](size_t Begin, size_t End) {
-                affineRows(X, W, B, Mode, Out, Begin, End);
+              [&X, &W, B, Mode, &Out, &Ops](size_t Begin, size_t End) {
+                Ops.AffineRows(X, W, B, Mode, Out, Begin, End);
               });
   return Out;
 }
 
 Matrix kernels::reluBatch(const Matrix &X) {
   Matrix Out(X.rows(), X.cols());
-  parallelFor(X.rows(), X.cols(), [&X, &Out](size_t Begin, size_t End) {
-    for (size_t I = Begin; I < End; ++I) {
-      const double *Row = X.row(I);
-      double *ORow = Out.row(I);
-      for (size_t J = 0, NC = X.cols(); J < NC; ++J)
-        ORow[J] = Row[J] > 0.0 ? Row[J] : 0.0;
-    }
+  const detail::SimdOps &Ops = detail::activeOps();
+  parallelFor(X.rows(), X.cols(), [&X, &Out, &Ops](size_t Begin, size_t End) {
+    Ops.ReluRows(X, Out, Begin, End);
   });
   return Out;
 }
@@ -250,15 +369,10 @@ Matrix kernels::reluBackwardBatch(const Matrix &X, const Matrix &GradOut) {
   assert(X.rows() == GradOut.rows() && X.cols() == GradOut.cols() &&
          "reluBackwardBatch shape mismatch");
   Matrix Out(X.rows(), X.cols());
+  const detail::SimdOps &Ops = detail::activeOps();
   parallelFor(X.rows(), X.cols(),
-              [&X, &GradOut, &Out](size_t Begin, size_t End) {
-                for (size_t I = Begin; I < End; ++I) {
-                  const double *Row = X.row(I);
-                  const double *GRow = GradOut.row(I);
-                  double *ORow = Out.row(I);
-                  for (size_t J = 0, NC = X.cols(); J < NC; ++J)
-                    ORow[J] = Row[J] > 0.0 ? GRow[J] : 0.0;
-                }
+              [&X, &GradOut, &Out, &Ops](size_t Begin, size_t End) {
+                Ops.ReluBackwardRows(X, GradOut, Out, Begin, End);
               });
   return Out;
 }
@@ -329,44 +443,80 @@ void kernels::gatherColumns(const Matrix &A, const std::vector<int> &SrcCol,
 }
 
 //===----------------------------------------------------------------------===//
-// matMul (declared in Matrix.h): blocked + threaded version
+// Sparse one-hot tail kernels
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// Rows [Begin, End) of C = A * B in i-k-j order with column panels: the
-/// inner j-loop stays contiguous in both B and C, and panelling bounds the
-/// active B working set. Per-element accumulation remains ascending in k.
-void matMulRows(const Matrix &A, const Matrix &B, Matrix &C, size_t Begin,
-                size_t End) {
-  const size_t NK = A.cols();
-  const size_t NJ = B.cols();
-  constexpr size_t PanelCols = 256;
-  for (size_t JB = 0; JB < NJ; JB += PanelCols) {
-    size_t JE = std::min(NJ, JB + PanelCols);
-    for (size_t I = Begin; I < End; ++I) {
-      double *CRow = C.row(I);
-      const double *ARow = A.row(I);
-      for (size_t K = 0; K < NK; ++K) {
-        double Aik = ARow[K];
-        if (Aik == 0.0)
-          continue;
-        const double *BRow = B.row(K);
-        for (size_t J = JB; J < JE; ++J)
-          CRow[J] += Aik * BRow[J];
-      }
-    }
-  }
+void kernels::oneHotMatMulInto(const std::vector<OneHot> &Sparse,
+                               const Matrix &W, Matrix &C, size_t RowOffset) {
+  assert(C.cols() == W.rows() && RowOffset + Sparse.size() <= C.rows() &&
+         "oneHotMatMulInto destination too small");
+  const size_t NR = W.rows();
+  // Each output element is the single product Mag * W(R, Coord), so any loop
+  // order gives bitwise-identical results; block the W rows by 8 so every
+  // destination write fills one whole cache line while the 8 live W rows
+  // (16 KB) stay L1-resident — the naive gen-outer order instead walks W by
+  // column, one strided miss per element.
+  parallelFor(Sparse.size(), NR,
+              [&Sparse, &W, &C, RowOffset, NR](size_t Begin, size_t End) {
+                for (size_t R0 = 0; R0 < NR; R0 += 8) {
+                  const size_t R1 = R0 + 8 < NR ? R0 + 8 : NR;
+                  for (size_t S = Begin; S < End; ++S) {
+                    const OneHot &G = Sparse[S];
+                    assert(G.Coord < W.cols() && "one-hot coordinate range");
+                    double *Row = C.row(RowOffset + S);
+                    for (size_t R = R0; R < R1; ++R)
+                      Row[R] = G.Mag * W(R, G.Coord);
+                  }
+                }
+              });
 }
 
-} // namespace
+void kernels::oneHotRowSumsInto(const std::vector<OneHot> &Sparse, Vector &Out,
+                                size_t RowOffset) {
+  assert(RowOffset + Sparse.size() <= Out.size() &&
+         "oneHotRowSumsInto destination too small");
+  for (size_t S = 0, NS = Sparse.size(); S < NS; ++S)
+    Out[RowOffset + S] = std::fabs(Sparse[S].Mag);
+}
+
+//===----------------------------------------------------------------------===//
+// matVec / matTVec / matMul (declared in Matrix.h)
+//===----------------------------------------------------------------------===//
+
+Vector charon::matVec(const Matrix &A, const Vector &X) {
+  assert(A.cols() == X.size() && "matVec shape mismatch");
+  Vector Y(A.rows());
+  const kernels::detail::SimdOps &Ops = kernels::detail::activeOps();
+  const double *XData = X.data();
+  for (size_t R = 0, NR = A.rows(); R < NR; ++R)
+    Y[R] = Ops.Dot(A.row(R), XData, A.cols());
+  return Y;
+}
+
+void kernels::axpy(double *Y, const double *X, double A, size_t N) {
+  detail::activeOps().Saxpy(Y, X, A, N);
+}
+
+Vector charon::matTVec(const Matrix &A, const Vector &X) {
+  assert(A.rows() == X.size() && "matTVec shape mismatch");
+  Vector Y(A.cols());
+  const kernels::detail::SimdOps &Ops = kernels::detail::activeOps();
+  for (size_t R = 0, NR = A.rows(); R < NR; ++R) {
+    double Xi = X[R];
+    if (Xi == 0.0)
+      continue;
+    Ops.Saxpy(Y.data(), A.row(R), Xi, A.cols());
+  }
+  return Y;
+}
 
 Matrix charon::matMul(const Matrix &A, const Matrix &B) {
   assert(A.cols() == B.rows() && "matMul shape mismatch");
   Matrix C(A.rows(), B.cols());
+  const kernels::detail::SimdOps &Ops = kernels::detail::activeOps();
   kernels::parallelFor(A.rows(), 2 * A.cols() * B.cols(),
-                       [&A, &B, &C](size_t Begin, size_t End) {
-                         matMulRows(A, B, C, Begin, End);
+                       [&A, &B, &C, &Ops](size_t Begin, size_t End) {
+                         Ops.MatMulRows(A, B, C, Begin, End);
                        });
   return C;
 }

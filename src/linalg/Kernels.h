@@ -9,11 +9,14 @@
 /// generator-matrix zonotope pushes all noise symbols through an affine layer
 /// with one cache-blocked matrix product instead of one matVec per symbol.
 ///
-/// Every kernel preserves the per-element accumulation order of its naive
-/// reference (ascending k for products, ascending row for column sums), so
-/// results are bit-identical to the unblocked single-threaded loops and
-/// deterministic across thread counts. Threading shards output *rows*; no two
-/// shards touch the same output element.
+/// Every kernel is deterministic for a fixed SIMD level (see
+/// linalg/SimdDispatch.h for the runtime backend selection and the exact
+/// cross-level bit-identity contract). At the scalar level each kernel
+/// preserves the per-element accumulation order of its naive reference
+/// (ascending k for products, ascending row for column sums), so results are
+/// bit-identical to the unblocked single-threaded loops and deterministic
+/// across thread counts. Threading shards output *rows* (or disjoint column
+/// blocks for absColumnSums); no two shards touch the same output element.
 ///
 /// Threshold model: a kernel runs single-threaded when its approximate flop
 /// count is below parallelThreshold(), so ACAS-scale analyses (tens of
@@ -70,10 +73,12 @@ void matMulTransposedInto(const Matrix &A, const Matrix &B, Matrix &C,
 /// is each noise symbol's total magnitude (the compaction criterion).
 Vector absRowSums(const Matrix &A);
 
-/// Per-column L1 norms: Out[j] = sum_i |A(i, j)|, accumulated row-major in
-/// one fused pass. For a generator matrix this is the per-coordinate
-/// deviation radius. Kept single-threaded: it is memory-bound and the
-/// row-major accumulation order is part of the layout-equivalence contract.
+/// Per-column L1 norms: Out[j] = sum_i |A(i, j)|. For a generator matrix
+/// this is the per-coordinate deviation radius. Sharded by *column* blocks:
+/// every column accumulates its |entries| in ascending-row order within its
+/// shard, so the result is bit-identical to the single-threaded row-major
+/// pass (the layout-equivalence contract) at every thread count and SIMD
+/// level.
 Vector absColumnSums(const Matrix &A);
 
 /// A(i, j) *= Scale[j] for every row — the batched ReLU rescaling (Scale
@@ -87,6 +92,38 @@ void scaleColumns(Matrix &A, const Vector &Scale);
 /// be pre-sized to A.rows() x SrcCol.size().
 void gatherColumns(const Matrix &A, const std::vector<int> &SrcCol,
                    Matrix &Out);
+
+/// Y[i] += A * X[i] through the active dispatch table's saxpy — the same
+/// elementwise accumulation matTVec and matMul are built from. Per-point
+/// code (e.g. Conv2D's scalar backward) uses this so its accumulation stays
+/// bit-identical to the batched matMul path at every SIMD level.
+void axpy(double *Y, const double *X, double A, size_t N);
+
+//===----------------------------------------------------------------------===//
+// Sparse one-hot tail kernels
+//===----------------------------------------------------------------------===//
+
+/// A one-hot generator row: magnitude \p Mag at coordinate \p Coord, zero
+/// everywhere else. ZonotopeElement keeps freshly introduced noise symbols
+/// in this form so the tail never costs a dense row until a transformer
+/// genuinely mixes coordinates.
+struct OneHot {
+  size_t Coord;
+  double Mag;
+};
+
+/// Writes the affine image of each one-hot generator into \p C without
+/// materializing the one-hot rows: C(RowOffset + s, r) = Sparse[s].Mag *
+/// W(r, Sparse[s].Coord). One multiply per output element (bit-identical at
+/// every SIMD level); sharded across generators.
+void oneHotMatMulInto(const std::vector<OneHot> &Sparse, const Matrix &W,
+                      Matrix &C, size_t RowOffset);
+
+/// Per-generator L1 norms of the one-hot tail: Out[RowOffset + s] =
+/// |Sparse[s].Mag| (each virtual row has a single entry). The sparse
+/// counterpart of absRowSums.
+void oneHotRowSumsInto(const std::vector<OneHot> &Sparse, Vector &Out,
+                       size_t RowOffset);
 
 //===----------------------------------------------------------------------===//
 // Batched concrete execution (rows = batch points)

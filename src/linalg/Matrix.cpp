@@ -37,35 +37,9 @@ Matrix &Matrix::operator*=(double Scale) {
   return *this;
 }
 
-Vector charon::matVec(const Matrix &A, const Vector &X) {
-  assert(A.cols() == X.size() && "matVec shape mismatch");
-  Vector Y(A.rows());
-  for (size_t R = 0, NR = A.rows(); R < NR; ++R) {
-    const double *Row = A.row(R);
-    double Sum = 0.0;
-    for (size_t C = 0, NC = A.cols(); C < NC; ++C)
-      Sum += Row[C] * X[C];
-    Y[R] = Sum;
-  }
-  return Y;
-}
-
-Vector charon::matTVec(const Matrix &A, const Vector &X) {
-  assert(A.rows() == X.size() && "matTVec shape mismatch");
-  Vector Y(A.cols());
-  for (size_t R = 0, NR = A.rows(); R < NR; ++R) {
-    const double *Row = A.row(R);
-    double Xi = X[R];
-    if (Xi == 0.0)
-      continue;
-    for (size_t C = 0, NC = A.cols(); C < NC; ++C)
-      Y[C] += Row[C] * Xi;
-  }
-  return Y;
-}
-
-// matMul lives in Kernels.cpp: it shares the blocked/threaded row sharding
-// with the generator-matrix kernels.
+// matVec, matTVec and matMul live in Kernels.cpp: they route through the
+// same runtime SIMD dispatch table as the generator-matrix kernels so the
+// per-point and batched execution paths share one accumulation scheme.
 
 bool charon::approxEqual(const Matrix &A, const Matrix &B, double Tol) {
   if (A.rows() != B.rows() || A.cols() != B.cols())

@@ -14,6 +14,7 @@
 #ifndef CHARON_LINALG_MATRIX_H
 #define CHARON_LINALG_MATRIX_H
 
+#include "linalg/DefaultInit.h"
 #include "linalg/Vector.h"
 
 #include <cassert>
@@ -34,6 +35,19 @@ public:
 
   /// Creates a matrix from nested brace lists (rows of equal length).
   Matrix(std::initializer_list<std::initializer_list<double>> Init);
+
+  /// Creates a Rows x Cols matrix with UNINITIALIZED contents. Only for
+  /// buffers every element of which the caller immediately overwrites (e.g.
+  /// the destination of matMulTransposedInto + oneHotMatMulInto): it skips
+  /// the zero-fill memset, which for generator-matrix sizes both costs time
+  /// and evicts the kernel's operands from cache.
+  static Matrix uninit(size_t Rows, size_t Cols) {
+    Matrix M;
+    M.NumRows = Rows;
+    M.NumCols = Cols;
+    M.Data.resize(Rows * Cols);
+    return M;
+  }
 
   size_t rows() const { return NumRows; }
   size_t cols() const { return NumCols; }
@@ -77,13 +91,18 @@ public:
 private:
   size_t NumRows = 0;
   size_t NumCols = 0;
-  std::vector<double> Data;
+  std::vector<double, DefaultInitAlloc<double>> Data;
 };
 
-/// y = A * x. Requires A.cols() == x.size().
+/// y = A * x. Requires A.cols() == x.size(). Each row is one dot product in
+/// the active SIMD backend's scheme — the same scheme affineBatch(PostAdd)
+/// uses, so per-point and batched forward passes agree bit-for-bit at any
+/// dispatch level (see linalg/SimdDispatch.h).
 Vector matVec(const Matrix &A, const Vector &X);
 
-/// y = A^T * x (without materializing the transpose).
+/// y = A^T * x (without materializing the transpose). Row-major saxpy
+/// updates shared with matMul — the per-point and batched backward passes
+/// agree bit-for-bit at any dispatch level.
 Vector matTVec(const Matrix &A, const Vector &X);
 
 /// C = A * B. Requires A.cols() == B.rows(). Blocked and threaded above the

@@ -1,0 +1,83 @@
+//===- MatrixF.h - Dense row-major float32 matrix ----------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense row-major matrix of float32, used exclusively as the storage for
+/// zonotope generator matrices in the sound low-precision kernel mode (see
+/// linalg/KernelsF32.h). Deliberately minimal: the float path never grows
+/// general linear algebra — everything it needs is a kernel that accounts
+/// for its own rounding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_LINALG_MATRIXF_H
+#define CHARON_LINALG_MATRIXF_H
+
+#include "linalg/DefaultInit.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace charon {
+
+/// Dense row-major matrix of float32.
+class MatrixF {
+public:
+  MatrixF() = default;
+
+  /// Creates a Rows x Cols zero matrix.
+  MatrixF(size_t Rows, size_t Cols)
+      : NumRows(Rows), NumCols(Cols), Data(Rows * Cols, 0.0f) {}
+
+  /// Creates a Rows x Cols matrix with UNINITIALIZED contents (same contract
+  /// and rationale as Matrix::uninit).
+  static MatrixF uninit(size_t Rows, size_t Cols) {
+    MatrixF M;
+    M.NumRows = Rows;
+    M.NumCols = Cols;
+    M.Data.resize(Rows * Cols);
+    return M;
+  }
+
+  size_t rows() const { return NumRows; }
+  size_t cols() const { return NumCols; }
+
+  float operator()(size_t R, size_t C) const {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+  float &operator()(size_t R, size_t C) {
+    assert(R < NumRows && C < NumCols && "matrix index out of range");
+    return Data[R * NumCols + C];
+  }
+
+  /// Pointer to the start of row \p R.
+  const float *row(size_t R) const {
+    assert(R < NumRows && "row index out of range");
+    return Data.data() + R * NumCols;
+  }
+  float *row(size_t R) {
+    assert(R < NumRows && "row index out of range");
+    return Data.data() + R * NumCols;
+  }
+
+  /// Grows or shrinks the row count in place, zero-filling new rows (same
+  /// contract as Matrix::resizeRows).
+  void resizeRows(size_t Rows) {
+    NumRows = Rows;
+    Data.resize(Rows * NumCols, 0.0f);
+  }
+
+private:
+  size_t NumRows = 0;
+  size_t NumCols = 0;
+  std::vector<float, DefaultInitAlloc<float>> Data;
+};
+
+} // namespace charon
+
+#endif // CHARON_LINALG_MATRIXF_H

@@ -70,15 +70,26 @@ Vector Conv2DLayer::backward(const Vector &Input, const Vector &GradOut,
                              bool AccumulateParams) {
   assert(GradOut.size() == static_cast<size_t>(OutShape.size()) &&
          "conv gradient size mismatch");
+  // GradIn accumulates through the same dispatched saxpy the batched
+  // matMul path is built from (the lowered row's zero-filled out-of-window
+  // columns contribute identity terms), so per-point and batched gradients
+  // stay bit-identical at every SIMD level. Parameter gradients keep the
+  // tap loop: they index the kernel tensor, not the input row.
+  if (!Lowered)
+    buildLowered();
   Vector GradIn(InShape.size());
   for (int Oc = 0; Oc < OutShape.Channels; ++Oc) {
     for (int Oy = 0; Oy < OutShape.Height; ++Oy) {
       for (int Ox = 0; Ox < OutShape.Width; ++Ox) {
-        double G = GradOut[OutShape.index(Oc, Oy, Ox)];
+        size_t Row = OutShape.index(Oc, Oy, Ox);
+        double G = GradOut[Row];
         if (G == 0.0)
           continue;
         if (AccumulateParams)
           GradB[Oc] += G;
+        kernels::axpy(GradIn.data(), Lowered->W.row(Row), G, GradIn.size());
+        if (!AccumulateParams)
+          continue;
         for (int Ic = 0; Ic < InShape.Channels; ++Ic) {
           for (int Ky = 0; Ky < KH; ++Ky) {
             int Iy = Oy * S + Ky - P;
@@ -89,9 +100,7 @@ Vector Conv2DLayer::backward(const Vector &Input, const Vector &GradOut,
               if (Ix < 0 || Ix >= InShape.Width)
                 continue;
               int In = InShape.index(Ic, Iy, Ix);
-              GradIn[In] += Kernels[kernelIndex(Oc, Ic, Ky, Kx)] * G;
-              if (AccumulateParams)
-                GradKernels[kernelIndex(Oc, Ic, Ky, Kx)] += G * Input[In];
+              GradKernels[kernelIndex(Oc, Ic, Ky, Kx)] += G * Input[In];
             }
           }
         }

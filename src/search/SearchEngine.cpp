@@ -145,7 +145,8 @@ SearchEngine::expandNode(const RobustnessProperty &Prop, const Box &Region,
   else
     ++E.Stats.ZonotopeChoices;
   E.Stats.DisjunctSum += Spec.Disjuncts;
-  AnalysisResult Analysis = analyzeRobustness(Net, Region, K, Spec, Budget);
+  AnalysisResult Analysis =
+      analyzeRobustness(Net, Region, K, Spec, Budget, Config.Precision);
   if (Analysis.TimedOut) {
     // The deadline cut the analysis short: discard the whole expansion so
     // the node stays open (and uncounted) in the checkpoint, and a resumed

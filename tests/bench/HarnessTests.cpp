@@ -146,12 +146,12 @@ TEST(HarnessTest, MicroDomainJsonHasTrackedFields) {
   std::string Json = microDomainJson(Results);
   // Structural smoke checks; scripts/check.sh additionally runs a full JSON
   // parse over the real benchmark output when python3 is available.
-  EXPECT_NE(Json.find("\"schema\": \"charon-bench-micro-domains/1\""),
+  EXPECT_NE(Json.find("\"schema\": \"charon-bench-micro-domains/2\""),
             std::string::npos);
   for (const char *Field :
-       {"\"name\"", "\"domain\"", "\"width\"", "\"hidden_layers\"",
-        "\"input_dim\"", "\"output_dim\"", "\"generators\"", "\"margin\"",
-        "\"seconds\"", "\"repeats\""})
+       {"\"simd\"", "\"name\"", "\"domain\"", "\"precision\"", "\"width\"",
+        "\"hidden_layers\"", "\"input_dim\"", "\"output_dim\"",
+        "\"generators\"", "\"margin\"", "\"seconds\"", "\"repeats\""})
     EXPECT_NE(Json.find(Field), std::string::npos) << Field;
   EXPECT_NE(Json.find("test_interval_w8"), std::string::npos);
   EXPECT_EQ(Json.back(), '\n');
@@ -159,7 +159,13 @@ TEST(HarnessTest, MicroDomainJsonHasTrackedFields) {
 
 TEST(HarnessTest, DefaultMicroDomainCasesAreDistinctlyNamed) {
   std::set<std::string> Names;
-  for (const MicroDomainCase &Case : defaultMicroDomainCases())
+  bool SawFloat32 = false;
+  for (const MicroDomainCase &Case : defaultMicroDomainCases()) {
     EXPECT_TRUE(Names.insert(Case.Name).second) << Case.Name;
+    SawFloat32 |= Case.Precision == KernelPrecision::Float32;
+  }
   EXPECT_GE(Names.size(), 5u);
+  // The tracked set keeps float32 twins next to their double cases so the
+  // low-precision mode's speed/width trade stays visible in the trajectory.
+  EXPECT_TRUE(SawFloat32);
 }

@@ -1,20 +1,38 @@
-//===- KernelTests.cpp - Blocked/threaded kernels vs naive references --------===//
+//===- KernelTests.cpp - Dispatched kernels vs naive references --------------===//
 //
-// Every kernel in linalg/Kernels.h promises results bit-identical to its
-// naive single-threaded reference loop, at any threshold setting. These tests
-// pin that contract on randomized shapes — including empty, single-row, and
-// strongly non-square matrices — running each case both below and above the
-// parallel threshold (setParallelThreshold(0) forces every kernel onto the
-// thread pool).
+// The kernels in linalg/Kernels.h run behind a runtime SIMD dispatch table
+// (linalg/SimdDispatch.h). These tests sweep every level the build + host
+// support and pin the determinism contract at each one:
+//
+//  - at SimdLevel::Scalar every kernel is bit-identical to its naive
+//    single-threaded reference loop (the historical contract);
+//  - elementwise kernels (scaleColumns, gatherColumns, relu*) and
+//    absColumnSums are bit-identical across *all* levels;
+//  - reductions (matMul, matMulTransposed, absRowSums) may regroup their
+//    accumulation under AVX2/FMA, but stay bit-identical across thread
+//    counts *within* a level and within a small tolerance of the reference;
+//  - the float32 kernels (linalg/KernelsF32.h) stay within the closed-form
+//    error bounds the zonotope float mode folds into its pad, and the
+//    outward-rounding helpers really round outward (and flip inward under
+//    the test-only direction override).
+//
+// Each product/sweep case runs both below and above the parallel threshold
+// (setParallelThreshold(0) forces every kernel onto the thread pool), on
+// shapes including empty, single-row, and strongly non-square matrices.
+//
+//===----------------------------------------------------------------------===//
 
 #include "linalg/Kernels.h"
+#include "linalg/KernelsF32.h"
 #include "linalg/Matrix.h"
+#include "linalg/SimdDispatch.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cmath>
+#include <string>
 #include <vector>
 
 using namespace charon;
@@ -85,6 +103,34 @@ void expectValueEqual(const Vector &Got, const Vector &Want) {
     ASSERT_EQ(Got[I], Want[I]) << "at " << I;
 }
 
+void expectValueEqualF(const MatrixF &Got, const MatrixF &Want) {
+  ASSERT_EQ(Got.rows(), Want.rows());
+  ASSERT_EQ(Got.cols(), Want.cols());
+  for (size_t I = 0; I < Got.rows(); ++I)
+    for (size_t J = 0; J < Got.cols(); ++J)
+      ASSERT_EQ(Got(I, J), Want(I, J)) << "at (" << I << ", " << J << ")";
+}
+
+// Reductions regroup their accumulation under AVX2/FMA: compare against the
+// naive reference with a relative tolerance far above double noise but far
+// below any real defect.
+void expectClose(const Matrix &Got, const Matrix &Want, double Tol) {
+  ASSERT_EQ(Got.rows(), Want.rows());
+  ASSERT_EQ(Got.cols(), Want.cols());
+  for (size_t I = 0; I < Got.rows(); ++I)
+    for (size_t J = 0; J < Got.cols(); ++J)
+      ASSERT_NEAR(Got(I, J), Want(I, J),
+                  Tol * std::max(1.0, std::fabs(Want(I, J))))
+          << "at (" << I << ", " << J << ")";
+}
+
+void expectClose(const Vector &Got, const Vector &Want, double Tol) {
+  ASSERT_EQ(Got.size(), Want.size());
+  for (size_t I = 0; I < Got.size(); ++I)
+    ASSERT_NEAR(Got[I], Want[I], Tol * std::max(1.0, std::fabs(Want[I])))
+        << "at " << I;
+}
+
 /// Restores the parallel threshold when a test scope ends.
 class ThresholdGuard {
 public:
@@ -94,6 +140,37 @@ public:
 private:
   size_t Saved;
 };
+
+/// Restores the SIMD level when a test scope ends.
+class SimdGuard {
+public:
+  SimdGuard() : Saved(kernels::simdLevel()) {}
+  ~SimdGuard() { kernels::setSimdLevel(Saved); }
+
+private:
+  kernels::SimdLevel Saved;
+};
+
+/// Restores the float32 error direction when a test scope ends.
+class ErrDirGuard {
+public:
+  ErrDirGuard() : Saved(kernels::float32ErrDir()) {}
+  ~ErrDirGuard() { kernels::setFloat32ErrDirForTest(Saved); }
+
+private:
+  double Saved;
+};
+
+/// Runs \p Body once per available SIMD level with that level active, under
+/// a SCOPED_TRACE naming the level.
+template <typename Fn> void forEachSimdLevel(Fn Body) {
+  SimdGuard Guard;
+  for (kernels::SimdLevel L : kernels::availableSimdLevels()) {
+    SCOPED_TRACE(std::string("simd=") + kernels::simdLevelName(L));
+    ASSERT_TRUE(kernels::setSimdLevel(L));
+    Body(L);
+  }
+}
 
 // The shapes every product/sweep test runs over: empty operands, single
 // rows/columns, strongly rectangular, and a large-enough square that blocked
@@ -108,19 +185,38 @@ const Shape ProductShapes[] = {
 
 } // namespace
 
+TEST(KernelTest, DispatchLevelsRoundTrip) {
+  SimdGuard Guard;
+  std::vector<kernels::SimdLevel> Levels = kernels::availableSimdLevels();
+  ASSERT_FALSE(Levels.empty());
+  EXPECT_EQ(Levels.front(), kernels::SimdLevel::Scalar);
+  EXPECT_STREQ(kernels::simdLevelName(kernels::SimdLevel::Scalar), "scalar");
+  EXPECT_STREQ(kernels::simdLevelName(kernels::SimdLevel::Avx2), "avx2");
+  EXPECT_STREQ(toString(KernelPrecision::Double), "double");
+  EXPECT_STREQ(toString(KernelPrecision::Float32), "float32");
+  for (kernels::SimdLevel L : Levels) {
+    ASSERT_TRUE(kernels::setSimdLevel(L));
+    EXPECT_EQ(kernels::simdLevel(), L);
+  }
+}
+
 TEST(KernelTest, MatMulMatchesNaiveSerialAndParallel) {
   Rng R(101);
   for (const Shape &S : ProductShapes) {
     Matrix A = randomMatrix(S.M, S.K, R, 0.3); // Zeros exercise the skip path.
     Matrix B = randomMatrix(S.K, S.N, R);
     Matrix Want = naiveMatMul(A, B);
-    {
+    forEachSimdLevel([&](kernels::SimdLevel L) {
       ThresholdGuard G;
       kernels::setParallelThreshold(size_t(1) << 40); // Always serial.
-      expectValueEqual(matMul(A, B), Want);
+      Matrix Serial = matMul(A, B);
+      if (L == kernels::SimdLevel::Scalar)
+        expectValueEqual(Serial, Want);
+      else
+        expectClose(Serial, Want, 1e-12);
       kernels::setParallelThreshold(0); // Always threaded.
-      expectValueEqual(matMul(A, B), Want);
-    }
+      expectValueEqual(matMul(A, B), Serial); // Bit-identical within a level.
+    });
   }
 }
 
@@ -130,13 +226,17 @@ TEST(KernelTest, MatMulTransposedMatchesNaiveSerialAndParallel) {
     Matrix A = randomMatrix(S.M, S.K, R);
     Matrix B = randomMatrix(S.N, S.K, R); // B is N x K; product is M x N.
     Matrix Want = naiveMatMulTransposed(A, B);
-    {
+    forEachSimdLevel([&](kernels::SimdLevel L) {
       ThresholdGuard G;
       kernels::setParallelThreshold(size_t(1) << 40);
-      expectValueEqual(kernels::matMulTransposed(A, B), Want);
+      Matrix Serial = kernels::matMulTransposed(A, B);
+      if (L == kernels::SimdLevel::Scalar)
+        expectValueEqual(Serial, Want);
+      else
+        expectClose(Serial, Want, 1e-12);
       kernels::setParallelThreshold(0);
-      expectValueEqual(kernels::matMulTransposed(A, B), Want);
-    }
+      expectValueEqual(kernels::matMulTransposed(A, B), Serial);
+    });
   }
 }
 
@@ -144,30 +244,63 @@ TEST(KernelTest, MatMulTransposedIntoWritesOffsetBlock) {
   Rng R(303);
   Matrix A = randomMatrix(6, 11, R);
   Matrix B = randomMatrix(4, 11, R);
-  Matrix Want = naiveMatMulTransposed(A, B);
-
-  Matrix C(9, 4);
-  for (size_t I = 0; I < C.rows(); ++I)
-    for (size_t J = 0; J < C.cols(); ++J)
-      C(I, J) = -7.0; // Sentinel: rows outside the block must survive.
-  kernels::matMulTransposedInto(A, B, C, 2);
-  for (size_t I = 0; I < C.rows(); ++I)
-    for (size_t J = 0; J < C.cols(); ++J) {
-      if (I >= 2 && I < 8)
-        ASSERT_EQ(C(I, J), Want(I - 2, J));
-      else
-        ASSERT_EQ(C(I, J), -7.0);
-    }
+  forEachSimdLevel([&](kernels::SimdLevel) {
+    // The Into form must agree bit-for-bit with the level's own full
+    // product and leave rows outside the block untouched.
+    Matrix Want = kernels::matMulTransposed(A, B);
+    Matrix C(9, 4);
+    for (size_t I = 0; I < C.rows(); ++I)
+      for (size_t J = 0; J < C.cols(); ++J)
+        C(I, J) = -7.0; // Sentinel: rows outside the block must survive.
+    kernels::matMulTransposedInto(A, B, C, 2);
+    for (size_t I = 0; I < C.rows(); ++I)
+      for (size_t J = 0; J < C.cols(); ++J) {
+        if (I >= 2 && I < 8)
+          ASSERT_EQ(C(I, J), Want(I - 2, J));
+        else
+          ASSERT_EQ(C(I, J), -7.0);
+      }
+  });
 }
 
-TEST(KernelTest, AbsSumsMatchNaive) {
+TEST(KernelTest, AbsColumnSumsExactAtEveryLevelAndThreading) {
   Rng R(404);
+  const Shape Shapes[] = {{0, 0, 0}, {0, 5, 0}, {1, 9, 0},
+                          {9, 1, 0}, {23, 57, 0}, {67, 130, 0}};
+  for (const Shape &S : Shapes) {
+    Matrix A = randomMatrix(S.M, S.K, R, 0.2);
+    Vector Want = naiveAbsColumnSums(A);
+    // absColumnSums accumulates each column in ascending-row order at every
+    // level and shards by *columns*, so it is bit-identical to the naive
+    // loop across all levels and thread counts.
+    forEachSimdLevel([&](kernels::SimdLevel) {
+      ThresholdGuard G;
+      kernels::setParallelThreshold(size_t(1) << 40);
+      expectValueEqual(kernels::absColumnSums(A), Want);
+      kernels::setParallelThreshold(0);
+      expectValueEqual(kernels::absColumnSums(A), Want);
+    });
+  }
+}
+
+TEST(KernelTest, AbsRowSumsMatchNaive) {
+  Rng R(414);
   const Shape Shapes[] = {{0, 0, 0}, {0, 5, 0}, {1, 9, 0},
                           {9, 1, 0}, {23, 57, 0}};
   for (const Shape &S : Shapes) {
     Matrix A = randomMatrix(S.M, S.K, R, 0.2);
-    expectValueEqual(kernels::absRowSums(A), naiveAbsRowSums(A));
-    expectValueEqual(kernels::absColumnSums(A), naiveAbsColumnSums(A));
+    Vector Want = naiveAbsRowSums(A);
+    forEachSimdLevel([&](kernels::SimdLevel L) {
+      ThresholdGuard G;
+      kernels::setParallelThreshold(size_t(1) << 40);
+      Vector Serial = kernels::absRowSums(A);
+      if (L == kernels::SimdLevel::Scalar)
+        expectValueEqual(Serial, Want);
+      else
+        expectClose(Serial, Want, 1e-12);
+      kernels::setParallelThreshold(0);
+      expectValueEqual(kernels::absRowSums(A), Serial);
+    });
   }
 }
 
@@ -185,14 +318,40 @@ TEST(KernelTest, ScaleColumnsMatchesNaiveSerialAndParallel) {
       for (size_t J = 0; J < S.K; ++J)
         Want(I, J) *= Scale[J];
 
-    Matrix Serial = A, Threaded = A;
-    ThresholdGuard G;
-    kernels::setParallelThreshold(size_t(1) << 40);
-    kernels::scaleColumns(Serial, Scale);
-    kernels::setParallelThreshold(0);
-    kernels::scaleColumns(Threaded, Scale);
-    expectValueEqual(Serial, Want);
-    expectValueEqual(Threaded, Want);
+    // Elementwise: exact at every level.
+    forEachSimdLevel([&](kernels::SimdLevel) {
+      Matrix Serial = A, Threaded = A;
+      ThresholdGuard G;
+      kernels::setParallelThreshold(size_t(1) << 40);
+      kernels::scaleColumns(Serial, Scale);
+      kernels::setParallelThreshold(0);
+      kernels::scaleColumns(Threaded, Scale);
+      expectValueEqual(Serial, Want);
+      expectValueEqual(Threaded, Want);
+    });
+  }
+}
+
+TEST(KernelTest, ReluKernelsExactAtEveryLevel) {
+  Rng R(515);
+  const Shape Shapes[] = {{0, 3, 0}, {1, 1, 0}, {7, 19, 0}, {13, 70, 0}};
+  for (const Shape &S : Shapes) {
+    Matrix X = randomMatrix(S.M, S.K, R, 0.25); // Zeros hit the tie-break.
+    Matrix GradOut = randomMatrix(S.M, S.K, R);
+    Matrix WantFwd(S.M, S.K), WantBwd(S.M, S.K);
+    for (size_t I = 0; I < S.M; ++I)
+      for (size_t J = 0; J < S.K; ++J) {
+        WantFwd(I, J) = X(I, J) > 0.0 ? X(I, J) : 0.0;
+        WantBwd(I, J) = X(I, J) > 0.0 ? GradOut(I, J) : 0.0;
+      }
+    forEachSimdLevel([&](kernels::SimdLevel) {
+      ThresholdGuard G;
+      for (size_t Threshold : {size_t(1) << 40, size_t(0)}) {
+        kernels::setParallelThreshold(Threshold);
+        expectValueEqual(kernels::reluBatch(X), WantFwd);
+        expectValueEqual(kernels::reluBackwardBatch(X, GradOut), WantBwd);
+      }
+    });
   }
 }
 
@@ -210,15 +369,67 @@ TEST(KernelTest, GatherColumnsMatchesNaiveSerialAndParallel) {
       for (size_t O = 0; O < S.N; ++O)
         Want(I, O) = SrcCol[O] < 0 ? 0.0 : A(I, SrcCol[O]);
 
-    Matrix Serial(S.M, S.N), Threaded(S.M, S.N);
-    ThresholdGuard G;
-    kernels::setParallelThreshold(size_t(1) << 40);
-    kernels::gatherColumns(A, SrcCol, Serial);
-    kernels::setParallelThreshold(0);
-    kernels::gatherColumns(A, SrcCol, Threaded);
-    expectValueEqual(Serial, Want);
-    expectValueEqual(Threaded, Want);
+    forEachSimdLevel([&](kernels::SimdLevel) {
+      Matrix Serial(S.M, S.N), Threaded(S.M, S.N);
+      ThresholdGuard G;
+      kernels::setParallelThreshold(size_t(1) << 40);
+      kernels::gatherColumns(A, SrcCol, Serial);
+      kernels::setParallelThreshold(0);
+      kernels::gatherColumns(A, SrcCol, Threaded);
+      expectValueEqual(Serial, Want);
+      expectValueEqual(Threaded, Want);
+    });
   }
+}
+
+TEST(KernelTest, OneHotKernelsMatchDenseEquivalents) {
+  Rng R(707);
+  Matrix W = randomMatrix(9, 14, R);
+  std::vector<kernels::OneHot> Sparse = {
+      {3, 0.75}, {0, -1.25}, {13, 2.0}, {3, -0.0625}};
+  forEachSimdLevel([&](kernels::SimdLevel) {
+    Matrix C(Sparse.size() + 2, W.rows());
+    for (size_t I = 0; I < C.rows(); ++I)
+      for (size_t J = 0; J < C.cols(); ++J)
+        C(I, J) = -7.0;
+    kernels::oneHotMatMulInto(Sparse, W, C, 2);
+    for (size_t J = 0; J < C.cols(); ++J) {
+      ASSERT_EQ(C(0, J), -7.0);
+      ASSERT_EQ(C(1, J), -7.0);
+    }
+    // One multiply per element: exact at every level.
+    for (size_t S = 0; S < Sparse.size(); ++S)
+      for (size_t J = 0; J < W.rows(); ++J)
+        ASSERT_EQ(C(2 + S, J), Sparse[S].Mag * W(J, Sparse[S].Coord))
+            << "at (" << S << ", " << J << ")";
+
+    Vector Sums(Sparse.size() + 1);
+    Sums[0] = -3.0;
+    kernels::oneHotRowSumsInto(Sparse, Sums, 1);
+    ASSERT_EQ(Sums[0], -3.0);
+    for (size_t S = 0; S < Sparse.size(); ++S)
+      ASSERT_EQ(Sums[1 + S], std::fabs(Sparse[S].Mag));
+  });
+}
+
+TEST(KernelTest, AxpyIsPositionIndependentWithinALevel) {
+  Rng R(808);
+  Matrix X = randomMatrix(1, 133, R);
+  Matrix Y0 = randomMatrix(1, 133, R);
+  const double A = -0.37;
+  forEachSimdLevel([&](kernels::SimdLevel L) {
+    // One full-length call and any split into subranges must produce the
+    // same bits: matMul feeds saxpy 256-column panels while matTVec feeds
+    // whole rows, and the two paths promise bit-identity within a level.
+    Matrix Whole = Y0, Split = Y0;
+    kernels::axpy(Whole.row(0), X.row(0), A, X.cols());
+    kernels::axpy(Split.row(0), X.row(0), A, 61);
+    kernels::axpy(Split.row(0) + 61, X.row(0) + 61, A, X.cols() - 61);
+    expectValueEqual(Split, Whole);
+    if (L == kernels::SimdLevel::Scalar)
+      for (size_t J = 0; J < X.cols(); ++J)
+        ASSERT_EQ(Whole(0, J), Y0(0, J) + A * X(0, J));
+  });
 }
 
 TEST(KernelTest, ParallelForPartitionsExactly) {
@@ -242,4 +453,169 @@ TEST(KernelTest, ThresholdRoundTrips) {
   kernels::setParallelThreshold(12345);
   EXPECT_EQ(kernels::parallelThreshold(), 12345u);
   EXPECT_GE(kernels::kernelThreads(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Float32 kernels and the outward-rounding error model
+//===----------------------------------------------------------------------===//
+
+TEST(KernelF32Test, RoundTripConversions) {
+  Rng R(901);
+  Matrix A = randomMatrix(5, 17, R);
+  MatrixF F = kernels::toFloat32(A);
+  ASSERT_EQ(F.rows(), A.rows());
+  ASSERT_EQ(F.cols(), A.cols());
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < A.cols(); ++J)
+      ASSERT_EQ(F(I, J), static_cast<float>(A(I, J)));
+  Matrix D = kernels::toDouble(F); // float -> double is exact.
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < A.cols(); ++J)
+      ASSERT_EQ(D(I, J), static_cast<double>(F(I, J)));
+}
+
+TEST(KernelF32Test, MatMulTransposedFStaysWithinGammaBound) {
+  Rng R(902);
+  for (const Shape &S : ProductShapes) {
+    MatrixF A = kernels::toFloat32(randomMatrix(S.M, S.K, R));
+    MatrixF B = kernels::toFloat32(randomMatrix(S.N, S.K, R));
+    // Exact double reference over the widened float operands, plus the
+    // absolute-value dot that scales the gamma bound.
+    Matrix Exact(S.M, S.N), AbsDot(S.M, S.N);
+    for (size_t I = 0; I < S.M; ++I)
+      for (size_t J = 0; J < S.N; ++J) {
+        double Sum = 0.0, Abs = 0.0;
+        for (size_t K = 0; K < S.K; ++K) {
+          double P = double(A(I, K)) * double(B(J, K));
+          Sum += P;
+          Abs += std::fabs(P);
+        }
+        Exact(I, J) = Sum;
+        AbsDot(I, J) = Abs;
+      }
+    double Gamma = kernels::float32Gamma(S.K);
+    forEachSimdLevel([&](kernels::SimdLevel) {
+      ThresholdGuard G;
+      kernels::setParallelThreshold(size_t(1) << 40);
+      MatrixF Serial(S.M, S.N);
+      kernels::matMulTransposedIntoF(A, B, Serial, 0);
+      for (size_t I = 0; I < S.M; ++I)
+        for (size_t J = 0; J < S.N; ++J)
+          ASSERT_LE(std::fabs(double(Serial(I, J)) - Exact(I, J)),
+                    Gamma * AbsDot(I, J) + 1e-30)
+              << "at (" << I << ", " << J << ")";
+      kernels::setParallelThreshold(0);
+      MatrixF Threaded(S.M, S.N);
+      kernels::matMulTransposedIntoF(A, B, Threaded, 0);
+      expectValueEqualF(Threaded, Serial); // Deterministic within a level.
+    });
+  }
+}
+
+TEST(KernelF32Test, ColumnAndRowSumsMatchDoubleAccumulation) {
+  Rng R(903);
+  Matrix Src = randomMatrix(23, 41, R, 0.2);
+  MatrixF A = kernels::toFloat32(Src);
+  Vector WantCols(A.cols()), WantRows(A.rows());
+  for (size_t I = 0; I < A.rows(); ++I)
+    for (size_t J = 0; J < A.cols(); ++J) {
+      WantCols[J] += std::fabs(double(A(I, J)));
+      WantRows[I] += std::fabs(double(A(I, J)));
+    }
+  forEachSimdLevel([&](kernels::SimdLevel) {
+    ThresholdGuard G;
+    for (size_t Threshold : {size_t(1) << 40, size_t(0)}) {
+      kernels::setParallelThreshold(Threshold);
+      expectValueEqual(kernels::absColumnSumsF(A), WantCols);
+      expectValueEqual(kernels::absRowSumsF(A), WantRows);
+    }
+  });
+}
+
+TEST(KernelF32Test, ScaleAndGatherAreExactPerEntry) {
+  Rng R(904);
+  MatrixF A = kernels::toFloat32(randomMatrix(9, 26, R));
+  Vector Scale(A.cols());
+  for (size_t J = 0; J < A.cols(); ++J)
+    Scale[J] = J % 3 == 0 ? 0.0 : R.uniform(0.0, 1.0);
+  std::vector<int> SrcCol = {-1, 3, 0, 25, 3};
+  forEachSimdLevel([&](kernels::SimdLevel) {
+    MatrixF Scaled = A;
+    kernels::scaleColumnsF(Scaled, Scale);
+    for (size_t I = 0; I < A.rows(); ++I)
+      for (size_t J = 0; J < A.cols(); ++J)
+        ASSERT_EQ(Scaled(I, J),
+                  static_cast<float>(Scale[J] * double(A(I, J))));
+    MatrixF Out(A.rows(), SrcCol.size());
+    kernels::gatherColumnsF(A, SrcCol, Out);
+    for (size_t I = 0; I < A.rows(); ++I)
+      for (size_t O = 0; O < SrcCol.size(); ++O)
+        ASSERT_EQ(Out(I, O), SrcCol[O] < 0 ? 0.0f : A(I, SrcCol[O]));
+  });
+}
+
+TEST(KernelF32Test, OneHotMatMulTracksExactConversionError) {
+  Rng R(905);
+  Matrix W = randomMatrix(7, 11, R);
+  // A magnitude with plenty of mantissa bits so the float conversion
+  // genuinely loses something.
+  std::vector<kernels::OneHot> Sparse = {{4, 1.0 / 3.0}, {10, -0.7211}};
+  MatrixF C(Sparse.size(), W.rows());
+  Vector Err(W.rows());
+  kernels::oneHotMatMulIntoF(Sparse, W, C, 0, Err);
+  Vector WantErr(W.rows());
+  for (size_t S = 0; S < Sparse.size(); ++S)
+    for (size_t J = 0; J < W.rows(); ++J) {
+      double Val = Sparse[S].Mag * W(J, Sparse[S].Coord);
+      float F = static_cast<float>(Val);
+      ASSERT_EQ(C(S, J), F);
+      WantErr[J] += std::fabs(Val - double(F));
+    }
+  expectValueEqual(Err, WantErr);
+  bool AnyLoss = false;
+  for (size_t J = 0; J < W.rows(); ++J)
+    AnyLoss = AnyLoss || Err[J] > 0.0;
+  EXPECT_TRUE(AnyLoss) << "conversion error test vector lost no precision";
+}
+
+TEST(KernelF32Test, OutwardRoundingRoundsOutAndFlipsInward) {
+  ErrDirGuard Guard;
+  kernels::setFloat32ErrDirForTest(1.0);
+  EXPECT_GT(kernels::float32Gamma(16), 0.0);
+  EXPECT_GT(kernels::float32Eta(), 0.0);
+  EXPECT_GT(kernels::float32ScaleEps(), 0.0);
+  for (double X : {0.0, 1e-20, 0.125, 1.0, 3.75e4}) {
+    double Out = kernels::roundOut(X, 12.0);
+    EXPECT_GT(Out, X) << "X = " << X; // nextafter guarantees strict growth
+    EXPECT_LT(Out, X * (1.0 + 1e-12) + 1e-300) << "X = " << X;
+  }
+  // Flipped, every term turns inward: the simulated unsound mode the fuzz
+  // oracle must catch.
+  kernels::setFloat32ErrDirForTest(-1.0);
+  EXPECT_LT(kernels::float32Gamma(16), 0.0);
+  EXPECT_LT(kernels::float32Eta(), 0.0);
+  for (double X : {1e-20, 0.125, 1.0, 3.75e4})
+    EXPECT_LT(kernels::roundOut(X, 12.0), X) << "X = " << X;
+}
+
+TEST(KernelF32Test, AffinePadDominatesExactAbsMatVec) {
+  Rng R(906);
+  Matrix W = randomMatrix(31, 47, R);
+  Vector V(W.cols());
+  for (size_t K = 0; K < W.cols(); ++K)
+    V[K] = R.uniform(0.0, 1e-4); // Pads are small non-negative radii.
+  Vector Want(W.rows());
+  for (size_t J = 0; J < W.rows(); ++J)
+    for (size_t K = 0; K < W.cols(); ++K)
+      Want[J] += std::fabs(W(J, K)) * V[K];
+  ThresholdGuard G;
+  for (size_t Threshold : {size_t(1) << 40, size_t(0)}) {
+    kernels::setParallelThreshold(Threshold);
+    Vector Pad = kernels::float32AffinePad(W, V);
+    for (size_t J = 0; J < W.rows(); ++J) {
+      // Outward: never below the exact double value, and within a hair of it.
+      ASSERT_GE(Pad[J], Want[J]) << "at " << J;
+      ASSERT_LE(Pad[J], Want[J] * (1.0 + 1e-10) + 1e-30) << "at " << J;
+    }
+  }
 }
