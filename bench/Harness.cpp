@@ -22,6 +22,7 @@
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #if defined(__GLIBC__)
 #include <malloc.h>
@@ -761,6 +762,51 @@ bool charon::bench::writeCegarBenchJsonFile(
   if (!Out)
     return false;
   Out << cegarBenchJson(Results);
+  return static_cast<bool>(Out);
+}
+
+std::string charon::bench::scalingJson(
+    const std::string &Mode, const std::vector<std::string> &Instances,
+    double SerialSeconds, long SerialNodes,
+    const std::vector<ScalingPoint> &Points) {
+  std::ostringstream Os;
+  Os << "{\n  \"schema\": \"charon-bench-scaling/1\",\n  \"mode\": \"" << Mode
+     << "\",\n  \"host_cores\": " << std::thread::hardware_concurrency()
+     << ",\n  \"instances\": [";
+  for (size_t I = 0; I < Instances.size(); ++I)
+    Os << (I == 0 ? "" : ", ") << "\"" << Instances[I] << "\"";
+  Os << "],\n  \"serial_seconds\": ";
+  appendJsonDouble(Os, SerialSeconds);
+  Os << ",\n  \"serial_nodes_expanded\": " << SerialNodes
+     << ",\n  \"points\": [";
+  for (size_t I = 0; I < Points.size(); ++I) {
+    const ScalingPoint &P = Points[I];
+    Os << (I == 0 ? "\n" : ",\n");
+    Os << "    {\"workers\": " << P.Workers << ", \"wall_seconds\": ";
+    appendJsonDouble(Os, P.WallSeconds);
+    Os << ", \"speedup\": ";
+    appendJsonDouble(Os, P.Speedup);
+    Os << ", \"nodes_expanded\": " << P.NodesExpanded
+       << ", \"steals\": " << P.Steals
+       << ", \"worker_restarts\": " << P.WorkerRestarts
+       << ", \"per_worker_expanded\": [";
+    for (size_t J = 0; J < P.PerWorkerExpanded.size(); ++J)
+      Os << (J == 0 ? "" : ", ") << P.PerWorkerExpanded[J];
+    Os << "], \"verdicts_identical\": "
+       << (P.VerdictsIdentical ? "true" : "false") << "}";
+  }
+  Os << "\n  ]\n}\n";
+  return Os.str();
+}
+
+bool charon::bench::writeScalingJsonFile(
+    const std::string &Path, const std::string &Mode,
+    const std::vector<std::string> &Instances, double SerialSeconds,
+    long SerialNodes, const std::vector<ScalingPoint> &Points) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << scalingJson(Mode, Instances, SerialSeconds, SerialNodes, Points);
   return static_cast<bool>(Out);
 }
 

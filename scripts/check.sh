@@ -25,6 +25,16 @@
 # A certificate smoke then decides an exported ACAS property with --cert,
 # requires charon_check to accept the emitted certificate, and requires it
 # to reject a tampered copy; the sanitize leg runs it forced-threaded.
+# A fleet smoke then serves a hard ACAS batch three ways — in-process,
+# through a 2-worker process fleet, and through a fleet whose first
+# dispatched worker is chaos-killed mid-run — and requires all three
+# response streams to be byte-identical after zeroing the timing field
+# (the chaos run must also report a worker restart). A persistent-cache
+# smoke follows: a --certify --cache-file server decides the batch, a
+# relaunched server re-answers it under a different delta, and the second
+# summary must show the answers came from disk-loaded certificates.
+# (The fleet unit/identity suites themselves run inside ctest on both
+# legs, including under the sanitizers.)
 # A dispatch-matrix leg re-runs the kernel, zonotope-layout, and batched
 # execution suites under every CHARON_SIMD level the host supports
 # (scalar always; avx2 when /proc/cpuinfo advertises it), so the suites'
@@ -371,3 +381,77 @@ if [[ "$TAMPER_RC" == 0 ]]; then
   exit 1
 fi
 echo "cert smoke: tampered certificate rejected (rc=$TAMPER_RC)"
+
+# Fleet smoke: the same request batch must produce identical responses
+# from the in-process service, a 2-worker process fleet, and a fleet whose
+# first-dispatched worker is killed mid-run (which must also restart a
+# worker). The suite is exported into its own cache dir with enough
+# properties to include a refinement-heavy verified one (p2, ~270 nodes)
+# and a falsified one (p3, exercising counterexample bit-identity).
+FLEET_DIR="$BUILD_DIR/fleet-smoke"
+rm -rf "$FLEET_DIR"
+"$BUILD_DIR/examples/acas_export" "$FLEET_DIR" --count 6 \
+  --cache "$FLEET_DIR" >/dev/null
+FLEET_REQ="$FLEET_DIR/requests.jsonl"
+: > "$FLEET_REQ"
+for PROP in 2 3; do
+  awk -v net="$FLEET_DIR/acas.net" '
+    /^name /  {name=$2}
+    /^target /{label=$2}
+    /^lower / {lo=""; for(i=2;i<=NF;i++) lo=lo (i>2?",":"") $i}
+    /^upper / {up=""; for(i=2;i<=NF;i++) up=up (i>2?",":"") $i}
+    END {printf "{\"network\":\"%s\",\"name\":\"%s\",\"label\":%s,\
+\"lower\":[%s],\"upper\":[%s],\"budget\":30}\n", net, name, label, lo, up}
+  ' "$FLEET_DIR/acas-$PROP.prop" >> "$FLEET_REQ"
+done
+WORKER_BIN="$BUILD_DIR/examples/charon_worker"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_serve" "$FLEET_REQ" \
+  --no-cache --workers 1 --quiet > "$FLEET_DIR/serial.out"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_serve" "$FLEET_REQ" \
+  --no-cache --workers 1 --fleet-workers 2 --worker-bin "$WORKER_BIN" \
+  --quiet > "$FLEET_DIR/fleet.out"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_serve" "$FLEET_REQ" \
+  --no-cache --workers 1 --fleet-workers 2 --worker-bin "$WORKER_BIN" \
+  --fleet-chaos-kill 0 > "$FLEET_DIR/chaos.out" 2> "$FLEET_DIR/chaos.err"
+for OUT in serial fleet chaos; do
+  sed 's/"seconds":[0-9.eE+-]*/"seconds":0/' "$FLEET_DIR/$OUT.out" \
+    > "$FLEET_DIR/$OUT.norm"
+done
+cmp "$FLEET_DIR/serial.norm" "$FLEET_DIR/fleet.norm"
+cmp "$FLEET_DIR/serial.norm" "$FLEET_DIR/chaos.norm"
+RESTARTS=$(sed -n 's/.* \([0-9][0-9]*\) worker restarts.*/\1/p' \
+  "$FLEET_DIR/chaos.err")
+if [[ -z "$RESTARTS" || "$RESTARTS" == 0 ]]; then
+  echo "fleet smoke: chaos kill did not restart a worker" >&2
+  cat "$FLEET_DIR/chaos.err" >&2
+  exit 1
+fi
+echo "fleet smoke: serial/fleet/chaos responses identical," \
+     "$RESTARTS worker restart(s)"
+
+# Persistent-cache smoke: a --certify server fills the on-disk cache, a
+# restarted server re-answers the same queries under a different delta —
+# exact lookups must miss, so the hits can only come from disk-loaded
+# certificates re-checked against the new config.
+CACHE_DB="$FLEET_DIR/serve-cache.db"
+rm -f "$CACHE_DB"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_serve" "$FLEET_REQ" \
+  --certify --cache-file "$CACHE_DB" --workers 1 --quiet >/dev/null
+sed 's/"budget":30/"budget":30,"delta":1e-7/' "$FLEET_REQ" \
+  > "$FLEET_DIR/requests-redelta.jsonl"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_serve" \
+  "$FLEET_DIR/requests-redelta.jsonl" \
+  --certify --cache-file "$CACHE_DB" --workers 1 \
+  >/dev/null 2> "$FLEET_DIR/cache-restart.err"
+CERTIFIED=$(sed -n 's/.*, \([0-9][0-9]*\) certified).*/\1/p' \
+  "$FLEET_DIR/cache-restart.err")
+LOADED=$(sed -n 's/.* \([0-9][0-9]*\) loaded from disk.*/\1/p' \
+  "$FLEET_DIR/cache-restart.err")
+if [[ -z "$CERTIFIED" || "$CERTIFIED" == 0 || -z "$LOADED" \
+      || "$LOADED" == 0 ]]; then
+  echo "cache restart smoke: no certified hits from the reloaded cache" >&2
+  cat "$FLEET_DIR/cache-restart.err" >&2
+  exit 1
+fi
+echo "cache restart smoke: $CERTIFIED certified hit(s) from $LOADED" \
+     "disk-loaded entries"

@@ -3,226 +3,16 @@
 #include "service/RequestIo.h"
 
 #include "linalg/Box.h"
+#include "support/JsonLine.h"
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <map>
+#include <istream>
 
 using namespace charon;
-
-//===----------------------------------------------------------------------===//
-// Minimal JSON subset: one flat object of strings, numbers, booleans, and
-// arrays of numbers. Hand-rolled because the protocol needs nothing more
-// and the project takes no external dependencies.
-//===----------------------------------------------------------------------===//
+using json::appendEscaped;
+using json::appendNumber;
+using json::Value;
 
 namespace {
-
-struct JsonValue {
-  enum Kind { Str, Num, Bool, NumArray } K = Num;
-  std::string S;
-  double N = 0.0;
-  bool B = false;
-  std::vector<double> A;
-};
-
-class LineParser {
-public:
-  explicit LineParser(const std::string &Line)
-      : P(Line.c_str()), End(Line.c_str() + Line.size()) {}
-
-  /// Parses the whole line as one object; false on any syntax error.
-  bool parse(std::map<std::string, JsonValue> &Out) {
-    skipWs();
-    if (!consume('{'))
-      return fail("expected '{'");
-    skipWs();
-    if (consume('}'))
-      return atEnd();
-    while (true) {
-      std::string Key;
-      if (!parseString(Key))
-        return false;
-      skipWs();
-      if (!consume(':'))
-        return fail("expected ':'");
-      JsonValue V;
-      if (!parseValue(V))
-        return false;
-      if (!Out.emplace(std::move(Key), std::move(V)).second)
-        return fail("duplicate key");
-      skipWs();
-      if (consume(',')) {
-        skipWs();
-        continue;
-      }
-      if (consume('}'))
-        return atEnd();
-      return fail("expected ',' or '}'");
-    }
-  }
-
-  const std::string &error() const { return Err; }
-
-private:
-  bool atEnd() {
-    skipWs();
-    return P == End ? true : fail("trailing characters");
-  }
-
-  bool fail(const char *Msg) {
-    if (Err.empty())
-      Err = Msg;
-    return false;
-  }
-
-  void skipWs() {
-    while (P != End && std::isspace(static_cast<unsigned char>(*P)))
-      ++P;
-  }
-
-  bool consume(char C) {
-    if (P != End && *P == C) {
-      ++P;
-      return true;
-    }
-    return false;
-  }
-
-  bool parseString(std::string &Out) {
-    skipWs();
-    if (!consume('"'))
-      return fail("expected string");
-    Out.clear();
-    while (P != End && *P != '"') {
-      char C = *P++;
-      if (C != '\\') {
-        Out.push_back(C);
-        continue;
-      }
-      if (P == End)
-        return fail("truncated escape");
-      switch (*P++) {
-      case '"':
-        Out.push_back('"');
-        break;
-      case '\\':
-        Out.push_back('\\');
-        break;
-      case '/':
-        Out.push_back('/');
-        break;
-      case 'n':
-        Out.push_back('\n');
-        break;
-      case 't':
-        Out.push_back('\t');
-        break;
-      case 'r':
-        Out.push_back('\r');
-        break;
-      default:
-        return fail("unsupported escape");
-      }
-    }
-    if (!consume('"'))
-      return fail("unterminated string");
-    return true;
-  }
-
-  bool parseNumber(double &Out) {
-    char *NumEnd = nullptr;
-    Out = std::strtod(P, &NumEnd);
-    if (NumEnd == P)
-      return fail("expected number");
-    P = NumEnd;
-    return true;
-  }
-
-  bool parseValue(JsonValue &V) {
-    skipWs();
-    if (P == End)
-      return fail("missing value");
-    if (*P == '"') {
-      V.K = JsonValue::Str;
-      return parseString(V.S);
-    }
-    if (*P == '[') {
-      ++P;
-      V.K = JsonValue::NumArray;
-      skipWs();
-      if (consume(']'))
-        return true;
-      while (true) {
-        double X;
-        if (!parseNumber(X))
-          return false;
-        V.A.push_back(X);
-        skipWs();
-        if (consume(',')) {
-          skipWs();
-          continue;
-        }
-        if (consume(']'))
-          return true;
-        return fail("expected ',' or ']'");
-      }
-    }
-    if (!std::strncmp(P, "true", 4)) {
-      P += 4;
-      V.K = JsonValue::Bool;
-      V.B = true;
-      return true;
-    }
-    if (!std::strncmp(P, "false", 5)) {
-      P += 5;
-      V.K = JsonValue::Bool;
-      V.B = false;
-      return true;
-    }
-    V.K = JsonValue::Num;
-    return parseNumber(V.N);
-  }
-
-  const char *P;
-  const char *End;
-  std::string Err;
-};
-
-void appendEscaped(std::string &Out, const std::string &S) {
-  Out.push_back('"');
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      Out.push_back(C);
-    }
-  }
-  Out.push_back('"');
-}
-
-void appendNumber(std::string &Out, double X) {
-  char Buf[40];
-  // %.17g round-trips every finite double exactly.
-  std::snprintf(Buf, sizeof(Buf), "%.17g", X);
-  Out += Buf;
-}
 
 void appendArray(std::string &Out, const Vector &V) {
   Out.push_back('[');
@@ -252,34 +42,31 @@ Vector toVector(const std::vector<double> &A) {
 
 std::optional<ServiceRequest>
 charon::parseRequestLine(const std::string &Line, std::string *Error) {
-  LineParser Parser(Line);
-  std::map<std::string, JsonValue> Obj;
-  if (!Parser.parse(Obj)) {
-    setError(Error, Parser.error());
+  json::Object Obj;
+  if (!json::parseObjectLine(Line, Obj, Error))
     return std::nullopt;
-  }
 
   ServiceRequest Req;
   for (const auto &[Key, V] : Obj) {
-    if (Key == "network" && V.K == JsonValue::Str)
+    if (Key == "network" && V.K == Value::Str)
       Req.Network = V.S;
-    else if (Key == "name" && V.K == JsonValue::Str)
+    else if (Key == "name" && V.K == Value::Str)
       Req.Name = V.S;
-    else if (Key == "label" && V.K == JsonValue::Num && V.N >= 0)
+    else if (Key == "label" && V.K == Value::Num && V.N >= 0)
       Req.Label = static_cast<size_t>(V.N);
-    else if (Key == "epsilon" && V.K == JsonValue::Num)
+    else if (Key == "epsilon" && V.K == Value::Num)
       Req.Epsilon = V.N;
-    else if (Key == "center" && V.K == JsonValue::NumArray)
+    else if (Key == "center" && V.K == Value::NumArray)
       Req.Center = toVector(V.A);
-    else if (Key == "lower" && V.K == JsonValue::NumArray)
+    else if (Key == "lower" && V.K == Value::NumArray)
       Req.Lower = toVector(V.A);
-    else if (Key == "upper" && V.K == JsonValue::NumArray)
+    else if (Key == "upper" && V.K == Value::NumArray)
       Req.Upper = toVector(V.A);
-    else if (Key == "budget" && V.K == JsonValue::Num)
+    else if (Key == "budget" && V.K == Value::Num)
       Req.BudgetSeconds = V.N;
-    else if (Key == "delta" && V.K == JsonValue::Num)
+    else if (Key == "delta" && V.K == Value::Num)
       Req.Delta = V.N;
-    else if (Key == "priority" && V.K == JsonValue::Num)
+    else if (Key == "priority" && V.K == Value::Num)
       Req.Priority = static_cast<int>(V.N);
     else {
       setError(Error, "unknown or mistyped key: " + Key);
@@ -351,6 +138,25 @@ charon::requestProperty(const ServiceRequest &Req) {
   return Prop;
 }
 
+std::vector<BatchLine> charon::parseRequestBatch(std::istream &Is) {
+  std::vector<BatchLine> Out;
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(Is, Line)) {
+    ++LineNo;
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    BatchLine Entry;
+    Entry.LineNo = LineNo;
+    std::string Error;
+    Entry.Request = parseRequestLine(Line, &Error);
+    if (!Entry.Request)
+      Entry.Error = Error.empty() ? "malformed request" : Error;
+    Out.push_back(std::move(Entry));
+  }
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Responses
 //===----------------------------------------------------------------------===//
@@ -370,26 +176,27 @@ std::string charon::formatResponseLine(const ServiceResponse &Resp) {
   Out += Resp.Cancelled ? "true" : "false";
   Out += ",\"counterexample\":";
   appendArray(Out, Resp.Counterexample);
+  if (!Resp.Error.empty()) {
+    Out += ",\"error\":";
+    appendEscaped(Out, Resp.Error);
+  }
   Out.push_back('}');
   return Out;
 }
 
 std::optional<ServiceResponse>
 charon::parseResponseLine(const std::string &Line, std::string *Error) {
-  LineParser Parser(Line);
-  std::map<std::string, JsonValue> Obj;
-  if (!Parser.parse(Obj)) {
-    setError(Error, Parser.error());
+  json::Object Obj;
+  if (!json::parseObjectLine(Line, Obj, Error))
     return std::nullopt;
-  }
 
   ServiceResponse Resp;
   for (const auto &[Key, V] : Obj) {
-    if (Key == "name" && V.K == JsonValue::Str)
+    if (Key == "name" && V.K == Value::Str)
       Resp.Name = V.S;
-    else if (Key == "network" && V.K == JsonValue::Str)
+    else if (Key == "network" && V.K == Value::Str)
       Resp.Network = V.S;
-    else if (Key == "outcome" && V.K == JsonValue::Str) {
+    else if (Key == "outcome" && V.K == Value::Str) {
       if (V.S == "verified")
         Resp.Result = Outcome::Verified;
       else if (V.S == "falsified")
@@ -400,14 +207,16 @@ charon::parseResponseLine(const std::string &Line, std::string *Error) {
         setError(Error, "unknown outcome: " + V.S);
         return std::nullopt;
       }
-    } else if (Key == "seconds" && V.K == JsonValue::Num)
+    } else if (Key == "seconds" && V.K == Value::Num)
       Resp.Seconds = V.N;
-    else if (Key == "cache_hit" && V.K == JsonValue::Bool)
+    else if (Key == "cache_hit" && V.K == Value::Bool)
       Resp.CacheHit = V.B;
-    else if (Key == "cancelled" && V.K == JsonValue::Bool)
+    else if (Key == "cancelled" && V.K == Value::Bool)
       Resp.Cancelled = V.B;
-    else if (Key == "counterexample" && V.K == JsonValue::NumArray)
+    else if (Key == "counterexample" && V.K == Value::NumArray)
       Resp.Counterexample = toVector(V.A);
+    else if (Key == "error" && V.K == Value::Str)
+      Resp.Error = V.S;
     else {
       setError(Error, "unknown or mistyped key: " + Key);
       return std::nullopt;

@@ -35,8 +35,10 @@
 #include "core/Property.h"
 #include "core/Verifier.h"
 
+#include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace charon {
 
@@ -53,7 +55,9 @@ struct ServiceRequest {
   int Priority = 0;
 };
 
-/// One response line.
+/// One response line. A non-empty Error marks a per-line failure response
+/// (malformed request, missing network, bad region): the line produced no
+/// verdict, the batch carried on, and the "error" key says why.
 struct ServiceResponse {
   std::string Name;
   std::string Network;
@@ -62,6 +66,7 @@ struct ServiceResponse {
   bool Cancelled = false;
   double Seconds = 0.0;
   Vector Counterexample; ///< empty unless Falsified
+  std::string Error;     ///< empty on success
 };
 
 /// Parses one request line. On failure returns nullopt and, when \p Error
@@ -85,6 +90,20 @@ std::string formatResponseLine(const ServiceResponse &Resp);
 /// Parses one response line (the inverse of formatResponseLine).
 std::optional<ServiceResponse> parseResponseLine(const std::string &Line,
                                                  std::string *Error = nullptr);
+
+/// One line of a parsed batch: either a request or the reason it was
+/// rejected. LineNo is 1-based over the raw input (blank lines count but
+/// produce no entry).
+struct BatchLine {
+  int LineNo = 0;
+  std::optional<ServiceRequest> Request; ///< nullopt when the line is bad
+  std::string Error;                     ///< set iff Request is nullopt
+};
+
+/// Parses a whole JSONL batch. A malformed line yields an entry with Error
+/// set and parsing continues with the next line — one bad request never
+/// aborts the batch. Blank lines are skipped.
+std::vector<BatchLine> parseRequestBatch(std::istream &Is);
 
 } // namespace charon
 

@@ -66,15 +66,31 @@ struct CacheStats {
   long Misses = 0;
   long Evictions = 0;
   long Inserts = 0;
+  long Loaded = 0; ///< entries replayed from disk by attachFile()
 
   long hits() const { return ExactHits + SubsumptionHits + CertifiedHits; }
 };
 
 /// Thread-safe LRU cache mapping verification queries to results.
+///
+/// Optionally file-backed (attachFile): every insert is also appended to
+/// an on-disk store, and attaching an existing store replays its records
+/// (later records win, capacity bounds apply) and rebuilds the in-memory
+/// index — including the subsumption scan set and the certificates that
+/// lookupCertified serves — so verified facts survive process restarts
+/// and are shared across coordinator/worker fleets. The store is a plain
+/// append-only text file guarded by an exclusive flock (one writer per
+/// file; a second attach fails cleanly). A torn final record (crash mid-
+/// append) is truncated away on attach; anything before it is kept.
 class ResultCache {
 public:
   /// Creates a cache holding at most \p Capacity entries (at least 1).
   explicit ResultCache(size_t Capacity = 4096);
+
+  ~ResultCache();
+
+  ResultCache(const ResultCache &) = delete;
+  ResultCache &operator=(const ResultCache &) = delete;
 
   /// Exact-or-subsumption lookup for the query (\p Key, \p Region,
   /// \p TargetClass). On a hit the entry is refreshed to most recent.
@@ -109,8 +125,22 @@ public:
   /// Maximum entries held.
   size_t capacity() const { return Cap; }
 
-  /// Drops every entry (counters are preserved).
+  /// Drops every entry (counters are preserved). Does not touch an
+  /// attached file: re-attaching (or a later process) still sees every
+  /// persisted record.
   void clear();
+
+  /// Attaches the append-only store at \p Path: takes the file's writer
+  /// lock, replays existing records into the cache (counted in
+  /// stats().Loaded, not Inserts), truncates a torn final record, and
+  /// appends every subsequent insert. Returns false — and leaves the cache
+  /// memory-only — when the file cannot be opened, another process holds
+  /// the lock, or the header is not a charon-cache file. Call at most once
+  /// per cache.
+  bool attachFile(const std::string &Path);
+
+  /// True when inserts are being persisted to an attached file.
+  bool persistent() const;
 
 private:
   struct KeyHash {
@@ -136,11 +166,22 @@ private:
   /// Moves \p It to the front (most recently used). Caller holds the lock.
   void touch(EntryList::iterator It);
 
+  /// Shared insert path. Caller holds the lock. Loaded replays set
+  /// \p FromDisk so they count as Loaded, not Inserts, and skip the
+  /// append-back to the file they came from.
+  void insertLocked(const CacheKey &Key, const Box &Region,
+                    size_t TargetClass, const VerifyResult &Result,
+                    bool FromDisk);
+
+  /// Appends one record to the attached file. Caller holds the lock.
+  void persistLocked(const Entry &E);
+
   mutable std::mutex Mutex;
   size_t Cap;
   EntryList Entries; ///< front = most recently used
   std::unordered_map<CacheKey, EntryList::iterator, KeyHash> Index;
   CacheStats Counters;
+  int StoreFd = -1; ///< attached append-only store (-1 = memory-only)
 };
 
 } // namespace charon

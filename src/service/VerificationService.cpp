@@ -191,8 +191,12 @@ void VerificationService::execute(detail::JobState &Job) {
     return Job.CancelFlag.load(std::memory_order_relaxed) ||
            (UserHook && UserHook());
   };
-  Verifier V(Net, Policy, VC);
-  Out.Result = V.verify(Req.Prop, Resume.get());
+  if (Config.Executor) {
+    Out.Result = Config.Executor(Net, Req.Prop, VC, Resume.get());
+  } else {
+    Verifier V(Net, Policy, VC);
+    Out.Result = V.verify(Req.Prop, Resume.get());
+  }
   Out.Resumed = Resume != nullptr;
   Out.RunSeconds = RunWatch.seconds();
 

@@ -131,6 +131,18 @@ struct ServiceConfig {
   /// this job's delta) — so the answer stays sound even across verifier
   /// versions. The outcome reports CertifiedHit.
   bool RecheckCertificates = true;
+  /// Optional replacement for the in-process Verifier: when set, cache-miss
+  /// jobs call this instead of Verifier::verify. The callable must honor
+  /// the same contract (bit-identical verdict/counterexample/objective,
+  /// cooperative cancellation via the config's CancelRequested, resumable
+  /// Timeout checkpoints) — the fleet coordinator (src/fleet/) satisfies
+  /// it, which is how `charon_serve --fleet-workers=N` dispatches whole
+  /// jobs and their subtree shards to worker processes. Cache lookups,
+  /// certificate re-checks, and cache fills stay in this service either
+  /// way.
+  std::function<VerifyResult(const Network &, const RobustnessProperty &,
+                             const VerifierConfig &, const SearchCheckpoint *)>
+      Executor;
 };
 
 /// Multi-tenant verification service over one shared policy.

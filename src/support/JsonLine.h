@@ -1,0 +1,72 @@
+//===- JsonLine.h - Minimal JSON-lines object parser/printer ------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON dialect every Charon wire protocol speaks: a single flat
+/// object per line whose values are strings, numbers, booleans, or arrays
+/// of numbers. Hand-rolled because the protocols need nothing more and the
+/// project takes no external dependencies. Shared by the service batch
+/// protocol (service/RequestIo.h) and the fleet control channel
+/// (fleet/FleetProtocol.h) so both sides agree on escaping and number
+/// round-tripping.
+///
+/// Numbers print with %.17g, which round-trips every finite double
+/// exactly. 64-bit digests do NOT fit in a double, so protocols carry them
+/// as decimal strings (formatU64/parseU64).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_SUPPORT_JSONLINE_H
+#define CHARON_SUPPORT_JSONLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace charon {
+namespace json {
+
+/// One parsed value of the supported subset.
+struct Value {
+  enum Kind { Str, Num, Bool, NumArray } K = Num;
+  std::string S;
+  double N = 0.0;
+  bool B = false;
+  std::vector<double> A;
+};
+
+/// A parsed line: one flat object, keys in sorted order.
+using Object = std::map<std::string, Value>;
+
+/// Parses \p Line as one flat object. Returns false on any syntax error
+/// (and stores a human-readable reason in \p Error when non-null).
+/// Duplicate keys, nested objects, trailing characters, and unsupported
+/// escapes are all errors so typos fail loudly.
+bool parseObjectLine(const std::string &Line, Object &Out,
+                     std::string *Error = nullptr);
+
+/// Appends \p S as a quoted, escaped JSON string.
+void appendEscaped(std::string &Out, const std::string &S);
+
+/// Appends \p X with round-trip (%.17g) precision.
+void appendNumber(std::string &Out, double X);
+
+/// Appends \p A as a JSON array of round-trip numbers.
+void appendNumberArray(std::string &Out, const std::vector<double> &A);
+
+/// Decimal rendering of a 64-bit value (digests don't fit in a double, so
+/// the protocols quote them as strings).
+std::string formatU64(uint64_t V);
+
+/// Parses the decimal rendering back; false on non-numeric or overflowing
+/// input.
+bool parseU64(const std::string &S, uint64_t &Out);
+
+} // namespace json
+} // namespace charon
+
+#endif // CHARON_SUPPORT_JSONLINE_H

@@ -1,0 +1,215 @@
+//===- CheckpointShardTests.cpp - splitCheckpoint/mergeCheckpoints laws -------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// The fleet coordinator (src/fleet/) rests on two properties of checkpoint
+// sharding: shards are contiguous runs of the DFS-ordered frontier (so the
+// DFS-earliest-falsified-shard rule reproduces the serial verdict), and
+// merge(split(Cp, K)) is the identity byte-for-byte (so scattering a
+// search across workers and gathering the remnants loses nothing). These
+// tests pin both down, for every K that matters: 1, several, exactly N,
+// and far more than N (empty tail shards).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace charon;
+
+namespace {
+
+std::vector<uint8_t> path(std::initializer_list<int> Bits) {
+  std::vector<uint8_t> P;
+  for (int B : Bits)
+    P.push_back(static_cast<uint8_t>(B));
+  return P;
+}
+
+/// A frontier of pairwise non-ancestor nodes in DFS order (mixed depths,
+/// like a real interrupted search), with distinguishable per-node data.
+SearchCheckpoint sampleCheckpoint(size_t Nodes) {
+  SearchCheckpoint Cp;
+  Cp.Order = FrontierOrder::Lifo;
+  Cp.NetworkFingerprint = 0xfeedfacecafebeefull;
+  Cp.PropertyDigest = 42;
+  Cp.ConfigDigest = 0xffffffffffffffffull;
+  Cp.Stats.NodesExpanded = 17;
+  Cp.Stats.Splits = 9;
+  Cp.Stats.PgdCalls = 31;
+  Cp.Stats.MaxDepth = 5;
+  Cp.Stats.Seconds = 1.25;
+
+  // Leaves of a complete depth-d tree are pairwise non-ancestor and their
+  // left-to-right order is DFS order; drop to the first Nodes of them.
+  size_t Depth = 1;
+  while ((size_t(1) << Depth) < Nodes)
+    ++Depth;
+  for (size_t I = 0; I < Nodes; ++I) {
+    CheckpointNode N;
+    for (size_t B = Depth; B-- > 0;)
+      N.Path.push_back(static_cast<uint8_t>((I >> B) & 1));
+    double Lo = static_cast<double>(I);
+    N.Region = Box(Vector{Lo, -1.0}, Vector{Lo + 0.5, 1.0});
+    if (I % 3 == 0)
+      N.Warm = Vector{Lo + 0.25, 0.125};
+    N.Priority = -0.01 * static_cast<double>(I);
+    Cp.Open.push_back(std::move(N));
+  }
+  return Cp;
+}
+
+} // namespace
+
+TEST(DfsPathOrderTest, FirstDivergingBitDecides) {
+  EXPECT_TRUE(dfsPathPrecedes(path({0}), path({1})));
+  EXPECT_FALSE(dfsPathPrecedes(path({1}), path({0})));
+  EXPECT_TRUE(dfsPathPrecedes(path({0, 1, 0}), path({0, 1, 1})));
+  EXPECT_TRUE(dfsPathPrecedes(path({0, 1}), path({1, 0})));
+}
+
+TEST(DfsPathOrderTest, AncestorPrecedesDescendants) {
+  EXPECT_TRUE(dfsPathPrecedes(path({}), path({0})));
+  EXPECT_TRUE(dfsPathPrecedes(path({}), path({1})));
+  EXPECT_TRUE(dfsPathPrecedes(path({0}), path({0, 0})));
+  EXPECT_TRUE(dfsPathPrecedes(path({0}), path({0, 1})));
+  EXPECT_FALSE(dfsPathPrecedes(path({0, 0}), path({0})));
+  // ... and a *descendant of an earlier sibling* still precedes the
+  // later sibling, no matter how deep.
+  EXPECT_TRUE(dfsPathPrecedes(path({0, 1, 1, 1}), path({1})));
+}
+
+TEST(DfsPathOrderTest, IsAStrictTotalOrderOnDistinctPaths) {
+  std::vector<std::vector<uint8_t>> Paths = {
+      path({}),        path({0}),       path({0, 0}), path({0, 1}),
+      path({0, 1, 1}), path({1}),       path({1, 0}), path({1, 0, 0}),
+      path({1, 1}),
+  };
+  // The list above is written in DFS order; the comparator must agree.
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    EXPECT_FALSE(dfsPathPrecedes(Paths[I], Paths[I])) << "irreflexive at "
+                                                      << I;
+    for (size_t K = I + 1; K < Paths.size(); ++K) {
+      EXPECT_TRUE(dfsPathPrecedes(Paths[I], Paths[K])) << I << " vs " << K;
+      EXPECT_FALSE(dfsPathPrecedes(Paths[K], Paths[I])) << K << " vs " << I;
+    }
+  }
+}
+
+TEST(CheckpointShardTest, SplitMergeRoundTripsByteIdentically) {
+  for (size_t Nodes : {size_t(1), size_t(5), size_t(13)}) {
+    SearchCheckpoint Cp = sampleCheckpoint(Nodes);
+    std::string Canonical = serializeCheckpoint(Cp);
+    for (size_t K : {size_t(1), size_t(2), size_t(3), size_t(4), size_t(6),
+                     size_t(16)}) {
+      SCOPED_TRACE("nodes=" + std::to_string(Nodes) +
+                   " K=" + std::to_string(K));
+      std::vector<SearchCheckpoint> Shards = splitCheckpoint(Cp, K);
+      ASSERT_EQ(Shards.size(), K);
+      SearchCheckpoint Merged = mergeCheckpoints(Shards);
+      EXPECT_EQ(serializeCheckpoint(Merged), Canonical);
+    }
+  }
+}
+
+TEST(CheckpointShardTest, ShardsAreContiguousDfsRunsOfEvenSize) {
+  SearchCheckpoint Cp = sampleCheckpoint(11);
+  std::vector<SearchCheckpoint> Shards = splitCheckpoint(Cp, 4);
+  ASSERT_EQ(Shards.size(), 4u);
+
+  // Sizes as even as possible: 11 = 3+3+3+2.
+  size_t Total = 0, MaxSize = 0, MinSize = Cp.Open.size();
+  for (const SearchCheckpoint &S : Shards) {
+    Total += S.Open.size();
+    MaxSize = std::max(MaxSize, S.Open.size());
+    MinSize = std::min(MinSize, S.Open.size());
+  }
+  EXPECT_EQ(Total, Cp.Open.size());
+  EXPECT_LE(MaxSize - MinSize, 1u);
+
+  // Concatenating the shards reproduces the original frontier in order —
+  // the contiguity that makes shards totally DFS-ordered units.
+  size_t At = 0;
+  for (const SearchCheckpoint &S : Shards)
+    for (const CheckpointNode &N : S.Open)
+      EXPECT_EQ(N.Path, Cp.Open[At++].Path);
+
+  // Every node of shard I DFS-precedes every node of shard I+1.
+  for (size_t I = 0; I + 1 < Shards.size(); ++I)
+    for (const CheckpointNode &A : Shards[I].Open)
+      for (const CheckpointNode &B : Shards[I + 1].Open)
+        EXPECT_TRUE(dfsPathPrecedes(A.Path, B.Path));
+
+  // Every shard carries the header needed to validate independently.
+  for (const SearchCheckpoint &S : Shards) {
+    EXPECT_EQ(S.Order, Cp.Order);
+    EXPECT_EQ(S.NetworkFingerprint, Cp.NetworkFingerprint);
+    EXPECT_EQ(S.PropertyDigest, Cp.PropertyDigest);
+    EXPECT_EQ(S.ConfigDigest, Cp.ConfigDigest);
+  }
+}
+
+TEST(CheckpointShardTest, StatsRideExactlyOneShard) {
+  SearchCheckpoint Cp = sampleCheckpoint(7);
+  std::vector<SearchCheckpoint> Shards = splitCheckpoint(Cp, 3);
+  ASSERT_EQ(Shards.size(), 3u);
+  EXPECT_EQ(Shards[0].Stats.NodesExpanded, Cp.Stats.NodesExpanded);
+  EXPECT_EQ(Shards[0].Stats.Seconds, Cp.Stats.Seconds);
+  for (size_t I = 1; I < Shards.size(); ++I) {
+    EXPECT_EQ(Shards[I].Stats.NodesExpanded, 0);
+    EXPECT_EQ(Shards[I].Stats.PgdCalls, 0);
+    EXPECT_EQ(Shards[I].Stats.Seconds, 0.0);
+  }
+  // So summing terminal shard stats (what the coordinator does) never
+  // double-counts the pre-split work.
+  VerifyStats Sum;
+  for (const SearchCheckpoint &S : Shards)
+    Sum += S.Stats;
+  EXPECT_EQ(Sum.NodesExpanded, Cp.Stats.NodesExpanded);
+  EXPECT_EQ(Sum.PgdCalls, Cp.Stats.PgdCalls);
+  EXPECT_EQ(Sum.Seconds, Cp.Stats.Seconds);
+}
+
+TEST(CheckpointShardTest, MoreShardsThanNodesYieldsEmptyTails) {
+  SearchCheckpoint Cp = sampleCheckpoint(2);
+  std::vector<SearchCheckpoint> Shards = splitCheckpoint(Cp, 5);
+  ASSERT_EQ(Shards.size(), 5u);
+  EXPECT_EQ(Shards[0].Open.size(), 1u);
+  EXPECT_EQ(Shards[1].Open.size(), 1u);
+  for (size_t I = 2; I < 5; ++I)
+    EXPECT_TRUE(Shards[I].Open.empty());
+  EXPECT_EQ(serializeCheckpoint(mergeCheckpoints(Shards)),
+            serializeCheckpoint(Cp));
+}
+
+TEST(CheckpointShardTest, EmptyFrontierSplitsAndMerges) {
+  SearchCheckpoint Cp = sampleCheckpoint(3);
+  Cp.Open.clear();
+  std::vector<SearchCheckpoint> Shards = splitCheckpoint(Cp, 3);
+  ASSERT_EQ(Shards.size(), 3u);
+  for (const SearchCheckpoint &S : Shards)
+    EXPECT_TRUE(S.Open.empty());
+  EXPECT_EQ(Shards[0].Stats.NodesExpanded, Cp.Stats.NodesExpanded);
+  EXPECT_EQ(serializeCheckpoint(mergeCheckpoints(Shards)),
+            serializeCheckpoint(Cp));
+}
+
+TEST(CheckpointShardTest, KZeroIsTreatedAsOne) {
+  SearchCheckpoint Cp = sampleCheckpoint(4);
+  std::vector<SearchCheckpoint> Shards = splitCheckpoint(Cp, 0);
+  ASSERT_EQ(Shards.size(), 1u);
+  EXPECT_EQ(serializeCheckpoint(Shards[0]), serializeCheckpoint(Cp));
+}
+
+TEST(CheckpointShardTest, MergeRestoresDfsOrderFromShuffledShards) {
+  SearchCheckpoint Cp = sampleCheckpoint(9);
+  std::vector<SearchCheckpoint> Shards = splitCheckpoint(Cp, 3);
+  std::swap(Shards[0].Open, Shards[2].Open); // gather order != DFS order
+  SearchCheckpoint Merged = mergeCheckpoints(Shards);
+  ASSERT_EQ(Merged.Open.size(), Cp.Open.size());
+  for (size_t I = 0; I < Merged.Open.size(); ++I)
+    EXPECT_EQ(Merged.Open[I].Path, Cp.Open[I].Path);
+}

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 using namespace charon;
 
 namespace {
@@ -150,6 +152,42 @@ TEST(RequestIoTest, ResponseRoundTripsBitExactly) {
   ASSERT_EQ(Parsed->Counterexample.size(), Resp.Counterexample.size());
   for (size_t I = 0; I < Resp.Counterexample.size(); ++I)
     EXPECT_EQ(Parsed->Counterexample[I], Resp.Counterexample[I]);
+}
+
+TEST(RequestIoTest, BatchSurvivesMalformedLines) {
+  std::istringstream In(
+      R"({"network":"a.net","label":0,"lower":[0],"upper":[1]})"
+      "\n"
+      "this line is garbage\n"
+      "\n" // blank: skipped entirely, but still counted for numbering
+      R"({"network":"b.net","label":1,"epsilon":0.1,"center":[0.5]})"
+      "\n");
+  std::vector<BatchLine> Lines = parseRequestBatch(In);
+  ASSERT_EQ(Lines.size(), 3u);
+
+  EXPECT_EQ(Lines[0].LineNo, 1);
+  ASSERT_TRUE(Lines[0].Request.has_value());
+  EXPECT_EQ(Lines[0].Request->Network, "a.net");
+  EXPECT_TRUE(Lines[0].Error.empty());
+
+  // The bad line is reported in place — with its reason and line number —
+  // and parsing continues.
+  EXPECT_EQ(Lines[1].LineNo, 2);
+  EXPECT_FALSE(Lines[1].Request.has_value());
+  EXPECT_FALSE(Lines[1].Error.empty());
+
+  // The blank line produced no entry but the numbering still counts it.
+  EXPECT_EQ(Lines[2].LineNo, 4);
+  ASSERT_TRUE(Lines[2].Request.has_value());
+  EXPECT_EQ(Lines[2].Request->Network, "b.net");
+}
+
+TEST(RequestIoTest, ErrorResponseRoundTrips) {
+  ServiceResponse Resp;
+  Resp.Error = "line 7: cannot load network \"x\\y\".net";
+  auto Parsed = parseResponseLine(formatResponseLine(Resp));
+  ASSERT_TRUE(Parsed.has_value());
+  EXPECT_EQ(Parsed->Error, Resp.Error);
 }
 
 TEST(RequestIoTest, ResponseVocabularyCoversAllOutcomes) {
