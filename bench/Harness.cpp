@@ -248,9 +248,10 @@ struct MicroFixture {
   Network Net;
   Box Region;
 
-  MicroFixture(size_t Width, int HiddenLayers) {
+  MicroFixture(size_t Width, int HiddenLayers,
+               ActivationKind Act = ActivationKind::Relu) {
     Rng R(17);
-    Net = makeMlp(Width, std::vector<size_t>(HiddenLayers, Width), 10, R);
+    Net = makeMlp(Width, std::vector<size_t>(HiddenLayers, Width), 10, R, Act);
     Vector Center(Width);
     for (size_t I = 0; I < Width; ++I)
       Center[I] = R.uniform(0.3, 0.7);
@@ -282,13 +283,15 @@ std::vector<MicroDomainCase> charon::bench::defaultMicroDomainCases() {
   std::vector<MicroDomainCase> Cases;
   auto Add = [&Cases](const char *Name, size_t Width, BaseDomainKind Base,
                       int Disjuncts,
-                      KernelPrecision Precision = KernelPrecision::Double) {
+                      KernelPrecision Precision = KernelPrecision::Double,
+                      ActivationKind Act = ActivationKind::Relu) {
     MicroDomainCase C;
     C.Name = Name;
     C.Width = Width;
     C.HiddenLayers = 3;
     C.Spec = DomainSpec{Base, Disjuncts};
     C.Precision = Precision;
+    C.Act = Act;
     Cases.push_back(std::move(C));
   };
   Add("interval_dense_relu_w256", 256, BaseDomainKind::Interval, 1);
@@ -304,12 +307,19 @@ std::vector<MicroDomainCase> charon::bench::defaultMicroDomainCases() {
   Add("zonotope_dense_relu_w512_f32", 512, BaseDomainKind::Zonotope, 1,
       KernelPrecision::Float32);
   Add("zonotope_powerset4_w64", 64, BaseDomainKind::Zonotope, 4);
+  // Smooth-activation twins: same seeded weights, sigmoid hidden layers.
+  // Tracks the cost of the parallel-line relaxation transformers (every
+  // neuron contributes a fresh noise symbol) against the ReLU case split.
+  Add("zonotope_dense_sigmoid_w128", 128, BaseDomainKind::Zonotope, 1,
+      KernelPrecision::Double, ActivationKind::Sigmoid);
+  Add("zonotope_dense_sigmoid_w128_f32", 128, BaseDomainKind::Zonotope, 1,
+      KernelPrecision::Float32, ActivationKind::Sigmoid);
   return Cases;
 }
 
 MicroDomainResult charon::bench::runMicroDomainCase(const MicroDomainCase &Case,
                                                     int Repeats) {
-  MicroFixture F(Case.Width, Case.HiddenLayers);
+  MicroFixture F(Case.Width, Case.HiddenLayers, Case.Act);
   MicroDomainResult Result;
   Result.Case = Case;
   Result.InputDim = F.Net.inputSize();
@@ -345,14 +355,15 @@ MicroDomainResult charon::bench::runMicroDomainCase(const MicroDomainCase &Case,
 std::string
 charon::bench::microDomainJson(const std::vector<MicroDomainResult> &Results) {
   std::ostringstream Os;
-  Os << "{\n  \"schema\": \"charon-bench-micro-domains/2\",\n  \"simd\": \""
+  Os << "{\n  \"schema\": \"charon-bench-micro-domains/3\",\n  \"simd\": \""
      << kernels::simdLevelName(kernels::simdLevel()) << "\",\n  \"cases\": [";
   for (size_t I = 0; I < Results.size(); ++I) {
     const MicroDomainResult &R = Results[I];
     Os << (I == 0 ? "\n" : ",\n");
     Os << "    {\"name\": \"" << R.Case.Name << "\", \"domain\": \""
        << toString(R.Case.Spec) << "\", \"precision\": \""
-       << toString(R.Case.Precision) << "\", \"width\": " << R.Case.Width
+       << toString(R.Case.Precision) << "\", \"act\": \""
+       << toString(R.Case.Act) << "\", \"width\": " << R.Case.Width
        << ", \"hidden_layers\": " << R.Case.HiddenLayers
        << ", \"input_dim\": " << R.InputDim
        << ", \"output_dim\": " << R.OutputDim

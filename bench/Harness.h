@@ -129,9 +129,10 @@ void printCactus(const char *Label, const std::vector<RunRecord> &Records);
 // Micro-domain benchmark cases (machine-readable perf trajectory)
 //===----------------------------------------------------------------------===//
 
-/// One micro-domain propagation case: a seeded random Dense+ReLU stack of
-/// the given width pushed through one abstract domain. The case set is the
-/// perf trajectory tracked in BENCH_micro_domains.json from PR 3 onward.
+/// One micro-domain propagation case: a seeded random dense stack of the
+/// given width and hidden activation pushed through one abstract domain.
+/// The case set is the perf trajectory tracked in BENCH_micro_domains.json
+/// from PR 3 onward.
 struct MicroDomainCase {
   std::string Name;  ///< stable identifier, e.g. "zonotope_dense_relu_w256"
   size_t Width = 25; ///< input and hidden width of the MLP
@@ -140,6 +141,9 @@ struct MicroDomainCase {
   /// Kernel precision of the abstract propagation. Float32 cases track the
   /// sound outward-rounded low-precision mode next to their double twins.
   KernelPrecision Precision = KernelPrecision::Double;
+  /// Hidden activation: smooth kinds route the propagation through the
+  /// parallel-line relaxation transformers instead of the ReLU case split.
+  ActivationKind Act = ActivationKind::Relu;
 };
 
 /// Measurement of one micro-domain case.
@@ -167,9 +171,9 @@ std::vector<MicroDomainCase> defaultMicroDomainCases();
 MicroDomainResult runMicroDomainCase(const MicroDomainCase &Case, int Repeats);
 
 /// Serializes results as the BENCH_micro_domains.json document
-/// (schema "charon-bench-micro-domains/2": adds a top-level "simd" field
-/// naming the dispatch level the numbers were measured at, and a
-/// per-case "precision" field).
+/// (schema "charon-bench-micro-domains/3": adds a per-case "act" field
+/// naming the hidden activation; /2 added the top-level "simd" field and
+/// the per-case "precision" field).
 std::string microDomainJson(const std::vector<MicroDomainResult> &Results);
 
 /// Writes microDomainJson to \p Path; returns false on I/O failure.

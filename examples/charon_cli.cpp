@@ -5,7 +5,12 @@
 // A standalone driver in the style of the original tool: load a serialized
 // network and a property spec, pick a verifier, and print the verdict.
 //
-//   charon_cli <network.net> <property.prop> [options]
+//   charon_cli <network.net|model.onnx> <property.prop> [options]
+//   charon_cli --import-onnx <model.onnx> <out.net>
+//
+// A network argument ending in .onnx is imported through the built-in ONNX
+// reader (see src/onnx/) before verification; --import-onnx converts a
+// model to the native .net format and prints its content fingerprint.
 //
 // Options:
 //   --tool charon|ai2-zonotope|ai2-bounded64|reluval|reluplex   (default charon)
@@ -35,7 +40,9 @@
 #include "core/PropertyIo.h"
 #include "core/Verifier.h"
 #include "cert/Certificate.h"
+#include "core/Digest.h"
 #include "nn/Io.h"
+#include "onnx/OnnxImport.h"
 #include "search/Checkpoint.h"
 #include "support/ThreadPool.h"
 
@@ -51,13 +58,25 @@ namespace {
 
 [[noreturn]] void usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s <network.net> <property.prop> [--tool T] "
+               "usage: %s <network.net|model.onnx> <property.prop> [--tool T] "
                "[--budget S] [--delta D] [--policy F] [--fgsm] "
                "[--parallel] [--order lifo|best-first] [--trace F] "
                "[--checkpoint F] [--resume F] [--cert F] [--cegar] "
-               "[--cegar-ratio R] [--cegar-rounds N]\n",
-               Argv0);
+               "[--cegar-ratio R] [--cegar-rounds N]\n"
+               "       %s --import-onnx <model.onnx> <out.net>\n",
+               Argv0, Argv0);
   std::exit(2);
+}
+
+/// Loads a network from either the native format or an ONNX model,
+/// dispatching on the file extension.
+std::optional<Network> loadAnyNetworkFile(const std::string &Path) {
+  if (!onnx::isOnnxPath(Path))
+    return loadNetworkFile(Path);
+  onnx::ImportResult R = onnx::importModelFile(Path);
+  if (!R.Net)
+    std::fprintf(stderr, "error: onnx import: %s\n", R.Error.c_str());
+  return std::move(R.Net);
 }
 
 void printCex(const Network &Net, const Vector &Cex) {
@@ -70,6 +89,24 @@ void printCex(const Network &Net, const Vector &Cex) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  if (Argc >= 2 && !std::strcmp(Argv[1], "--import-onnx")) {
+    if (Argc != 4)
+      usage(Argv[0]);
+    onnx::ImportResult R = onnx::importModelFile(Argv[2]);
+    if (!R.Net) {
+      std::fprintf(stderr, "error: onnx import: %s\n", R.Error.c_str());
+      return 2;
+    }
+    if (!saveNetworkFile(*R.Net, Argv[3])) {
+      std::fprintf(stderr, "error: cannot write %s\n", Argv[3]);
+      return 2;
+    }
+    std::printf("imported %s: %zu layers, %zu -> %zu, fingerprint %016llx\n",
+                Argv[2], R.Net->numLayers(), R.Net->inputSize(),
+                R.Net->outputSize(),
+                static_cast<unsigned long long>(fingerprintNetwork(*R.Net)));
+    return 0;
+  }
   if (Argc < 3)
     usage(Argv[0]);
 
@@ -119,7 +156,7 @@ int main(int Argc, char **Argv) {
   if (Order != "lifo" && Order != "best-first")
     usage(Argv[0]);
 
-  auto Net = loadNetworkFile(Argv[1]);
+  auto Net = loadAnyNetworkFile(Argv[1]);
   if (!Net) {
     std::fprintf(stderr, "error: cannot load network from %s\n", Argv[1]);
     return 2;

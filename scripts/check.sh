@@ -43,6 +43,13 @@
 # pins CHARON_SIMD=scalar for the matrix (keeping the instrumented run
 # deterministic and cheap) and adds a single CHARON_SIMD=avx2 kernel_tests
 # smoke so the vector backend still sees ASan + UBSan coverage.
+# An ONNX smoke then generates the deterministic mixed fixture (conv +
+# batch-norm + avg-pool + sigmoid residual), imports it, and decides the
+# same property from the .net, straight from the .onnx, and through
+# charon_serve with and without a 2-worker process fleet — all verdicts
+# must agree and the serve response streams must be byte-identical; the
+# sanitize leg runs the importer and the smooth transformers instrumented
+# with forced-threaded kernels.
 # Before any of that, scripts/check_test_registration.sh asserts every
 # tests/*/*Tests.cpp file is registered in the ctest suite.
 # Usage: scripts/check.sh [--sanitize]
@@ -112,20 +119,21 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "$SMOKE_JSON" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "charon-bench-micro-domains/2", doc["schema"]
+assert doc["schema"] == "charon-bench-micro-domains/3", doc["schema"]
 assert doc["simd"] in ("scalar", "avx2"), doc["simd"]
 assert len(doc["cases"]) == 1, doc["cases"]
 case = doc["cases"][0]
-for field in ("name", "domain", "precision", "width", "hidden_layers",
+for field in ("name", "domain", "precision", "act", "width", "hidden_layers",
               "input_dim", "output_dim", "generators", "margin", "seconds",
               "repeats"):
     assert field in case, field
 assert case["precision"] in ("double", "float32"), case["precision"]
+assert case["act"] in ("relu", "sigmoid", "tanh"), case["act"]
 assert case["seconds"] > 0, case["seconds"]
 print("bench smoke: JSON OK")
 EOF
 else
-  grep -q '"schema": "charon-bench-micro-domains/2"' "$SMOKE_JSON"
+  grep -q '"schema": "charon-bench-micro-domains/3"' "$SMOKE_JSON"
   grep -q '"name": "zonotope_dense_relu_w64"' "$SMOKE_JSON"
   echo "bench smoke: JSON OK (grep)"
 fi
@@ -455,3 +463,78 @@ if [[ -z "$CERTIFIED" || "$CERTIFIED" == 0 || -z "$LOADED" \
 fi
 echo "cache restart smoke: $CERTIFIED certified hit(s) from $LOADED" \
      "disk-loaded entries"
+
+# ONNX smoke: generate the deterministic mixed fixture, import it, and
+# decide the same robust property four ways — from the imported .net, from
+# the .onnx directly (exercising registry ingestion in charon_cli), and
+# through charon_serve serially and with a 2-worker process fleet. The two
+# CLI verdicts must match, and the two serve response streams must be
+# byte-identical after zeroing the timing field. The sanitize leg reuses
+# TRACE_ENV/TRACE_FLAGS, so the wire parser, the lowering, and the smooth
+# relaxation transformers all run under ASan + UBSan with forced-threaded
+# kernels.
+ONNX_DIR="$BUILD_DIR/onnx-smoke"
+rm -rf "$ONNX_DIR"
+mkdir -p "$ONNX_DIR"
+"$BUILD_DIR/examples/onnx_fixture_gen" mixed "$ONNX_DIR/mixed.onnx" \
+  >/dev/null
+"$BUILD_DIR/examples/charon_cli" --import-onnx "$ONNX_DIR/mixed.onnx" \
+  "$ONNX_DIR/mixed.net" > "$ONNX_DIR/import.out"
+grep -q 'fingerprint' "$ONNX_DIR/import.out"
+# A small box around the constant-0.1 input, targeting the class the
+# fixture assigns there (class 1) — robust, so every leg must verify it.
+{
+  echo "charon-property 1"
+  echo "name onnx-smoke"
+  echo "target 1"
+  echo "dim 72"
+  printf 'lower'; for _ in $(seq 72); do printf ' 0.09'; done; echo
+  printf 'upper'; for _ in $(seq 72); do printf ' 0.11'; done; echo
+} > "$ONNX_DIR/mixed.prop"
+set +e
+NET_OUT=$(env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+  "$ONNX_DIR/mixed.net" "$ONNX_DIR/mixed.prop" --budget 60 \
+  "${TRACE_FLAGS[@]}")
+NET_RC=$?
+ONNX_OUT=$(env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_cli" \
+  "$ONNX_DIR/mixed.onnx" "$ONNX_DIR/mixed.prop" --budget 60 \
+  "${TRACE_FLAGS[@]}")
+ONNX_RC=$?
+set -e
+for RC in "$NET_RC" "$ONNX_RC"; do
+  if [[ "$RC" != 0 && "$RC" != 1 ]]; then
+    echo "onnx smoke: charon_cli failed (rc=$RC)" >&2
+    exit 1
+  fi
+done
+NET_VERDICT=$(printf '%s\n' "$NET_OUT" \
+  | sed -n 's/^[^:]*: \([a-z]*\) in .*/\1/p' | head -n1)
+ONNX_VERDICT=$(printf '%s\n' "$ONNX_OUT" \
+  | sed -n 's/^[^:]*: \([a-z]*\) in .*/\1/p' | head -n1)
+if [[ "$NET_VERDICT" != "verified" || "$ONNX_VERDICT" != "verified" ]]; then
+  echo "onnx smoke: verdict mismatch (net='$NET_VERDICT'," \
+       "onnx='$ONNX_VERDICT', expected 'verified')" >&2
+  exit 1
+fi
+awk -v net="$ONNX_DIR/mixed.onnx" '
+  /^name /  {name=$2}
+  /^target /{label=$2}
+  /^lower / {lo=""; for(i=2;i<=NF;i++) lo=lo (i>2?",":"") $i}
+  /^upper / {up=""; for(i=2;i<=NF;i++) up=up (i>2?",":"") $i}
+  END {printf "{\"network\":\"%s\",\"name\":\"%s\",\"label\":%s,\
+\"lower\":[%s],\"upper\":[%s],\"budget\":60}\n", net, name, label, lo, up}
+' "$ONNX_DIR/mixed.prop" > "$ONNX_DIR/requests.jsonl"
+WORKER_BIN="$BUILD_DIR/examples/charon_worker"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_serve" \
+  "$ONNX_DIR/requests.jsonl" --no-cache --workers 1 --quiet \
+  > "$ONNX_DIR/serial.out"
+env "${TRACE_ENV[@]}" "$BUILD_DIR/examples/charon_serve" \
+  "$ONNX_DIR/requests.jsonl" --no-cache --workers 1 --fleet-workers 2 \
+  --worker-bin "$WORKER_BIN" --quiet > "$ONNX_DIR/fleet.out"
+for OUT in serial fleet; do
+  sed 's/"seconds":[0-9.eE+-]*/"seconds":0/' "$ONNX_DIR/$OUT.out" \
+    > "$ONNX_DIR/$OUT.norm"
+done
+cmp "$ONNX_DIR/serial.norm" "$ONNX_DIR/fleet.norm"
+grep -q '"outcome":"verified"' "$ONNX_DIR/serial.out"
+echo "onnx smoke: import + verify OK, serial/fleet responses identical"

@@ -43,8 +43,17 @@ public:
   /// Abstract transformer for y = W x + b.
   virtual void applyAffine(const Matrix &W, const Vector &B) = 0;
 
-  /// Abstract transformer for element-wise ReLU.
-  virtual void applyRelu() = 0;
+  /// Abstract transformer for an element-wise activation applied to the
+  /// coordinate range [\p Begin, \p End); coordinates outside the range pass
+  /// through unchanged. ReLU keeps its exact case-split treatment; the
+  /// smooth kinds (sigmoid, tanh) use the sound linear relaxation from
+  /// nn/Activation.h — relaxation slack, never split candidates. The ranged
+  /// form is what lets the analyzer run activations inside a residual block
+  /// on the working half of the duplicated state only.
+  virtual void applyActivation(ActivationKind K, size_t Begin, size_t End) = 0;
+
+  /// Abstract transformer for element-wise ReLU over every coordinate.
+  void applyRelu() { applyActivation(ActivationKind::Relu, 0, dim()); }
 
   /// Abstract transformer for max pooling with the given window structure.
   virtual void applyMaxPool(const PoolSpec &Spec) = 0;

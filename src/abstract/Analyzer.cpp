@@ -7,6 +7,7 @@
 #include "abstract/PolyhedraElement.h"
 #include "abstract/SymbolicIntervalElement.h"
 #include "abstract/ZonotopeElement.h"
+#include "nn/Residual.h"
 #include "support/Check.h"
 
 #include <limits>
@@ -65,16 +66,36 @@ bool charon::propagate(const Network &Net, AbstractElement &Elem,
     if (Budget && Budget->expired())
       return false;
     const Layer &L = Net.layer(I);
+    if (L.isIdentity())
+      continue; // Flatten / Reshape: identity on the flat vector.
     if (auto Affine = L.affineForm()) {
       Elem.applyAffine(*Affine->W, *Affine->B);
       continue;
     }
-    if (L.isRelu()) {
-      Elem.applyRelu();
+    if (auto Act = L.activationKind()) {
+      Elem.applyActivation(*Act, 0, Elem.dim());
       continue;
     }
     if (const PoolSpec *Spec = L.poolSpec()) {
       Elem.applyMaxPool(*Spec);
+      continue;
+    }
+    if (L.kind() == LayerKind::Residual) {
+      // y = x + F(x) over the duplicated state [x; z]: every step of the
+      // cached plan is an exact affine map or a ranged activation on the
+      // working half, so propagation through the block is as precise as the
+      // body layers themselves.
+      const auto &Plan = static_cast<const ResidualLayer &>(L).plan();
+      Elem.applyAffine(Plan.DupW, Plan.DupB);
+      for (const ResidualLayer::ResidualStep &Step : Plan.Steps) {
+        if (Budget && Budget->expired())
+          return false;
+        if (Step.IsAffine)
+          Elem.applyAffine(Step.W, Step.B);
+        else
+          Elem.applyActivation(Step.Act, Step.Begin, Step.End);
+      }
+      Elem.applyAffine(Plan.SumW, Plan.SumB);
       continue;
     }
     charon_unreachable("layer exposes no abstract transformer");

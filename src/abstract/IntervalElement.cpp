@@ -2,6 +2,8 @@
 
 #include "abstract/IntervalElement.h"
 
+#include "nn/Activation.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -43,11 +45,14 @@ void IntervalElement::applyAffine(const Matrix &W, const Vector &B) {
   Hi = std::move(NewHi);
 }
 
-void IntervalElement::applyRelu() {
-  for (size_t I = 0, E = dim(); I < E; ++I) {
-    Lo[I] = std::max(Lo[I], 0.0);
-    Hi[I] = std::max(Hi[I], 0.0);
-  }
+void IntervalElement::applyActivation(ActivationKind K, size_t Begin,
+                                      size_t End) {
+  assert(Begin <= End && End <= dim() && "activation range out of bounds");
+  // Every supported activation is nondecreasing, so the per-coordinate image
+  // of the interval endpoints is exact (activationRange absorbs libm error
+  // on the smooth kinds).
+  for (size_t I = Begin; I < End; ++I)
+    activationRange(K, Lo[I], Hi[I], Lo[I], Hi[I]);
 }
 
 void IntervalElement::applyMaxPool(const PoolSpec &Spec) {

@@ -31,7 +31,7 @@ public:
   size_t dim() const override { return Lo.size(); }
 
   void applyAffine(const Matrix &W, const Vector &B) override;
-  void applyRelu() override;
+  void applyActivation(ActivationKind K, size_t Begin, size_t End) override;
   void applyMaxPool(const PoolSpec &Spec) override;
 
   double lowerBound(size_t I) const override { return Lo[I]; }

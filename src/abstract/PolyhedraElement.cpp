@@ -2,6 +2,8 @@
 
 #include "abstract/PolyhedraElement.h"
 
+#include "nn/Activation.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -62,9 +64,28 @@ void PolyhedraElement::applyAffine(const Matrix &W, const Vector &B) {
   UpperExpr = std::move(NewUpper);
 }
 
-void PolyhedraElement::applyRelu() {
+void PolyhedraElement::applyActivation(ActivationKind K, size_t Begin,
+                                       size_t End) {
+  assert(Begin <= End && End <= dim() && "activation range out of bounds");
   size_t Cols = LowerExpr.cols();
-  for (size_t R = 0, E = dim(); R < E; ++R) {
+  if (K != ActivationKind::Relu) {
+    // Smooth activation: parallel-line band act(x) in
+    // [Lambda*x + Mu - Beta, Lambda*x + Mu + Beta]; Lambda >= 0, so scaling
+    // the relational rows keeps their bound polarity sound.
+    for (size_t R = Begin; R < End; ++R) {
+      double Lo = evalExtreme(LowerExpr, R, /*Minimize=*/true);
+      double Hi = evalExtreme(UpperExpr, R, /*Minimize=*/false);
+      SmoothRelaxation Rel = relaxSmoothActivation(K, Lo, Hi);
+      for (size_t C = 0; C < Cols; ++C) {
+        LowerExpr(R, C) *= Rel.Lambda;
+        UpperExpr(R, C) *= Rel.Lambda;
+      }
+      LowerExpr(R, Cols - 1) += Rel.Mu - Rel.Beta;
+      UpperExpr(R, Cols - 1) += Rel.Mu + Rel.Beta;
+    }
+    return;
+  }
+  for (size_t R = Begin; R < End; ++R) {
     double Lo = evalExtreme(LowerExpr, R, /*Minimize=*/true);
     double Hi = evalExtreme(UpperExpr, R, /*Minimize=*/false);
     if (Lo >= 0.0)

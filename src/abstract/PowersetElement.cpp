@@ -43,63 +43,69 @@ void PowersetElement::applyAffine(const Matrix &W, const Vector &B) {
     Base->applyAffine(W, B);
 }
 
-void PowersetElement::applyRelu() {
-  // Greedily pick the crossing neuron with the widest straddling interval
-  // (over the union) and split every disjunct on it, while both halves of
-  // every disjunct still fit in the budget. Each neuron is split at most
-  // once per ReLU application (the zonotope halfspace meet is approximate,
-  // so a split dimension can keep straddling zero slightly).
-  std::vector<bool> AlreadySplit(dim(), false);
-  for (;;) {
-    if (static_cast<int>(Elems.size()) * 2 > Budget)
-      break;
+void PowersetElement::applyActivation(ActivationKind K, size_t Begin,
+                                      size_t End) {
+  // Case splits only help where the activation has a kink: ReLU crossing
+  // neurons. The smooth kinds are relaxed in place by every disjunct — they
+  // contribute relaxation slack, never split candidates.
+  if (K == ActivationKind::Relu) {
+    // Greedily pick the crossing neuron with the widest straddling interval
+    // (over the union) and split every disjunct on it, while both halves of
+    // every disjunct still fit in the budget. Each neuron is split at most
+    // once per ReLU application (the zonotope halfspace meet is approximate,
+    // so a split dimension can keep straddling zero slightly).
+    std::vector<bool> AlreadySplit(dim(), false);
+    for (;;) {
+      if (static_cast<int>(Elems.size()) * 2 > Budget)
+        break;
 
-    size_t N = dim();
-    size_t BestDim = N;
-    double BestScore = 0.0;
-    for (size_t I = 0; I < N; ++I) {
-      if (AlreadySplit[I])
-        continue;
-      double Lo = lowerBound(I);
-      double Hi = upperBound(I);
-      if (Lo >= 0.0 || Hi <= 0.0)
-        continue; // Not a crossing neuron.
-      // Score by the ReLU approximation error the neuron would introduce:
-      // proportional to |Lo| * Hi / (Hi - Lo).
-      double Score = -Lo * Hi / (Hi - Lo);
-      if (Score > BestScore) {
-        BestScore = Score;
-        BestDim = I;
+      size_t BestDim = End;
+      double BestScore = 0.0;
+      for (size_t I = Begin; I < End; ++I) {
+        if (AlreadySplit[I])
+          continue;
+        double Lo = lowerBound(I);
+        double Hi = upperBound(I);
+        if (Lo >= 0.0 || Hi <= 0.0)
+          continue; // Not a crossing neuron.
+        // Score by the ReLU approximation error the neuron would introduce:
+        // proportional to |Lo| * Hi / (Hi - Lo).
+        double Score = -Lo * Hi / (Hi - Lo);
+        if (Score > BestScore) {
+          BestScore = Score;
+          BestDim = I;
+        }
       }
-    }
-    if (BestDim == N)
-      break; // No crossing neurons left.
-    AlreadySplit[BestDim] = true;
+      if (BestDim == End)
+        break; // No crossing neurons left.
+      AlreadySplit[BestDim] = true;
 
-    std::vector<std::unique_ptr<AbstractElement>> Split;
-    Split.reserve(Elems.size() * 2);
-    for (auto &E : Elems) {
-      auto Neg = E->meetHalfspaceAtZero(BestDim, /*NonNegative=*/false);
-      auto Pos = E->meetHalfspaceAtZero(BestDim, /*NonNegative=*/true);
-      // Both sides empty cannot happen for a nonempty disjunct; if numeric
-      // tightening ever claims it, keep the undivided element to stay sound.
-      if (!Neg && !Pos) {
-        Split.push_back(std::move(E));
-        continue;
+      std::vector<std::unique_ptr<AbstractElement>> Split;
+      Split.reserve(Elems.size() * 2);
+      for (auto &E : Elems) {
+        auto Neg = E->meetHalfspaceAtZero(BestDim, /*NonNegative=*/false);
+        auto Pos = E->meetHalfspaceAtZero(BestDim, /*NonNegative=*/true);
+        // Both sides empty cannot happen for a nonempty disjunct; if numeric
+        // tightening ever claims it, keep the undivided element to stay
+        // sound.
+        if (!Neg && !Pos) {
+          Split.push_back(std::move(E));
+          continue;
+        }
+        if (Neg)
+          Split.push_back(std::move(Neg));
+        if (Pos)
+          Split.push_back(std::move(Pos));
       }
-      if (Neg)
-        Split.push_back(std::move(Neg));
-      if (Pos)
-        Split.push_back(std::move(Pos));
+      assert(!Split.empty() && "all disjuncts vanished during split");
+      Elems = std::move(Split);
     }
-    assert(!Split.empty() && "all disjuncts vanished during split");
-    Elems = std::move(Split);
   }
 
   for (auto &E : Elems)
-    E->applyRelu();
+    E->applyActivation(K, Begin, End);
   if (Base)
-    Base->applyRelu();
+    Base->applyActivation(K, Begin, End);
 }
 
 void PowersetElement::applyMaxPool(const PoolSpec &Spec) {

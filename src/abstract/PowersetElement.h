@@ -54,7 +54,7 @@ public:
   /// crossing neuron with the widest straddling interval while the result
   /// fits in the disjunct budget, then applies the base ReLU transformer to
   /// each disjunct (exact on the decided neuron).
-  void applyRelu() override;
+  void applyActivation(ActivationKind K, size_t Begin, size_t End) override;
 
   void applyMaxPool(const PoolSpec &Spec) override;
 

@@ -2,6 +2,8 @@
 
 #include "abstract/SymbolicIntervalElement.h"
 
+#include "nn/Activation.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -63,9 +65,29 @@ void SymbolicIntervalElement::applyAffine(const Matrix &W, const Vector &B) {
   UpperExpr = std::move(NewUpper);
 }
 
-void SymbolicIntervalElement::applyRelu() {
+void SymbolicIntervalElement::applyActivation(ActivationKind K, size_t Begin,
+                                              size_t End) {
+  assert(Begin <= End && End <= dim() && "activation range out of bounds");
   size_t Cols = LowerExpr.cols();
-  for (size_t R = 0, E = dim(); R < E; ++R) {
+  if (K != ActivationKind::Relu) {
+    // Smooth activation: relax to the parallel-line band
+    // act(x) in [Lambda*x + Mu - Beta, Lambda*x + Mu + Beta] on the
+    // coordinate's concrete range. Lambda >= 0 preserves bound polarity, so
+    // substituting the symbolic lower/upper expressions is sound.
+    for (size_t R = Begin; R < End; ++R) {
+      double Lo = evalExtreme(LowerExpr, R, /*Minimize=*/true);
+      double Hi = evalExtreme(UpperExpr, R, /*Minimize=*/false);
+      SmoothRelaxation Rel = relaxSmoothActivation(K, Lo, Hi);
+      for (size_t C = 0; C < Cols; ++C) {
+        LowerExpr(R, C) *= Rel.Lambda;
+        UpperExpr(R, C) *= Rel.Lambda;
+      }
+      LowerExpr(R, Cols - 1) += Rel.Mu - Rel.Beta;
+      UpperExpr(R, Cols - 1) += Rel.Mu + Rel.Beta;
+    }
+    return;
+  }
+  for (size_t R = Begin; R < End; ++R) {
     double LoLo = evalExtreme(LowerExpr, R, /*Minimize=*/true);
     double HiHi = evalExtreme(UpperExpr, R, /*Minimize=*/false);
     if (LoLo >= 0.0)

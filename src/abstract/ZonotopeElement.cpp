@@ -31,6 +31,7 @@
 #include "abstract/ZonotopeElement.h"
 
 #include "linalg/KernelsF32.h"
+#include "nn/Activation.h"
 
 #include <algorithm>
 #include <cassert>
@@ -193,20 +194,35 @@ void ZonotopeElement::applyAffine(const Matrix &W, const Vector &B) {
   invalidateRadii();
 }
 
-void ZonotopeElement::applyRelu() {
+void ZonotopeElement::applyActivation(ActivationKind K, size_t Begin,
+                                      size_t End) {
+  assert(Begin <= End && End <= dim() && "activation range out of bounds");
   size_t N = dim();
   const Vector &Radius = radii();
 
-  // Decide every neuron first, building a per-coordinate rescale vector
-  // (1 = stable active, 0 = stable inactive, lambda = crossing), then apply
-  // it to the whole generator block in one fused sweep. In float mode the
-  // radii are padded outward, so each decision is sound for the true range.
+  // Decide every in-range neuron first, building a per-coordinate rescale
+  // vector (1 = untouched / stable active, 0 = stable inactive, lambda for
+  // relaxations), then apply it to the whole generator block in one fused
+  // sweep. In float mode the radii are padded outward, so each decision is
+  // sound for the true range. Smooth activations always relax: the
+  // parallel-line band act(x) in Lambda*x + Mu +- Beta becomes a column
+  // rescale by Lambda, a center shift, and one fresh noise symbol of
+  // magnitude Beta per coordinate — slack, never a case split.
   Vector Scale(N, 1.0);
   bool AnyChange = false;
   std::vector<SparseGenerator> Fresh;
-  for (size_t I = 0; I < N; ++I) {
+  for (size_t I = Begin; I < End; ++I) {
     double L = Center[I] - Radius[I];
     double U = Center[I] + Radius[I];
+    if (K != ActivationKind::Relu) {
+      SmoothRelaxation Rel = relaxSmoothActivation(K, L, U);
+      Center[I] = Rel.Lambda * Center[I] + Rel.Mu;
+      Scale[I] = Rel.Lambda;
+      AnyChange = true;
+      if (Rel.Beta != 0.0)
+        Fresh.push_back({I, Rel.Beta});
+      continue;
+    }
     if (L >= 0.0)
       continue; // Stable active: identity.
     if (U <= 0.0) {

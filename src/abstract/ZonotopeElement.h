@@ -22,7 +22,7 @@
 /// (coordinate, magnitude) pairs until the next affine layer densifies them.
 /// All transformers are batched kernels over this layout (linalg/Kernels.h):
 /// applyAffine is one blocked G x N x M product plus one sparse
-/// oneHotMatMulInto pass, applyRelu one fused column-rescale sweep,
+/// oneHotMatMulInto pass, activations one fused column-rescale sweep,
 /// applyMaxPool one column gather that materializes only the *prefix* of the
 /// sparse tail feeding overlapping windows (non-overlapping pools never
 /// densify the tail at all). Per-coordinate deviation radii are cached and
@@ -83,7 +83,7 @@ public:
   size_t dim() const override { return Center.size(); }
 
   void applyAffine(const Matrix &W, const Vector &B) override;
-  void applyRelu() override;
+  void applyActivation(ActivationKind K, size_t Begin, size_t End) override;
   void applyMaxPool(const PoolSpec &Spec) override;
 
   double lowerBound(size_t I) const override;

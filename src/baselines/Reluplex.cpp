@@ -62,6 +62,8 @@ void computePreReluBounds(const Network &Net, const Box &Region,
   SymbolicIntervalElement Elem(Region);
   for (size_t I = 0, E = Net.numLayers(); I < E; ++I) {
     const Layer &L = Net.layer(I);
+    if (L.isIdentity())
+      continue;
     if (auto Affine = L.affineForm()) {
       Elem.applyAffine(*Affine->W, *Affine->B);
       continue;
@@ -123,6 +125,8 @@ Encoding buildEncoding(const Network &Net, const Box &Region,
   int ReluCursor = 0;
   for (size_t LayerIdx = 0, E = Net.numLayers(); LayerIdx < E; ++LayerIdx) {
     const Layer &L = Net.layer(LayerIdx);
+    if (L.isIdentity())
+      continue;
     if (auto Affine = L.affineForm()) {
       const Matrix &W = *Affine->W;
       const Vector &B = *Affine->B;
@@ -271,6 +275,20 @@ size_t countRelus(const Network &Net) {
   return Count;
 }
 
+/// True when every layer fits the LP encoding: affine or ReLU (identity
+/// layers pass through). Smooth activations, pooling, and residual blocks
+/// do not — callers get a sound Timeout instead of an abort, so the
+/// CompleteFallback path stays safe on the expanded layer zoo.
+bool encodable(const Network &Net) {
+  for (size_t I = 0, E = Net.numLayers(); I < E; ++I) {
+    const Layer &L = Net.layer(I);
+    if (L.isIdentity() || L.affineForm() || L.isRelu())
+      continue;
+    return false;
+  }
+  return true;
+}
+
 } // namespace
 
 ReluplexResult charon::reluplexVerify(const Network &Net,
@@ -279,6 +297,14 @@ ReluplexResult charon::reluplexVerify(const Network &Net,
   Deadline Budget(Config.TimeLimitSeconds);
   Stopwatch Watch;
   ReluplexResult Result;
+
+  if (!encodable(Net)) {
+    // Smooth activation / pooling / residual layers have no exact LP
+    // encoding here; report the sound "don't know" verdict.
+    Result.Result = Outcome::Timeout;
+    Result.Seconds = Watch.seconds();
+    return Result;
+  }
 
   size_t K = Prop.TargetClass;
   size_t NumRelus = countRelus(Net);

@@ -2,10 +2,14 @@
 
 #include "fuzz/RandomNetwork.h"
 
+#include "nn/Activation.h"
+#include "nn/AvgPool2D.h"
 #include "nn/Conv2D.h"
 #include "nn/Dense.h"
+#include "nn/Flatten.h"
 #include "nn/MaxPool2D.h"
 #include "nn/Relu.h"
+#include "nn/Residual.h"
 #include "support/Random.h"
 
 #include <istream>
@@ -13,15 +17,57 @@
 
 using namespace charon;
 
+namespace {
+
+std::unique_ptr<Layer> makeActivation(ActivationKind K, size_t N) {
+  switch (K) {
+  case ActivationKind::Relu:
+    return std::make_unique<ReluLayer>(N);
+  case ActivationKind::Sigmoid:
+    return std::make_unique<SigmoidLayer>(N);
+  case ActivationKind::Tanh:
+    return std::make_unique<TanhLayer>(N);
+  }
+  return std::make_unique<ReluLayer>(N);
+}
+
+const char *activationToken(ActivationKind K) {
+  switch (K) {
+  case ActivationKind::Relu:
+    return "relu";
+  case ActivationKind::Sigmoid:
+    return "sigmoid";
+  case ActivationKind::Tanh:
+    return "tanh";
+  }
+  return "relu";
+}
+
+bool parseActivationToken(const std::string &Tok, ActivationKind &K) {
+  if (Tok == "relu")
+    K = ActivationKind::Relu;
+  else if (Tok == "sigmoid")
+    K = ActivationKind::Sigmoid;
+  else if (Tok == "tanh")
+    K = ActivationKind::Tanh;
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
 bool NetworkSpec::operator==(const NetworkSpec &O) const {
-  if (Arch != O.Arch || WeightSeed != O.WeightSeed)
+  if (Arch != O.Arch || WeightSeed != O.WeightSeed || Act != O.Act)
     return false;
   if (Arch == FuzzArch::Mlp)
-    return Inputs == O.Inputs && Outputs == O.Outputs && Hidden == O.Hidden;
+    return Inputs == O.Inputs && Outputs == O.Outputs && Hidden == O.Hidden &&
+           WithResidual == O.WithResidual;
   return Channels == O.Channels && Height == O.Height && Width == O.Width &&
          ConvChannels == O.ConvChannels && Kernel == O.Kernel &&
          Stride == O.Stride && Pad == O.Pad && WithPool == O.WithPool &&
-         Outputs == O.Outputs;
+         Outputs == O.Outputs && AvgPool == O.AvgPool &&
+         WithFlatten == O.WithFlatten;
 }
 
 NetworkSpec charon::generateNetworkSpec(Rng &R,
@@ -43,6 +89,13 @@ NetworkSpec charon::generateNetworkSpec(Rng &R,
     Spec.Stride = 1;
     Spec.Pad = static_cast<int>(R.uniformInt(2));
     Spec.WithPool = R.uniform() < Config.PoolProbability;
+    // Layer-zoo draws come after every pre-zoo draw, so the shape fields
+    // above replay identically from pre-zoo campaign seeds.
+    if (R.uniform() < Config.SmoothActProbability)
+      Spec.Act = R.uniform() < 0.5 ? ActivationKind::Sigmoid
+                                   : ActivationKind::Tanh;
+    Spec.AvgPool = Spec.WithPool && R.uniform() < Config.AvgPoolProbability;
+    Spec.WithFlatten = R.uniform() < Config.FlattenProbability;
     return Spec;
   }
 
@@ -55,6 +108,12 @@ NetworkSpec charon::generateNetworkSpec(Rng &R,
   for (int I = 0; I < Layers; ++I)
     Spec.Hidden.push_back(
         Config.MinWidth + R.uniformInt(Config.MaxWidth - Config.MinWidth + 1));
+  // Layer-zoo draws last (see the conv branch).
+  if (R.uniform() < Config.SmoothActProbability)
+    Spec.Act =
+        R.uniform() < 0.5 ? ActivationKind::Sigmoid : ActivationKind::Tanh;
+  Spec.WithResidual =
+      !Spec.Hidden.empty() && R.uniform() < Config.ResidualProbability;
   return Spec;
 }
 
@@ -64,11 +123,23 @@ Network charon::buildNetwork(const NetworkSpec &Spec) {
 
   if (Spec.Arch == FuzzArch::Mlp) {
     size_t Prev = Spec.Inputs;
+    bool First = true;
     for (size_t H : Spec.Hidden) {
       auto D = std::make_unique<DenseLayer>(Prev, H);
       D->initHe(R);
       Net.addLayer(std::move(D));
-      Net.addLayer(std::make_unique<ReluLayer>(H));
+      Net.addLayer(makeActivation(Spec.Act, H));
+      if (First && Spec.WithResidual) {
+        // A square identity-skip block right after the first hidden
+        // activation: y = x + Act(Dense(x)).
+        Network Body;
+        auto RD = std::make_unique<DenseLayer>(H, H);
+        RD->initHe(R);
+        Body.addLayer(std::move(RD));
+        Body.addLayer(makeActivation(Spec.Act, H));
+        Net.addLayer(std::make_unique<ResidualLayer>(std::move(Body)));
+      }
+      First = false;
       Prev = H;
     }
     auto Out = std::make_unique<DenseLayer>(Prev, Spec.Outputs);
@@ -84,12 +155,20 @@ Network charon::buildNetwork(const NetworkSpec &Spec) {
   Conv->initHe(R);
   TensorShape Shape = Conv->outputShape();
   Net.addLayer(std::move(Conv));
-  Net.addLayer(std::make_unique<ReluLayer>(Shape.size()));
+  Net.addLayer(makeActivation(Spec.Act, Shape.size()));
   if (Spec.WithPool) {
-    auto Pool = std::make_unique<MaxPool2DLayer>(Shape, 2, 2, 2);
-    Shape = Pool->outputShape();
-    Net.addLayer(std::move(Pool));
+    if (Spec.AvgPool) {
+      auto Pool = std::make_unique<AvgPool2DLayer>(Shape, 2, 2, 2);
+      Shape = Pool->outputShape();
+      Net.addLayer(std::move(Pool));
+    } else {
+      auto Pool = std::make_unique<MaxPool2DLayer>(Shape, 2, 2, 2);
+      Shape = Pool->outputShape();
+      Net.addLayer(std::move(Pool));
+    }
   }
+  if (Spec.WithFlatten)
+    Net.addLayer(std::make_unique<FlattenLayer>(Shape.size()));
   auto Head = std::make_unique<DenseLayer>(Shape.size(), Spec.Outputs);
   Head->initHe(R);
   Net.addLayer(std::move(Head));
@@ -128,14 +207,52 @@ void charon::writeNetworkSpec(const NetworkSpec &Spec, std::ostream &Os) {
        << Spec.Outputs << " " << Spec.Hidden.size();
     for (size_t H : Spec.Hidden)
       Os << " " << H;
-    Os << "\n";
+    Os << " zoo " << activationToken(Spec.Act) << " "
+       << (Spec.WithResidual ? 1 : 0) << "\n";
     return;
   }
   Os << "conv " << Spec.WeightSeed << " " << Spec.Channels << " "
      << Spec.Height << " " << Spec.Width << " " << Spec.ConvChannels << " "
      << Spec.Kernel << " " << Spec.Stride << " " << Spec.Pad << " "
-     << (Spec.WithPool ? 1 : 0) << " " << Spec.Outputs << "\n";
+     << (Spec.WithPool ? 1 : 0) << " " << Spec.Outputs << " zoo "
+     << activationToken(Spec.Act) << " " << (Spec.AvgPool ? 1 : 0) << " "
+     << (Spec.WithFlatten ? 1 : 0) << "\n";
 }
+
+namespace {
+
+/// Consumes the optional " zoo ..." spec trailer. When the next token is
+/// not "zoo" the stream is rewound, so pre-zoo corpus files keep parsing
+/// (the fields keep their pre-zoo defaults).
+bool readZooTrailer(std::istream &Is, NetworkSpec &Spec, bool ConvFields) {
+  std::streampos Pos = Is.tellg();
+  std::string Tok;
+  if (!(Is >> Tok) || Tok != "zoo") {
+    Is.clear();
+    Is.seekg(Pos);
+    return true;
+  }
+  int A = 0, B = 0;
+  if (!(Is >> Tok) || !parseActivationToken(Tok, Spec.Act))
+    return false;
+  if (ConvFields) {
+    if (!(Is >> A >> B))
+      return false;
+    Spec.AvgPool = A != 0;
+    Spec.WithFlatten = B != 0;
+    if (Spec.AvgPool && !Spec.WithPool)
+      return false;
+  } else {
+    if (!(Is >> A))
+      return false;
+    Spec.WithResidual = A != 0;
+    if (Spec.WithResidual && Spec.Hidden.empty())
+      return false;
+  }
+  return true;
+}
+
+} // namespace
 
 bool charon::readNetworkSpec(std::istream &Is, NetworkSpec &Spec) {
   std::string Kind;
@@ -153,7 +270,7 @@ bool charon::readNetworkSpec(std::istream &Is, NetworkSpec &Spec) {
     for (size_t I = 0; I < NumHidden; ++I)
       if (!(Is >> Spec.Hidden[I]) || Spec.Hidden[I] == 0)
         return false;
-    return true;
+    return readZooTrailer(Is, Spec, /*ConvFields=*/false);
   }
   if (Kind == "conv") {
     Spec = NetworkSpec();
@@ -175,7 +292,7 @@ bool charon::readNetworkSpec(std::istream &Is, NetworkSpec &Spec) {
     Spec.WithPool = Pool != 0;
     if (Spec.WithPool && (OutH < 2 || OutW < 2))
       return false;
-    return true;
+    return readZooTrailer(Is, Spec, /*ConvFields=*/true);
   }
   return false;
 }

@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The fuzzer's test-case generator: seeded random Dense/ReLU/Conv2D/
-/// MaxPool2D networks of configurable shape, plus random robustness
-/// properties over them. A generated network is fully described by a small
+/// The fuzzer's test-case generator: seeded random networks over the full
+/// layer zoo (Dense, Conv2D, max/average pooling, ReLU/sigmoid/tanh
+/// activations, identity Flatten, residual blocks) of configurable shape,
+/// plus random robustness properties over them. A generated network is fully described by a small
 /// NetworkSpec (architecture numbers + weight seed), so a failing fuzz case
 /// can be persisted as a few integers and rebuilt bit-identically later —
 /// the foundation of the replayable repro corpus.
@@ -45,6 +46,18 @@ struct GeneratorConfig {
   double ConvProbability = 0.25;
   /// Probability that a convolutional case includes a MaxPool2D layer.
   double PoolProbability = 0.5;
+  /// Probability that hidden activations are smooth (sigmoid or tanh, an
+  /// even split) instead of ReLU — exercises the relaxation transformers.
+  double SmoothActProbability = 0.3;
+  /// Probability that a pooled conv case uses AveragePool2D instead of
+  /// MaxPool2D.
+  double AvgPoolProbability = 0.5;
+  /// Probability that a conv case inserts an (identity) Flatten layer
+  /// before the dense head.
+  double FlattenProbability = 0.25;
+  /// Probability that an MLP case wraps a square hidden block in a
+  /// residual (identity-skip) layer.
+  double ResidualProbability = 0.25;
   /// Half-width range of generated property regions (before clipping).
   double MinHalfWidth = 0.01;
   double MaxHalfWidth = 0.4;
@@ -81,6 +94,14 @@ struct NetworkSpec {
   int Pad = 1;
   bool WithPool = false;
 
+  // Layer-zoo extension (defaults replay the pre-zoo generator exactly;
+  // the fields serialize as an optional trailer so the existing repro
+  // corpus parses unchanged).
+  ActivationKind Act = ActivationKind::Relu; ///< hidden activation
+  bool WithResidual = false; ///< Mlp: insert a residual Dense+Act block
+  bool AvgPool = false;      ///< Conv: AveragePool2D instead of MaxPool2D
+  bool WithFlatten = false;  ///< Conv: identity Flatten before the head
+
   bool operator==(const NetworkSpec &O) const;
 };
 
@@ -103,8 +124,11 @@ RobustnessProperty generateProperty(Rng &R, const Network &Net,
                                     const GeneratorConfig &Config);
 
 /// Single-line serialization of \p Spec (used inside repro files):
-///   mlp <seed> <in> <out> <num-hidden> <h...>
+///   mlp <seed> <in> <out> <num-hidden> <h...> [zoo <act> <res>]
 ///   conv <seed> <C> <H> <W> <outC> <k> <stride> <pad> <pool> <out>
+///     [zoo <act> <avg> <flat>]
+/// The "zoo" trailer is optional on input, so pre-zoo corpus files parse
+/// to specs with the default (ReLU, no residual/avg-pool/flatten) fields.
 void writeNetworkSpec(const NetworkSpec &Spec, std::ostream &Os);
 
 /// Parses writeNetworkSpec() output; false on malformed input.

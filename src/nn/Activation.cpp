@@ -1,0 +1,172 @@
+//===- Activation.cpp - Element-wise activation layers ---------------------===//
+
+#include "nn/Activation.h"
+
+#include "linalg/Kernels.h"
+#include "support/Check.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace charon;
+
+namespace {
+
+/// Overflow-safe logistic sigmoid.
+double sigmoid(double X) {
+  if (X >= 0.0)
+    return 1.0 / (1.0 + std::exp(-X));
+  double E = std::exp(X);
+  return E / (1.0 + E);
+}
+
+/// Outward rounding margins: a few ulps of slack dominating the libm error
+/// of exp/tanh (at most a couple of ulps each) plus the products involved in
+/// assembling the relaxation. The values of sigmoid/tanh and their
+/// derivatives are all bounded by 1, so an absolute floor plus a relative
+/// term is enough.
+double roundDownSound(double V) { return V - (1e-15 + 4e-16 * std::abs(V)); }
+double roundUpSound(double V) { return V + (1e-15 + 4e-16 * std::abs(V)); }
+
+} // namespace
+
+const char *charon::toString(ActivationKind K) {
+  switch (K) {
+  case ActivationKind::Relu:
+    return "relu";
+  case ActivationKind::Sigmoid:
+    return "sigmoid";
+  case ActivationKind::Tanh:
+    return "tanh";
+  }
+  return "unknown";
+}
+
+double charon::activationEval(ActivationKind K, double X) {
+  switch (K) {
+  case ActivationKind::Relu:
+    return X > 0.0 ? X : 0.0;
+  case ActivationKind::Sigmoid:
+    return sigmoid(X);
+  case ActivationKind::Tanh:
+    return std::tanh(X);
+  }
+  charon_unreachable("unknown activation kind");
+}
+
+double charon::activationDeriv(ActivationKind K, double X) {
+  switch (K) {
+  case ActivationKind::Relu:
+    return X > 0.0 ? 1.0 : 0.0;
+  case ActivationKind::Sigmoid: {
+    double S = sigmoid(X);
+    return S * (1.0 - S);
+  }
+  case ActivationKind::Tanh: {
+    double T = std::tanh(X);
+    return 1.0 - T * T;
+  }
+  }
+  charon_unreachable("unknown activation kind");
+}
+
+void charon::activationRange(ActivationKind K, double L, double U, double &Lo,
+                             double &Hi) {
+  assert(L <= U && "activation range needs an ordered interval");
+  if (K == ActivationKind::Relu) {
+    Lo = L > 0.0 ? L : 0.0;
+    Hi = U > 0.0 ? U : 0.0;
+    return;
+  }
+  // Sigmoid and tanh are strictly increasing; the image of the endpoints is
+  // the exact range in real arithmetic, so only libm error needs absorbing.
+  Lo = roundDownSound(activationEval(K, L));
+  Hi = roundUpSound(activationEval(K, U));
+}
+
+SmoothRelaxation charon::relaxSmoothActivation(ActivationKind K, double L,
+                                               double U) {
+  assert(K != ActivationKind::Relu &&
+         "smooth relaxation is for sigmoid/tanh only");
+  assert(L <= U && "smooth relaxation needs an ordered interval");
+
+  double DL = activationDeriv(K, L);
+  double DU = activationDeriv(K, U);
+  double Lambda = DL < DU ? DL : DU;
+
+  double GL = activationEval(K, L) - Lambda * L;
+  double GU = activationEval(K, U) - Lambda * U;
+  double Mu = 0.5 * (GL + GU);
+  double Beta = 0.5 * (GU - GL);
+  if (Beta < 0.0)
+    Beta = 0.0; // Only reachable through rounding when L == U.
+
+  // Outward inflation. Three error sources: (1) libm error in the act()
+  // evaluations feeding g, (2) rounding in Lambda * x, both proportional to
+  // |L| + |U|, and (3) Lambda being a few ulps above the true minimum
+  // derivative, which perturbs g's monotonicity by at most
+  // ulp(Lambda) * (U - L). All are covered by a term linear in the interval
+  // geometry; the constants are far above the real error and still
+  // negligible against any nontrivial Beta.
+  double Span = std::abs(L) + std::abs(U) + (U - L);
+  Beta += 1e-14 * (1.0 + Span);
+  return {Lambda, Mu, Beta};
+}
+
+LayerKind ActivationLayer::kind() const {
+  switch (Kind) {
+  case ActivationKind::Relu:
+    return LayerKind::Relu;
+  case ActivationKind::Sigmoid:
+    return LayerKind::Sigmoid;
+  case ActivationKind::Tanh:
+    return LayerKind::Tanh;
+  }
+  charon_unreachable("unknown activation kind");
+}
+
+Vector ActivationLayer::forward(const Vector &Input) const {
+  assert(Input.size() == Size && "activation input size mismatch");
+  Vector Y(Size);
+  for (size_t I = 0; I < Size; ++I)
+    Y[I] = activationEval(Kind, Input[I]);
+  return Y;
+}
+
+Vector ActivationLayer::backward(const Vector &Input, const Vector &GradOut,
+                                 bool) {
+  assert(Input.size() == Size && GradOut.size() == Size &&
+         "activation gradient size mismatch");
+  Vector GradIn(Size);
+  // For ReLU this is the subgradient passing through where the unit was
+  // active; at exactly zero we use the 0 branch, matching the forward
+  // max(x, 0) tie-break.
+  for (size_t I = 0; I < Size; ++I)
+    GradIn[I] = activationDeriv(Kind, Input[I]) * GradOut[I];
+  return GradIn;
+}
+
+Matrix ActivationLayer::forwardBatch(const Matrix &X) const {
+  assert(X.cols() == Size && "activation batched input size mismatch");
+  if (Kind == ActivationKind::Relu)
+    return kernels::reluBatch(X);
+  Matrix Y(X.rows(), X.cols());
+  for (size_t R = 0; R < X.rows(); ++R)
+    for (size_t C = 0; C < X.cols(); ++C)
+      Y(R, C) = activationEval(Kind, X(R, C));
+  return Y;
+}
+
+Matrix ActivationLayer::backwardBatch(const Matrix &X,
+                                      const Matrix &GradOut) const {
+  assert(X.cols() == Size && GradOut.cols() == Size &&
+         X.rows() == GradOut.rows() &&
+         "activation batched gradient size mismatch");
+  if (Kind == ActivationKind::Relu)
+    return kernels::reluBackwardBatch(X, GradOut);
+  Matrix G(X.rows(), X.cols());
+  for (size_t R = 0; R < X.rows(); ++R)
+    for (size_t C = 0; C < X.cols(); ++C)
+      G(R, C) = activationDeriv(Kind, X(R, C)) * GradOut(R, C);
+  return G;
+}

@@ -1,0 +1,103 @@
+//===- Activation.h - Element-wise activation layers ------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First-class activations: scalar evaluation/derivative helpers shared by
+/// concrete layers and abstract transformers, the sound linear relaxation
+/// for smooth activations (the zonotope/symbolic-interval/polyhedra
+/// transformers all derive from the same parallel-line relaxation), and the
+/// ActivationLayer class covering ReLU, sigmoid, and tanh.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_ACTIVATION_H
+#define CHARON_NN_ACTIVATION_H
+
+#include "nn/Layer.h"
+
+namespace charon {
+
+/// Printable lowercase name of an activation ("relu", "sigmoid", "tanh").
+const char *toString(ActivationKind K);
+
+/// Evaluates the activation \p K at \p X.
+double activationEval(ActivationKind K, double X);
+
+/// Derivative of the activation \p K at \p X (for ReLU, the subgradient with
+/// the same x > 0 tie-break as the forward pass).
+double activationDeriv(ActivationKind K, double X);
+
+/// Sound scalar range: [\p Lo, \p Hi] contains { act(x) : x in [L, U] }.
+/// All supported activations are nondecreasing, so the range is the image of
+/// the endpoints, rounded outward to absorb libm error on the smooth kinds.
+void activationRange(ActivationKind K, double L, double U, double &Lo,
+                     double &Hi);
+
+/// Sound linear relaxation of a smooth activation on [L, U]:
+///
+///   for all x in [L, U]:  |act(x) - (Lambda * x + Mu)| <= Beta
+///
+/// This is the minimal-area parallel-line relaxation (DeepZ-style): with
+/// lambda = min(act'(L), act'(U)) the residual g(x) = act(x) - lambda * x is
+/// nondecreasing on [L, U] (act' is unimodal with its maximum at 0, so
+/// act' >= lambda throughout the interval), giving the exact envelope
+/// act(x) in [lambda * x + g(L), lambda * x + g(U)]. Mu centers the band and
+/// Beta = (g(U) - g(L)) / 2 is its half-width, inflated outward to cover
+/// floating-point error in exp/tanh and in lambda itself. Lambda is always
+/// in [0, 1]. Only valid for the smooth kinds (sigmoid, tanh) — ReLU keeps
+/// its exact case-split transformers.
+struct SmoothRelaxation {
+  double Lambda;
+  double Mu;
+  double Beta;
+};
+SmoothRelaxation relaxSmoothActivation(ActivationKind K, double L, double U);
+
+/// Element-wise activation layer: y_i = act(x_i). One class covers the whole
+/// zoo; the ReLU batch path keeps its fused kernels.
+class ActivationLayer : public Layer {
+public:
+  ActivationLayer(ActivationKind K, size_t N) : Kind(K), Size(N) {}
+
+  LayerKind kind() const override;
+  size_t inputSize() const override { return Size; }
+  size_t outputSize() const override { return Size; }
+
+  Vector forward(const Vector &Input) const override;
+  Vector backward(const Vector &Input, const Vector &GradOut,
+                  bool AccumulateParams) override;
+  Matrix forwardBatch(const Matrix &X) const override;
+  Matrix backwardBatch(const Matrix &X, const Matrix &GradOut) const override;
+
+  std::optional<ActivationKind> activationKind() const override {
+    return Kind;
+  }
+
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ActivationLayer>(Kind, Size);
+  }
+
+private:
+  ActivationKind Kind;
+  size_t Size;
+};
+
+/// Element-wise logistic sigmoid.
+class SigmoidLayer : public ActivationLayer {
+public:
+  explicit SigmoidLayer(size_t N)
+      : ActivationLayer(ActivationKind::Sigmoid, N) {}
+};
+
+/// Element-wise hyperbolic tangent.
+class TanhLayer : public ActivationLayer {
+public:
+  explicit TanhLayer(size_t N) : ActivationLayer(ActivationKind::Tanh, N) {}
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_ACTIVATION_H

@@ -2,6 +2,7 @@
 
 #include "nn/Builder.h"
 
+#include "nn/Activation.h"
 #include "nn/Dense.h"
 #include "nn/MaxPool2D.h"
 #include "nn/Relu.h"
@@ -12,13 +13,22 @@ using namespace charon;
 Network charon::makeMlp(size_t InputSize,
                         const std::vector<size_t> &HiddenSizes,
                         size_t NumClasses, Rng &R) {
+  return makeMlp(InputSize, HiddenSizes, NumClasses, R, ActivationKind::Relu);
+}
+
+Network charon::makeMlp(size_t InputSize,
+                        const std::vector<size_t> &HiddenSizes,
+                        size_t NumClasses, Rng &R, ActivationKind Act) {
   Network Net;
   size_t Prev = InputSize;
   for (size_t H : HiddenSizes) {
     auto D = std::make_unique<DenseLayer>(Prev, H);
     D->initHe(R);
     Net.addLayer(std::move(D));
-    Net.addLayer(std::make_unique<ReluLayer>(H));
+    if (Act == ActivationKind::Relu)
+      Net.addLayer(std::make_unique<ReluLayer>(H));
+    else
+      Net.addLayer(std::make_unique<ActivationLayer>(Act, H));
     Prev = H;
   }
   auto Out = std::make_unique<DenseLayer>(Prev, NumClasses);

@@ -29,6 +29,12 @@ class Rng;
 Network makeMlp(size_t InputSize, const std::vector<size_t> &HiddenSizes,
                 size_t NumClasses, Rng &R);
 
+/// As above with an explicit hidden activation (ReLU, sigmoid, or tanh).
+/// The weight draws are identical across activations, so nets built from
+/// the same seed differ only in their activation layers.
+Network makeMlp(size_t InputSize, const std::vector<size_t> &HiddenSizes,
+                size_t NumClasses, Rng &R, ActivationKind Act);
+
 /// Builds a scaled LeNet-style convolutional network (Sec. 7 uses two conv
 /// layers, max pool, two more conv layers, max pool, then fully connected
 /// layers; we scale the channel counts to the synthetic input size):

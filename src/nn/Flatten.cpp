@@ -1,0 +1,29 @@
+//===- Flatten.cpp - Flatten / reshape layer --------------------------------===//
+
+#include "nn/Flatten.h"
+
+using namespace charon;
+
+Vector FlattenLayer::forward(const Vector &Input) const {
+  assert(Input.size() == Size && "flatten input size mismatch");
+  return Input;
+}
+
+Vector FlattenLayer::backward(const Vector &Input, const Vector &GradOut,
+                              bool) {
+  assert(Input.size() == Size && GradOut.size() == Size &&
+         "flatten gradient size mismatch");
+  return GradOut;
+}
+
+Matrix FlattenLayer::forwardBatch(const Matrix &X) const {
+  assert(X.cols() == Size && "flatten batched input size mismatch");
+  return X;
+}
+
+Matrix FlattenLayer::backwardBatch(const Matrix &X,
+                                   const Matrix &GradOut) const {
+  assert(X.cols() == Size && GradOut.cols() == Size &&
+         X.rows() == GradOut.rows() && "flatten batched gradient size mismatch");
+  return GradOut;
+}

@@ -1,0 +1,50 @@
+//===- Flatten.h - Flatten / reshape layer ----------------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flatten / Reshape. Charon stores every tensor as a flat channel-major
+/// vector already, so both operations are the identity on the flat view —
+/// the layer exists so imported graphs (ONNX Flatten/Reshape nodes) keep a
+/// faithful structural record, and so the analyzer can skip it outright via
+/// \c isIdentity().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_NN_FLATTEN_H
+#define CHARON_NN_FLATTEN_H
+
+#include "nn/Layer.h"
+
+namespace charon {
+
+/// Identity on the flat vector; records a shape change.
+class FlattenLayer : public Layer {
+public:
+  explicit FlattenLayer(size_t N) : Size(N) {}
+
+  LayerKind kind() const override { return LayerKind::Flatten; }
+  size_t inputSize() const override { return Size; }
+  size_t outputSize() const override { return Size; }
+
+  Vector forward(const Vector &Input) const override;
+  Vector backward(const Vector &Input, const Vector &GradOut,
+                  bool AccumulateParams) override;
+  Matrix forwardBatch(const Matrix &X) const override;
+  Matrix backwardBatch(const Matrix &X, const Matrix &GradOut) const override;
+
+  bool isIdentity() const override { return true; }
+
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<FlattenLayer>(Size);
+  }
+
+private:
+  size_t Size;
+};
+
+} // namespace charon
+
+#endif // CHARON_NN_FLATTEN_H

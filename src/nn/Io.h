@@ -28,10 +28,16 @@ namespace charon {
 /// \code
 ///   charon-network 1 <num-layers>
 ///   dense <in> <out> <out*in weights row-major> <out biases>
-///   relu <n>
+///   relu <n> | sigmoid <n> | tanh <n> | flatten <n>
 ///   conv <inC> <inH> <inW> <outC> <kH> <kW> <stride> <pad> <weights> <bias>
 ///   maxpool <inC> <inH> <inW> <poolH> <poolW> <stride>
+///   avgpool <inC> <inH> <inW> <poolH> <poolW> <stride>
+///   residual <num-body-layers> <body layers...>
 /// \endcode
+/// Residual bodies recurse into the same per-layer grammar; the loader
+/// rejects bodies whose shapes the analyzer could not handle (the same
+/// affine/activation/identity restriction the ResidualLayer constructor
+/// asserts).
 void saveNetwork(const Network &Net, std::ostream &Os);
 
 /// Parses a network from \p Is; returns nullopt on malformed input.

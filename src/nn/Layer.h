@@ -7,10 +7,13 @@
 /// \file
 /// The layer interface shared by concrete evaluation, gradient computation,
 /// training, and abstract interpretation. Following Sec. 2.1 of the paper, a
-/// network is a composition of differentiable layers and ReLU activations;
-/// fully-connected and convolutional layers are both expressible as affine
-/// transformations, which is exactly the view the abstract analyzer takes
-/// via \c affineForm().
+/// network is a composition of differentiable layers and activations;
+/// fully-connected, convolutional, and average-pool layers are all
+/// expressible as affine transformations, which is exactly the view the
+/// abstract analyzer takes via \c affineForm(). Activations are first-class:
+/// a layer exposes its \c ActivationKind instead of a ReLU-only flag, so the
+/// analyzer can pick the matching transformer (exact case split for ReLU,
+/// linear relaxation for sigmoid/tanh).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +29,27 @@
 
 namespace charon {
 
-/// Discriminator for the concrete layer classes.
-enum class LayerKind { Dense, Relu, Conv2D, MaxPool2D };
+class Network;
+
+/// Discriminator for the concrete layer classes. New kinds append at the
+/// end: the numeric value feeds network fingerprints (see Digest.cpp), so
+/// reordering would silently invalidate every stored digest.
+enum class LayerKind {
+  Dense,
+  Relu,
+  Conv2D,
+  MaxPool2D,
+  Sigmoid,
+  Tanh,
+  AvgPool2D,
+  Flatten,
+  Residual,
+};
+
+/// Element-wise activation functions a layer may apply. ReLU is piecewise
+/// linear (abstract domains case-split on it); sigmoid and tanh are smooth
+/// and sound transformers use a linear relaxation instead (no splits).
+enum class ActivationKind { Relu, Sigmoid, Tanh };
 
 /// View of a layer as the affine map y = W x + b (Sec. 2.1). The pointers
 /// stay valid until the layer's parameters change.
@@ -47,8 +69,8 @@ struct PoolSpec {
 ///
 /// A layer supports concrete forward evaluation, reverse-mode gradient
 /// propagation (with optional parameter-gradient accumulation for training),
-/// and exposes one of three abstract-transformer shapes: affine, ReLU, or
-/// max-pool.
+/// and exposes one of the abstract-transformer shapes: affine, element-wise
+/// activation, max-pool, identity, or residual block.
 class Layer {
 public:
   virtual ~Layer();
@@ -87,15 +109,32 @@ public:
   virtual void zeroGradients();
 
   /// If this layer is an affine map, returns its (W, b) view. Dense layers
-  /// return their parameters directly; Conv2D returns the lowered matrix
-  /// (cached, rebuilt after weight updates).
+  /// return their parameters directly; Conv2D and AvgPool2D return the
+  /// lowered matrix (cached, rebuilt after weight updates).
   virtual std::optional<AffineView> affineForm() const { return std::nullopt; }
 
-  /// True for ReLU activation layers.
-  virtual bool isRelu() const { return false; }
+  /// The element-wise activation this layer applies, if it is an activation
+  /// layer.
+  virtual std::optional<ActivationKind> activationKind() const {
+    return std::nullopt;
+  }
+
+  /// True for ReLU activation layers. Convenience over activationKind();
+  /// call sites that genuinely mean ReLU (CEGAR merging, the Reluplex
+  /// encoder) keep using this.
+  bool isRelu() const { return activationKind() == ActivationKind::Relu; }
 
   /// Non-null for max-pool layers.
   virtual const PoolSpec *poolSpec() const { return nullptr; }
+
+  /// True for layers that are the identity on the flat vector (Flatten /
+  /// Reshape). The analyzer skips them; concrete eval passes through.
+  virtual bool isIdentity() const { return false; }
+
+  /// Non-null for residual blocks: the inner stack F with output
+  /// y = x + F(x). Body layers are restricted to affine / activation /
+  /// identity so the analyzer can propagate through the block exactly.
+  virtual const Network *residualBody() const { return nullptr; }
 
   /// Deep copy.
   virtual std::unique_ptr<Layer> clone() const = 0;

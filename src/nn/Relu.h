@@ -6,40 +6,22 @@
 ///
 /// \file
 /// Element-wise ReLU(x) = max(x, 0), the activation the paper's networks use
-/// throughout (Sec. 2.1).
+/// throughout (Sec. 2.1). Now a thin specialization of ActivationLayer; the
+/// fused batch kernels live on the ReLU path of the base class.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHARON_NN_RELU_H
 #define CHARON_NN_RELU_H
 
-#include "nn/Layer.h"
+#include "nn/Activation.h"
 
 namespace charon {
 
 /// Element-wise rectified linear unit.
-class ReluLayer : public Layer {
+class ReluLayer : public ActivationLayer {
 public:
-  explicit ReluLayer(size_t N) : Size(N) {}
-
-  LayerKind kind() const override { return LayerKind::Relu; }
-  size_t inputSize() const override { return Size; }
-  size_t outputSize() const override { return Size; }
-
-  Vector forward(const Vector &Input) const override;
-  Vector backward(const Vector &Input, const Vector &GradOut,
-                  bool AccumulateParams) override;
-  Matrix forwardBatch(const Matrix &X) const override;
-  Matrix backwardBatch(const Matrix &X, const Matrix &GradOut) const override;
-
-  bool isRelu() const override { return true; }
-
-  std::unique_ptr<Layer> clone() const override {
-    return std::make_unique<ReluLayer>(Size);
-  }
-
-private:
-  size_t Size;
+  explicit ReluLayer(size_t N) : ActivationLayer(ActivationKind::Relu, N) {}
 };
 
 } // namespace charon

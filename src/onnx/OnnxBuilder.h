@@ -1,0 +1,84 @@
+//===- OnnxBuilder.h - Assemble ONNX model bytes ----------------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny writer for the same ONNX protobuf subset OnnxProto.h reads. It
+/// exists so tests and the CI smoke leg can assemble deterministic model
+/// files without a protobuf dependency: fixture bytes are a pure function
+/// of the builder calls, so checked-in fixtures and freshly generated ones
+/// are byte-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ONNX_ONNXBUILDER_H
+#define CHARON_ONNX_ONNXBUILDER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace charon {
+namespace onnx {
+
+/// Incrementally assembles a serialized ModelProto. Nodes, initializers,
+/// and graph inputs/outputs are emitted in call order.
+class ModelBuilder {
+public:
+  /// Adds a float initializer tensor (weights), stored as raw_data.
+  void addInitializer(const std::string &Name,
+                      const std::vector<int64_t> &Dims,
+                      const std::vector<double> &Values);
+
+  /// Adds an int64 initializer tensor (e.g. a Reshape shape operand).
+  void addInt64Initializer(const std::string &Name,
+                           const std::vector<int64_t> &Dims,
+                           const std::vector<int64_t> &Values);
+
+  /// Declares the graph input with a static float tensor shape.
+  void setInput(const std::string &Name, const std::vector<int64_t> &Dims);
+
+  /// Declares the graph output.
+  void setOutput(const std::string &Name, const std::vector<int64_t> &Dims);
+
+  /// Node attribute payload (single scalar, ints list, or floats list).
+  struct Attr {
+    std::string Name;
+    enum class Kind { Int, Float, Ints, Floats } K;
+    int64_t I = 0;
+    double F = 0.0;
+    std::vector<int64_t> Ints;
+    std::vector<double> Floats;
+
+    static Attr ofInt(const std::string &N, int64_t V);
+    static Attr ofFloat(const std::string &N, double V);
+    static Attr ofInts(const std::string &N, std::vector<int64_t> V);
+  };
+
+  /// Adds a node. Attribute order is preserved.
+  void addNode(const std::string &OpType,
+               const std::vector<std::string> &Inputs,
+               const std::vector<std::string> &Outputs,
+               const std::vector<Attr> &Attrs = {},
+               const std::string &NodeName = "");
+
+  /// Serializes the accumulated graph into ModelProto bytes.
+  std::vector<unsigned char> finish(const std::string &GraphName = "g") const;
+
+private:
+  std::vector<unsigned char> NodeBytes;
+  std::vector<unsigned char> InitializerBytes;
+  std::vector<unsigned char> InputBytes;
+  std::vector<unsigned char> OutputBytes;
+};
+
+/// Writes model bytes to a file. Returns false on I/O failure.
+bool writeModelFile(const std::vector<unsigned char> &Bytes,
+                    const std::string &Path);
+
+} // namespace onnx
+} // namespace charon
+
+#endif // CHARON_ONNX_ONNXBUILDER_H

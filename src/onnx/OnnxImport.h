@@ -1,0 +1,59 @@
+//===- OnnxImport.h - Lower an ONNX graph to a charon Network ---*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers the feed-forward ONNX subset onto the native layer zoo:
+///
+///   MatMul / Gemm            -> DenseLayer (Add-of-initializer folds into
+///                               the bias)
+///   Conv                     -> Conv2DLayer (group 1, uniform stride,
+///                               symmetric zero padding)
+///   Relu / Sigmoid / Tanh    -> activation layers
+///   MaxPool / AveragePool    -> pooling layers (no padding)
+///   Flatten / Reshape        -> FlattenLayer (identity on the flat,
+///                               channel-major vector)
+///   BatchNormalization       -> folded into the preceding Dense/Conv2D, or
+///                               materialized as a diagonal affine layer
+///   Add of two computed      -> ResidualLayer when one operand is the
+///                               block input (y = x + F(x))
+///
+/// Lowering is deterministic: the same model bytes always produce the same
+/// Network, so the saved .net serialization and its content fingerprint are
+/// stable across imports. Anything outside the subset produces a one-line
+/// diagnostic, never a crash or a silently wrong network.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ONNX_ONNXIMPORT_H
+#define CHARON_ONNX_ONNXIMPORT_H
+
+#include "nn/Network.h"
+
+#include <optional>
+#include <string>
+
+namespace charon {
+namespace onnx {
+
+/// Result of an import: either a network or a diagnostic.
+struct ImportResult {
+  std::optional<Network> Net;
+  std::string Error;
+};
+
+/// Imports serialized ModelProto bytes.
+ImportResult importModelBytes(const unsigned char *Data, size_t Len);
+
+/// Imports the ONNX file at \p Path.
+ImportResult importModelFile(const std::string &Path);
+
+/// True when \p Path names an ONNX file by extension (".onnx").
+bool isOnnxPath(const std::string &Path);
+
+} // namespace onnx
+} // namespace charon
+
+#endif // CHARON_ONNX_ONNXIMPORT_H

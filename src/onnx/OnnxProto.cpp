@@ -1,0 +1,461 @@
+//===- OnnxProto.cpp - Minimal ONNX protobuf wire parser ----------------------===//
+
+#include "onnx/OnnxProto.h"
+
+#include <cstring>
+
+using namespace charon;
+using namespace charon::onnx;
+
+namespace {
+
+// Wire types of protobuf field keys. Groups (3/4) are deprecated and never
+// appear in ONNX files; they are rejected as malformed.
+enum WireType : uint32_t {
+  WireVarint = 0,
+  WireFixed64 = 1,
+  WireLengthDelim = 2,
+  WireFixed32 = 5,
+};
+
+/// A bounded byte cursor. Every read checks the remaining length and trips
+/// the shared failure flag instead of running past the end, so parsing of
+/// truncated or corrupt files degrades to a diagnostic.
+struct Cursor {
+  const unsigned char *P;
+  const unsigned char *E;
+  bool *Failed;
+  std::string *Error;
+
+  bool done() const { return P >= E || *Failed; }
+
+  void fail(const char *Msg) {
+    if (!*Failed) {
+      *Failed = true;
+      *Error = Msg;
+    }
+  }
+
+  uint64_t readVarint() {
+    uint64_t V = 0;
+    int Shift = 0;
+    while (P < E) {
+      unsigned char B = *P++;
+      if (Shift < 64)
+        V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return V;
+      Shift += 7;
+      if (Shift > 63) {
+        fail("varint longer than 10 bytes");
+        return 0;
+      }
+    }
+    fail("truncated varint");
+    return 0;
+  }
+
+  /// Reads a field key; returns false at a clean end of the region.
+  bool readKey(uint32_t &Field, uint32_t &Wire) {
+    if (done())
+      return false;
+    uint64_t Key = readVarint();
+    if (*Failed)
+      return false;
+    Field = static_cast<uint32_t>(Key >> 3);
+    Wire = static_cast<uint32_t>(Key & 7);
+    if (Field == 0) {
+      fail("field number 0");
+      return false;
+    }
+    return true;
+  }
+
+  /// Reads a length-delimited payload as a sub-cursor.
+  Cursor readRegion() {
+    uint64_t Len = readVarint();
+    if (*Failed || Len > static_cast<uint64_t>(E - P)) {
+      fail("length-delimited field runs past end of buffer");
+      return Cursor{E, E, Failed, Error};
+    }
+    Cursor Sub{P, P + Len, Failed, Error};
+    P += Len;
+    return Sub;
+  }
+
+  std::string readString() {
+    Cursor R = readRegion();
+    return std::string(reinterpret_cast<const char *>(R.P), R.E - R.P);
+  }
+
+  double readFixed32AsDouble() {
+    if (E - P < 4) {
+      fail("truncated 32-bit field");
+      return 0.0;
+    }
+    uint32_t Bits = 0;
+    std::memcpy(&Bits, P, 4);
+    P += 4;
+    float F;
+    static_assert(sizeof(F) == sizeof(Bits));
+    std::memcpy(&F, &Bits, 4);
+    return static_cast<double>(F);
+  }
+
+  double readFixed64AsDouble() {
+    if (E - P < 8) {
+      fail("truncated 64-bit field");
+      return 0.0;
+    }
+    uint64_t Bits = 0;
+    std::memcpy(&Bits, P, 8);
+    P += 8;
+    double D;
+    static_assert(sizeof(D) == sizeof(Bits));
+    std::memcpy(&D, &Bits, 8);
+    return D;
+  }
+
+  void skipField(uint32_t Wire) {
+    switch (Wire) {
+    case WireVarint:
+      readVarint();
+      return;
+    case WireFixed64:
+      if (E - P < 8)
+        fail("truncated 64-bit field");
+      else
+        P += 8;
+      return;
+    case WireLengthDelim:
+      readRegion();
+      return;
+    case WireFixed32:
+      if (E - P < 4)
+        fail("truncated 32-bit field");
+      else
+        P += 4;
+      return;
+    default:
+      fail("unsupported wire type (deprecated group?)");
+      return;
+    }
+  }
+};
+
+// TensorProto.data_type values the importer accepts.
+enum TensorElemType : int64_t {
+  ElemFloat = 1,
+  ElemInt64 = 7,
+  ElemDouble = 11,
+};
+
+void parseTensor(Cursor C, TensorData &T) {
+  int64_t DataType = ElemFloat;
+  std::string Raw;
+  uint32_t Field, Wire;
+  while (C.readKey(Field, Wire)) {
+    switch (Field) {
+    case 1: // dims (repeated int64; varint or packed)
+      if (Wire == WireVarint) {
+        T.Dims.push_back(static_cast<int64_t>(C.readVarint()));
+      } else if (Wire == WireLengthDelim) {
+        Cursor R = C.readRegion();
+        while (!R.done())
+          T.Dims.push_back(static_cast<int64_t>(R.readVarint()));
+      } else {
+        C.fail("bad wire type for TensorProto.dims");
+      }
+      break;
+    case 2: // data_type
+      DataType = static_cast<int64_t>(C.readVarint());
+      break;
+    case 4: // float_data (packed or unpacked fixed32)
+      if (Wire == WireFixed32) {
+        T.Values.push_back(C.readFixed32AsDouble());
+      } else if (Wire == WireLengthDelim) {
+        Cursor R = C.readRegion();
+        while (!R.done())
+          T.Values.push_back(R.readFixed32AsDouble());
+      } else {
+        C.fail("bad wire type for TensorProto.float_data");
+      }
+      break;
+    case 7: // int64_data (packed or unpacked varint)
+      if (Wire == WireVarint) {
+        T.Values.push_back(
+            static_cast<double>(static_cast<int64_t>(C.readVarint())));
+      } else if (Wire == WireLengthDelim) {
+        Cursor R = C.readRegion();
+        while (!R.done())
+          T.Values.push_back(
+              static_cast<double>(static_cast<int64_t>(R.readVarint())));
+      } else {
+        C.fail("bad wire type for TensorProto.int64_data");
+      }
+      break;
+    case 8: // name
+      T.Name = C.readString();
+      break;
+    case 9: // raw_data
+      Raw = C.readString();
+      break;
+    case 10: // double_data (packed or unpacked fixed64)
+      if (Wire == WireFixed64) {
+        T.Values.push_back(C.readFixed64AsDouble());
+      } else if (Wire == WireLengthDelim) {
+        Cursor R = C.readRegion();
+        while (!R.done())
+          T.Values.push_back(R.readFixed64AsDouble());
+      } else {
+        C.fail("bad wire type for TensorProto.double_data");
+      }
+      break;
+    default:
+      C.skipField(Wire);
+      break;
+    }
+  }
+
+  if (!Raw.empty()) {
+    // raw_data is little-endian packed elements of data_type.
+    if (DataType == ElemFloat) {
+      if (Raw.size() % 4 != 0) {
+        C.fail("raw_data size not a multiple of 4 for FLOAT tensor");
+        return;
+      }
+      for (size_t I = 0; I + 4 <= Raw.size(); I += 4) {
+        uint32_t Bits;
+        std::memcpy(&Bits, Raw.data() + I, 4);
+        float F;
+        std::memcpy(&F, &Bits, 4);
+        T.Values.push_back(static_cast<double>(F));
+      }
+    } else if (DataType == ElemDouble) {
+      if (Raw.size() % 8 != 0) {
+        C.fail("raw_data size not a multiple of 8 for DOUBLE tensor");
+        return;
+      }
+      for (size_t I = 0; I + 8 <= Raw.size(); I += 8) {
+        double D;
+        std::memcpy(&D, Raw.data() + I, 8);
+        T.Values.push_back(D);
+      }
+    } else if (DataType == ElemInt64) {
+      if (Raw.size() % 8 != 0) {
+        C.fail("raw_data size not a multiple of 8 for INT64 tensor");
+        return;
+      }
+      for (size_t I = 0; I + 8 <= Raw.size(); I += 8) {
+        int64_t V;
+        std::memcpy(&V, Raw.data() + I, 8);
+        T.Values.push_back(static_cast<double>(V));
+      }
+    } else {
+      C.fail("unsupported tensor element type");
+      return;
+    }
+  } else if (DataType != ElemFloat && DataType != ElemDouble &&
+             DataType != ElemInt64) {
+    C.fail("unsupported tensor element type");
+    return;
+  }
+}
+
+void parseAttribute(Cursor C, Attribute &A) {
+  uint32_t Field, Wire;
+  while (C.readKey(Field, Wire)) {
+    switch (Field) {
+    case 1: // name
+      A.Name = C.readString();
+      break;
+    case 2: // f
+      A.F = C.readFixed32AsDouble();
+      A.HasF = true;
+      break;
+    case 3: // i
+      A.I = static_cast<int64_t>(C.readVarint());
+      A.HasI = true;
+      break;
+    case 4: // s
+      A.S = C.readString();
+      break;
+    case 5: { // t
+      TensorData T;
+      parseTensor(C.readRegion(), T);
+      A.T = std::move(T);
+      break;
+    }
+    case 7: // floats
+      if (Wire == WireFixed32) {
+        A.Floats.push_back(C.readFixed32AsDouble());
+      } else if (Wire == WireLengthDelim) {
+        Cursor R = C.readRegion();
+        while (!R.done())
+          A.Floats.push_back(R.readFixed32AsDouble());
+      } else {
+        C.fail("bad wire type for AttributeProto.floats");
+      }
+      break;
+    case 8: // ints
+      if (Wire == WireVarint) {
+        A.Ints.push_back(static_cast<int64_t>(C.readVarint()));
+      } else if (Wire == WireLengthDelim) {
+        Cursor R = C.readRegion();
+        while (!R.done())
+          A.Ints.push_back(static_cast<int64_t>(R.readVarint()));
+      } else {
+        C.fail("bad wire type for AttributeProto.ints");
+      }
+      break;
+    default:
+      C.skipField(Wire);
+      break;
+    }
+  }
+}
+
+void parseNode(Cursor C, Node &N) {
+  uint32_t Field, Wire;
+  while (C.readKey(Field, Wire)) {
+    switch (Field) {
+    case 1: // input
+      N.Inputs.push_back(C.readString());
+      break;
+    case 2: // output
+      N.Outputs.push_back(C.readString());
+      break;
+    case 3: // name
+      N.Name = C.readString();
+      break;
+    case 4: // op_type
+      N.OpType = C.readString();
+      break;
+    case 5: { // attribute
+      Attribute A;
+      parseAttribute(C.readRegion(), A);
+      N.Attrs.push_back(std::move(A));
+      break;
+    }
+    default:
+      C.skipField(Wire);
+      break;
+    }
+  }
+}
+
+// ValueInfoProto { name=1, type=2 }; TypeProto { tensor_type=1 };
+// TypeProto.Tensor { elem_type=1, shape=2 }; TensorShapeProto { dim=1 };
+// Dimension { dim_value=1, dim_param=2 }. A dim_param (symbolic) dimension
+// is recorded as 0.
+void parseValueInfo(Cursor C, ValueInfo &V) {
+  uint32_t Field, Wire;
+  while (C.readKey(Field, Wire)) {
+    if (Field == 1) {
+      V.Name = C.readString();
+    } else if (Field == 2 && Wire == WireLengthDelim) {
+      Cursor Type = C.readRegion();
+      uint32_t TF, TW;
+      while (Type.readKey(TF, TW)) {
+        if (TF == 1 && TW == WireLengthDelim) {
+          Cursor TT = Type.readRegion();
+          uint32_t TTF, TTW;
+          while (TT.readKey(TTF, TTW)) {
+            if (TTF == 2 && TTW == WireLengthDelim) {
+              Cursor Shape = TT.readRegion();
+              uint32_t SF, SW;
+              while (Shape.readKey(SF, SW)) {
+                if (SF == 1 && SW == WireLengthDelim) {
+                  Cursor Dim = Shape.readRegion();
+                  int64_t Value = 0;
+                  uint32_t DF, DW;
+                  while (Dim.readKey(DF, DW)) {
+                    if (DF == 1 && DW == WireVarint)
+                      Value = static_cast<int64_t>(Dim.readVarint());
+                    else
+                      Dim.skipField(DW);
+                  }
+                  V.Dims.push_back(Value);
+                } else {
+                  Shape.skipField(SW);
+                }
+              }
+            } else {
+              TT.skipField(TTW);
+            }
+          }
+        } else {
+          Type.skipField(TW);
+        }
+      }
+    } else {
+      C.skipField(Wire);
+    }
+  }
+}
+
+void parseGraph(Cursor C, Graph &G) {
+  uint32_t Field, Wire;
+  while (C.readKey(Field, Wire)) {
+    switch (Field) {
+    case 1: { // node
+      Node N;
+      parseNode(C.readRegion(), N);
+      G.Nodes.push_back(std::move(N));
+      break;
+    }
+    case 2: // name
+      G.Name = C.readString();
+      break;
+    case 5: { // initializer
+      TensorData T;
+      parseTensor(C.readRegion(), T);
+      G.Initializers.push_back(std::move(T));
+      break;
+    }
+    case 11: { // input
+      ValueInfo V;
+      parseValueInfo(C.readRegion(), V);
+      G.Inputs.push_back(std::move(V));
+      break;
+    }
+    case 12: { // output
+      ValueInfo V;
+      parseValueInfo(C.readRegion(), V);
+      G.Outputs.push_back(std::move(V));
+      break;
+    }
+    default:
+      C.skipField(Wire);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::optional<Model> charon::onnx::parseModel(const unsigned char *Data,
+                                              size_t Len, std::string &Error) {
+  bool Failed = false;
+  Cursor C{Data, Data + Len, &Failed, &Error};
+  Model M;
+  bool SawGraph = false;
+  uint32_t Field, Wire;
+  while (C.readKey(Field, Wire)) {
+    if (Field == 1 && Wire == WireVarint) { // ir_version
+      M.IrVersion = static_cast<int64_t>(C.readVarint());
+    } else if (Field == 7 && Wire == WireLengthDelim) { // graph
+      parseGraph(C.readRegion(), M.G);
+      SawGraph = true;
+    } else {
+      C.skipField(Wire);
+    }
+  }
+  if (Failed)
+    return std::nullopt;
+  if (!SawGraph) {
+    Error = "no GraphProto in model (not an ONNX file?)";
+    return std::nullopt;
+  }
+  return M;
+}

@@ -1,0 +1,106 @@
+//===- OnnxProto.h - Minimal ONNX protobuf wire parser ----------*- C++ -*-===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained reader for the subset of the ONNX protobuf schema that
+/// the importer needs: ModelProto -> GraphProto -> {NodeProto, TensorProto,
+/// ValueInfoProto}. The protobuf wire format is decoded by hand (varints,
+/// length-delimited submessages, 32/64-bit scalars) so the project takes no
+/// dependency on protobuf itself. Unknown fields are skipped by wire type;
+/// structurally malformed input (truncated varints, lengths past the end,
+/// deprecated group wire types) produces a diagnostic, never a crash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHARON_ONNX_ONNXPROTO_H
+#define CHARON_ONNX_ONNXPROTO_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace charon {
+namespace onnx {
+
+/// A parsed TensorProto: initializer weights, or an attribute tensor.
+/// Element payloads (FLOAT, DOUBLE, INT64 via raw_data or the typed
+/// repeated fields) are widened to double.
+struct TensorData {
+  std::string Name;
+  std::vector<int64_t> Dims;
+  std::vector<double> Values;
+
+  int64_t elementCount() const {
+    int64_t N = 1;
+    for (int64_t D : Dims)
+      N *= D;
+    return N;
+  }
+};
+
+/// A parsed NodeProto attribute. Only the payload slots the importer reads
+/// are materialized; \c HasF / \c HasI record presence for optional scalars.
+struct Attribute {
+  std::string Name;
+  double F = 0.0;
+  int64_t I = 0;
+  bool HasF = false;
+  bool HasI = false;
+  std::string S;
+  std::optional<TensorData> T;
+  std::vector<double> Floats;
+  std::vector<int64_t> Ints;
+};
+
+/// A parsed NodeProto.
+struct Node {
+  std::string OpType;
+  std::string Name;
+  std::vector<std::string> Inputs;
+  std::vector<std::string> Outputs;
+  std::vector<Attribute> Attrs;
+
+  const Attribute *attr(const std::string &AttrName) const {
+    for (const Attribute &A : Attrs)
+      if (A.Name == AttrName)
+        return &A;
+    return nullptr;
+  }
+};
+
+/// A parsed ValueInfoProto (graph input/output declaration). Dims are the
+/// static dimension values; a symbolic (named) dimension parses as 0 and is
+/// treated as "batch 1" by the importer when leading.
+struct ValueInfo {
+  std::string Name;
+  std::vector<int64_t> Dims;
+};
+
+/// A parsed GraphProto.
+struct Graph {
+  std::string Name;
+  std::vector<Node> Nodes;
+  std::vector<TensorData> Initializers;
+  std::vector<ValueInfo> Inputs;
+  std::vector<ValueInfo> Outputs;
+};
+
+/// A parsed ModelProto (only the graph is retained).
+struct Model {
+  int64_t IrVersion = 0;
+  Graph G;
+};
+
+/// Parses serialized ModelProto bytes. On failure returns nullopt and sets
+/// \p Error to a one-line diagnostic.
+std::optional<Model> parseModel(const unsigned char *Data, size_t Len,
+                                std::string &Error);
+
+} // namespace onnx
+} // namespace charon
+
+#endif // CHARON_ONNX_ONNXPROTO_H

@@ -4,6 +4,7 @@
 
 #include "core/Digest.h"
 #include "nn/Io.h"
+#include "onnx/OnnxImport.h"
 #include <cassert>
 
 using namespace charon;
@@ -31,7 +32,12 @@ NetworkRegistry::addFromFile(const std::string &Path) {
     if (It != ByPath.end())
       return It->second;
   }
-  std::optional<Network> Net = loadNetworkFile(Path);
+  // ONNX models register through the importer; the fingerprint is taken
+  // over the lowered network, so a model and its exported .net twin dedupe
+  // to the same entry.
+  std::optional<Network> Net = onnx::isOnnxPath(Path)
+                                   ? onnx::importModelFile(Path).Net
+                                   : loadNetworkFile(Path);
   if (!Net)
     return std::nullopt;
   NetworkId Id = add(std::move(*Net));

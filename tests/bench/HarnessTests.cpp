@@ -146,10 +146,11 @@ TEST(HarnessTest, MicroDomainJsonHasTrackedFields) {
   std::string Json = microDomainJson(Results);
   // Structural smoke checks; scripts/check.sh additionally runs a full JSON
   // parse over the real benchmark output when python3 is available.
-  EXPECT_NE(Json.find("\"schema\": \"charon-bench-micro-domains/2\""),
+  EXPECT_NE(Json.find("\"schema\": \"charon-bench-micro-domains/3\""),
             std::string::npos);
   for (const char *Field :
-       {"\"simd\"", "\"name\"", "\"domain\"", "\"precision\"", "\"width\"",
+       {"\"simd\"", "\"name\"", "\"domain\"", "\"precision\"", "\"act\"",
+        "\"width\"",
         "\"hidden_layers\"", "\"input_dim\"", "\"output_dim\"",
         "\"generators\"", "\"margin\"", "\"seconds\"", "\"repeats\""})
     EXPECT_NE(Json.find(Field), std::string::npos) << Field;
@@ -168,4 +169,10 @@ TEST(HarnessTest, DefaultMicroDomainCasesAreDistinctlyNamed) {
   // The tracked set keeps float32 twins next to their double cases so the
   // low-precision mode's speed/width trade stays visible in the trajectory.
   EXPECT_TRUE(SawFloat32);
+  // And at least one smooth-activation case tracks the relaxation
+  // transformers' cost next to the ReLU case split.
+  bool SawSmooth = false;
+  for (const MicroDomainCase &Case : defaultMicroDomainCases())
+    SawSmooth |= Case.Act != ActivationKind::Relu;
+  EXPECT_TRUE(SawSmooth);
 }

@@ -1,0 +1,200 @@
+//===- ZooRoundTripTests.cpp - Io/digest coverage of the layer zoo ------------===//
+//
+// Part of the Charon reproduction of "Optimization and Abstraction" (PLDI'19).
+//
+// The text serialization and the content digest both grew with the layer
+// zoo (sigmoid/tanh activations, average pooling, flatten, residual
+// blocks). These tests pin the same contract acas_export_roundtrip_tests
+// pins for the classic kinds: a save/load/save chain is a byte-level fixed
+// point, reloads are digest- and behavior-identical, the digest actually
+// sees residual bodies, and malformed input is rejected instead of
+// crashing (the residual constructor asserts on bad bodies, so the loader
+// must validate first).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Digest.h"
+#include "nn/Activation.h"
+#include "nn/AvgPool2D.h"
+#include "nn/Conv2D.h"
+#include "nn/Dense.h"
+#include "nn/Flatten.h"
+#include "nn/Io.h"
+#include "nn/Relu.h"
+#include "nn/Residual.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+using namespace charon;
+
+namespace {
+
+Matrix randomMatrix(Rng &R, size_t Rows, size_t Cols) {
+  Matrix W(Rows, Cols);
+  for (size_t I = 0; I < Rows; ++I)
+    for (size_t J = 0; J < Cols; ++J)
+      W(I, J) = R.gaussian(0.0, 0.5);
+  return W;
+}
+
+Vector randomVector(Rng &R, size_t N) {
+  Vector V(N);
+  for (size_t I = 0; I < N; ++I)
+    V[I] = R.gaussian(0.0, 0.3);
+  return V;
+}
+
+/// Dense -> Sigmoid -> residual(Dense + Tanh) -> Dense: every non-spatial
+/// zoo kind in one network.
+Network makeSmoothMlp(uint64_t Seed, double BodyTweak = 0.0) {
+  Rng R(Seed);
+  Network Net;
+  Net.addLayer(
+      std::make_unique<DenseLayer>(randomMatrix(R, 4, 3), randomVector(R, 4)));
+  Net.addLayer(std::make_unique<SigmoidLayer>(4));
+  Matrix BodyW = randomMatrix(R, 4, 4);
+  BodyW(0, 0) += BodyTweak;
+  Network Body;
+  Body.addLayer(
+      std::make_unique<DenseLayer>(std::move(BodyW), randomVector(R, 4)));
+  Body.addLayer(std::make_unique<TanhLayer>(4));
+  Net.addLayer(std::make_unique<ResidualLayer>(std::move(Body)));
+  Net.addLayer(
+      std::make_unique<DenseLayer>(randomMatrix(R, 2, 4), randomVector(R, 2)));
+  return Net;
+}
+
+/// Conv -> Tanh -> AvgPool -> Flatten -> Dense -> Relu -> Dense: the
+/// spatial zoo kinds plus the classic ones.
+Network makeSmoothConv(uint64_t Seed) {
+  Rng R(Seed);
+  Network Net;
+  TensorShape In{1, 4, 4};
+  auto Conv = std::make_unique<Conv2DLayer>(In, 2, 3, 3, 1, 1);
+  for (int Oc = 0; Oc < 2; ++Oc)
+    for (int Ky = 0; Ky < 3; ++Ky)
+      for (int Kx = 0; Kx < 3; ++Kx)
+        Conv->kernelAt(Oc, 0, Ky, Kx) = R.gaussian(0.0, 0.4);
+  for (size_t I = 0; I < Conv->bias().size(); ++I)
+    Conv->bias()[I] = R.gaussian(0.0, 0.2);
+  TensorShape ConvOut = Conv->outputShape();
+  Net.addLayer(std::move(Conv));
+  Net.addLayer(std::make_unique<TanhLayer>(ConvOut.size()));
+  auto Pool = std::make_unique<AvgPool2DLayer>(ConvOut, 2, 2, 2);
+  size_t Pooled = Pool->outputShape().size();
+  Net.addLayer(std::move(Pool));
+  Net.addLayer(std::make_unique<FlattenLayer>(Pooled));
+  Net.addLayer(std::make_unique<DenseLayer>(randomMatrix(R, 5, Pooled),
+                                            randomVector(R, 5)));
+  Net.addLayer(std::make_unique<ReluLayer>(5));
+  Net.addLayer(
+      std::make_unique<DenseLayer>(randomMatrix(R, 3, 5), randomVector(R, 3)));
+  return Net;
+}
+
+std::string serialize(const Network &Net) {
+  std::ostringstream Os;
+  saveNetwork(Net, Os);
+  return Os.str();
+}
+
+void expectRoundTripFixedPoint(const Network &Net) {
+  std::string Text = serialize(Net);
+  std::istringstream Is(Text);
+  std::optional<Network> Back = loadNetwork(Is);
+  ASSERT_TRUE(Back.has_value());
+
+  EXPECT_EQ(fingerprintNetwork(*Back), fingerprintNetwork(Net));
+  EXPECT_EQ(serialize(*Back), Text)
+      << "save/load/save is not a byte-level fixed point";
+
+  ASSERT_EQ(Back->numLayers(), Net.numLayers());
+  for (size_t I = 0; I < Net.numLayers(); ++I)
+    EXPECT_EQ(Back->layer(I).kind(), Net.layer(I).kind()) << "layer " << I;
+
+  Rng R(5);
+  for (int Trial = 0; Trial < 8; ++Trial) {
+    Vector X(Net.inputSize());
+    for (size_t I = 0; I < X.size(); ++I)
+      X[I] = R.uniform(-1.0, 1.0);
+    Vector Y0 = Net.evaluate(X);
+    Vector Y1 = Back->evaluate(X);
+    ASSERT_EQ(Y0.size(), Y1.size());
+    for (size_t I = 0; I < Y0.size(); ++I)
+      EXPECT_EQ(Y0[I], Y1[I]) << "output " << I << " drifted through Io";
+  }
+}
+
+TEST(ZooRoundTripTest, SmoothMlpWithResidualRoundTrips) {
+  expectRoundTripFixedPoint(makeSmoothMlp(101));
+}
+
+TEST(ZooRoundTripTest, SmoothConvWithAvgPoolAndFlattenRoundTrips) {
+  expectRoundTripFixedPoint(makeSmoothConv(202));
+}
+
+TEST(ZooRoundTripTest, FingerprintSeesResidualBodies) {
+  // Two networks identical except for one weight inside the residual body.
+  // Residual layers expose neither an affine form nor a pool spec, so a
+  // digest that only hashed those would collide here.
+  Network A = makeSmoothMlp(33);
+  Network B = makeSmoothMlp(33, /*BodyTweak=*/0.125);
+  EXPECT_NE(fingerprintNetwork(A), fingerprintNetwork(B));
+  EXPECT_EQ(fingerprintNetwork(A), fingerprintNetwork(makeSmoothMlp(33)));
+}
+
+TEST(ZooRoundTripTest, ActivationKindsDigestDistinctly) {
+  auto OneAct = [](auto MakeLayer) {
+    Network Net;
+    Net.addLayer(std::make_unique<DenseLayer>(Matrix::identity(3), Vector(3)));
+    Net.addLayer(MakeLayer());
+    return fingerprintNetwork(Net);
+  };
+  uint64_t FRelu = OneAct([] { return std::make_unique<ReluLayer>(3); });
+  uint64_t FSig = OneAct([] { return std::make_unique<SigmoidLayer>(3); });
+  uint64_t FTanh = OneAct([] { return std::make_unique<TanhLayer>(3); });
+  EXPECT_NE(FRelu, FSig);
+  EXPECT_NE(FRelu, FTanh);
+  EXPECT_NE(FSig, FTanh);
+}
+
+TEST(ZooRoundTripTest, TruncatedInputsAreRejected) {
+  std::string Text = serialize(makeSmoothMlp(7));
+  // Chop the serialization at several points, including mid-residual-body
+  // and with the whole final bias line removed; every such prefix must fail
+  // cleanly (no assert, no partial network). Cuts land on line boundaries:
+  // truncating mid-number would merely shorten a parseable literal.
+  size_t LastLine = Text.rfind('\n', Text.size() - 2) + 1;
+  for (size_t Cut : {Text.size() / 4, Text.size() / 2, LastLine}) {
+    std::istringstream Is(Text.substr(0, Cut));
+    EXPECT_FALSE(loadNetwork(Is).has_value()) << "cut at " << Cut;
+  }
+}
+
+TEST(ZooRoundTripTest, MalformedLayersAreRejected) {
+  auto Rejects = [](const std::string &Body) {
+    std::istringstream Is(Body);
+    return !loadNetwork(Is).has_value();
+  };
+  // Unknown layer keyword.
+  EXPECT_TRUE(Rejects("charon-network 1 1\nsoftmax 4\n"));
+  // Residual body whose output size differs from its input size: the
+  // ResidualLayer constructor would abort on this, so the loader must
+  // reject it first.
+  EXPECT_TRUE(Rejects("charon-network 1 1\nresidual 1\n"
+                      "dense 2 3\n1 0\n0 1\n0 0\n0 0 0\n"));
+  // Residual body containing a non-analyzable layer shape (a nested pool
+  // is fine structurally but maxpool 2x2 changes the size; use a
+  // zero-layer body instead, which the format forbids outright).
+  EXPECT_TRUE(Rejects("charon-network 1 1\nresidual 0\n"));
+  // Pool windows larger than the input plane.
+  EXPECT_TRUE(Rejects("charon-network 1 1\navgpool 1 2 2 3 3 1\n"));
+  // Size mismatch across consecutive layers.
+  EXPECT_TRUE(Rejects("charon-network 1 2\nrelu 3\nsigmoid 4\n"));
+}
+
+} // namespace
